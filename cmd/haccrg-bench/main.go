@@ -1,0 +1,144 @@
+// Command haccrg-bench regenerates the paper's evaluation: every table
+// and figure of "HAccRG: Hardware-Accelerated Data Race Detection in
+// GPUs" (ICPP 2013), from the hardware-parameter table through the
+// performance and bandwidth studies.
+//
+// Usage:
+//
+//	haccrg-bench -all
+//	haccrg-bench -table 3
+//	haccrg-bench -fig 7 -scale 2
+//	haccrg-bench -exp injected
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"haccrg"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		tableNum = flag.Int("table", 0, "regenerate one table (1-4)")
+		figNum   = flag.Int("fig", 0, "regenerate one figure (7-9)")
+		exp      = flag.String("exp", "", "named experiment: races, injected, bloom, ids, hw, tlb, regroup, bloom-e2e, syncid, sched")
+		scale    = flag.Int("scale", 2, "input scale factor for timed experiments")
+	)
+	flag.Parse()
+
+	ran := false
+	run := func(title string, f func() (string, error)) {
+		ran = true
+		fmt.Printf("==== %s ====\n", title)
+		txt, err := f()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "haccrg-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(txt)
+	}
+
+	e := haccrg.Experiments
+	if *all || *tableNum == 1 {
+		run("Table I: GPU hardware parameters", func() (string, error) {
+			return e.Table1(haccrg.DefaultGPU()), nil
+		})
+	}
+	if *all || *tableNum == 2 {
+		run("Table II: benchmarks and instruction mix", func() (string, error) {
+			_, txt, err := e.Table2(*scale)
+			return txt, err
+		})
+	}
+	if *all || *tableNum == 3 {
+		run("Table III: false races vs tracking granularity", func() (string, error) {
+			_, _, txt, err := e.Table3(1)
+			return txt, err
+		})
+	}
+	if *all || *tableNum == 4 {
+		run("Table IV: global shadow memory overhead", func() (string, error) {
+			_, txt, err := e.Table4(*scale)
+			return txt, err
+		})
+	}
+	if *all || *figNum == 7 {
+		run("Figure 7: performance impact of race detection", func() (string, error) {
+			_, txt, err := e.Fig7(*scale)
+			return txt, err
+		})
+	}
+	if *all || *figNum == 8 {
+		run("Figure 8: shared shadow entries in global memory", func() (string, error) {
+			_, txt, err := e.Fig8(*scale)
+			return txt, err
+		})
+	}
+	if *all || *figNum == 9 {
+		run("Figure 9: DRAM bandwidth utilization", func() (string, error) {
+			_, txt, err := e.Fig9(*scale)
+			return txt, err
+		})
+	}
+	if *all || *exp == "races" {
+		run("Section VI-A: races in unmodified benchmarks", func() (string, error) {
+			_, txt, err := e.RealRaces(1)
+			return txt, err
+		})
+	}
+	if *all || *exp == "injected" {
+		run("Section VI-A: 41 injected races", func() (string, error) {
+			_, txt, err := e.Injected(1)
+			return txt, err
+		})
+	}
+	if *all || *exp == "bloom" {
+		run("Section VI-A2: Bloom-filter signature accuracy", func() (string, error) {
+			return e.BloomStress(), nil
+		})
+	}
+	if *all || *exp == "ids" {
+		run("Section VI-A2: sync/fence logical-clock usage", func() (string, error) {
+			return e.IDUsage(1)
+		})
+	}
+	if *all || *exp == "hw" {
+		run("Section VI-C2: hardware overhead", func() (string, error) {
+			return e.HardwareCost(), nil
+		})
+	}
+	if *all || *exp == "tlb" {
+		run("Section IV-B: virtual-memory shadow translation (extension)", func() (string, error) {
+			_, txt, err := e.TLBStudy(1)
+			return txt, err
+		})
+	}
+	if *all || *exp == "regroup" {
+		run("Section III-A: warp re-grouping ablation (extension)", func() (string, error) {
+			return e.WarpRegroupStudy()
+		})
+	}
+	if *all || *exp == "bloom-e2e" {
+		run("Section VI-A2: lockset signatures end-to-end (extension)", func() (string, error) {
+			return e.BloomEndToEnd()
+		})
+	}
+	if *all || *exp == "sched" {
+		run("Warp scheduling ablation: round-robin vs GTO (extension)", func() (string, error) {
+			return e.SchedulerStudy(1)
+		})
+	}
+	if *all || *exp == "syncid" {
+		run("Section IV-B: sync-ID increment gating ablation (extension)", func() (string, error) {
+			return e.SyncIDGating(1)
+		})
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

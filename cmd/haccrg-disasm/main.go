@@ -1,0 +1,56 @@
+// Command haccrg-disasm prints the assembled programs of a benchmark's
+// kernels — useful for inspecting the ISA-level structure (barrier
+// placement, critical-section markers, divergent branches with their
+// reconvergence points) and for understanding race reports, whose PCs
+// index into this listing.
+//
+// Usage:
+//
+//	haccrg-disasm -bench reduce
+//	haccrg-disasm -bench reduce -inject reduce.fence0   # see the fence vanish
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"haccrg"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "benchmark whose kernels to disassemble")
+		inject = flag.String("inject", "", "comma-separated injection site IDs to apply first")
+		single = flag.Bool("single-block", false, "use the designed-for SCAN/KMEANS launch")
+	)
+	flag.Parse()
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "haccrg-disasm: -bench required")
+		os.Exit(2)
+	}
+	bm := haccrg.GetBenchmark(*bench)
+	if bm == nil {
+		fmt.Fprintf(os.Stderr, "haccrg-disasm: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	dev := haccrg.MustNewDevice(haccrg.SmallGPU(), bm.GlobalBytes(1), nil)
+	p := haccrg.BenchParams{Scale: 1, SingleBlock: *single}
+	if *inject != "" {
+		p.Inject = map[string]bool{}
+		for _, id := range strings.Split(*inject, ",") {
+			p.Inject[id] = true
+		}
+	}
+	plan, err := bm.Build(dev, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "haccrg-disasm:", err)
+		os.Exit(1)
+	}
+	for _, k := range plan.Kernels {
+		fmt.Printf("kernel %s  <<<grid %d x block %d, %dB shared, %d params>>>\n",
+			k.Name, k.GridDim, k.BlockDim, k.SharedBytes, len(k.Params))
+		fmt.Println(k.Prog.Disassemble())
+	}
+}

@@ -1,0 +1,188 @@
+// Command haccrg runs one benchmark on the simulated GPU with a chosen
+// race-detection configuration and reports detected races and
+// execution statistics.
+//
+// Usage:
+//
+//	haccrg -bench reduce -detect shared+global
+//	haccrg -bench scan -single-block -verify
+//	haccrg -bench psum -inject psum.fence0
+//	haccrg -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"haccrg"
+)
+
+func main() {
+	var (
+		bench       = flag.String("bench", "", "benchmark to run (see -list)")
+		detect      = flag.String("detect", "shared+global", "detection: off, shared, global, shared+global")
+		scale       = flag.Int("scale", 1, "input scale factor")
+		sharedGran  = flag.Int("shared-gran", 16, "shared-memory tracking granularity (bytes)")
+		globalGran  = flag.Int("global-gran", 4, "global-memory tracking granularity (bytes)")
+		singleBlock = flag.Bool("single-block", false, "launch SCAN/KMEANS in their designed-for configuration")
+		inject      = flag.String("inject", "", "comma-separated race-injection site IDs")
+		verify      = flag.Bool("verify", false, "check kernel output against the host reference")
+		small       = flag.Bool("small-gpu", false, "use the 4-SM test device instead of the Table I machine")
+		list        = flag.Bool("list", false, "list benchmarks and injection sites")
+		allBenches  = flag.Bool("all-benches", false, "run the whole suite and print a race summary (CI mode)")
+		jsonOut     = flag.Bool("json", false, "emit a machine-readable JSON race report")
+		traceOut    = flag.Bool("trace", false, "print an event timeline after the run")
+		maxRaces    = flag.Int("max-races", 20, "maximum distinct races to print")
+	)
+	flag.Parse()
+
+	if *list {
+		listBenchmarks()
+		return
+	}
+	if *allBenches {
+		os.Exit(runSuite(*scale, *small))
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "haccrg: -bench required (try -list)")
+		os.Exit(2)
+	}
+
+	opts := haccrg.RunOptions{
+		Scale:       *scale,
+		SingleBlock: *singleBlock,
+		Verify:      *verify,
+		Trace:       *traceOut,
+	}
+	if *small {
+		cfg := haccrg.SmallGPU()
+		opts.GPU = &cfg
+	}
+	if *inject != "" {
+		opts.Inject = strings.Split(*inject, ",")
+	}
+	if *detect != "off" {
+		d := haccrg.DefaultDetection()
+		d.SharedGranularity = *sharedGran
+		d.GlobalGranularity = *globalGran
+		switch *detect {
+		case "shared":
+			d.Global = false
+			d.DetectStaleL1 = false
+		case "global":
+			d.Shared = false
+		case "shared+global":
+		default:
+			fmt.Fprintf(os.Stderr, "haccrg: unknown -detect %q\n", *detect)
+			os.Exit(2)
+		}
+		opts.Detection = &d
+	}
+
+	res, err := haccrg.RunBenchmark(*bench, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "haccrg:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		if res.Report == nil {
+			fmt.Fprintln(os.Stderr, "haccrg: -json requires detection (use -detect)")
+			os.Exit(2)
+		}
+		if err := res.Report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "haccrg:", err)
+			os.Exit(1)
+		}
+		if len(res.Races) > 0 {
+			os.Exit(3)
+		}
+		return
+	}
+
+	st := res.Stats
+	fmt.Printf("benchmark      %s (scale %d)\n", *bench, *scale)
+	fmt.Printf("cycles         %d\n", st.Cycles)
+	fmt.Printf("warp instrs    %d (%d thread instrs)\n", st.WarpInstrs, st.ThreadInstrs)
+	fmt.Printf("shared reads   %.2f%% of instructions\n", st.SharedReadPct())
+	fmt.Printf("global reads   %.2f%% of instructions\n", st.GlobalReadPct())
+	fmt.Printf("barriers       %d  fences %d  divergences %d\n", st.Barriers, st.Fences, st.Divergences)
+	fmt.Printf("L1 hit rate    %.1f%%   L2 hit rate %.1f%%\n", 100*st.L1.HitRate(), 100*st.L2.HitRate())
+	fmt.Printf("DRAM util      %.1f%%   shadow txs %d\n", 100*st.DRAMUtil, st.ShadowTx)
+
+	if opts.Detection == nil {
+		return
+	}
+	if *traceOut && res.Trace != nil {
+		fmt.Println()
+		fmt.Print(res.Trace.Timeline())
+	}
+
+	fmt.Printf("\n%d distinct data race(s) detected\n", len(res.Races))
+	for i, r := range res.Races {
+		if i >= *maxRaces {
+			fmt.Printf("... and %d more\n", len(res.Races)-i)
+			break
+		}
+		fmt.Println(" ", r)
+	}
+	if len(res.Races) > 0 {
+		os.Exit(3) // races found: non-zero exit, like a checker tool
+	}
+}
+
+// runSuite runs every benchmark under full detection and prints one
+// summary line each; the exit code is 3 if any benchmark raced,
+// mirroring single-benchmark behaviour.
+func runSuite(scale int, small bool) int {
+	opts := haccrg.RunOptions{Scale: scale}
+	if small {
+		cfg := haccrg.SmallGPU()
+		opts.GPU = &cfg
+	}
+	det := haccrg.DefaultDetection()
+	det.SharedGranularity = 4
+	opts.Detection = &det
+	raced := false
+	fmt.Printf("%-8s %10s %8s %8s  %s\n", "bench", "cycles", "races", "reports", "categories")
+	for _, bm := range haccrg.Benchmarks() {
+		res, err := haccrg.RunBenchmark(bm.Name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haccrg: %s: %v\n", bm.Name, err)
+			return 1
+		}
+		cats := map[string]int{}
+		var reports int64
+		for _, r := range res.Races {
+			cats[r.Category.String()]++
+			reports += r.Count
+		}
+		var catStr []string
+		for c, n := range cats {
+			catStr = append(catStr, fmt.Sprintf("%s:%d", c, n))
+		}
+		sort.Strings(catStr)
+		fmt.Printf("%-8s %10d %8d %8d  %s\n",
+			bm.Name, res.Stats.Cycles, len(res.Races), reports, strings.Join(catStr, " "))
+		if len(res.Races) > 0 {
+			raced = true
+		}
+	}
+	if raced {
+		return 3
+	}
+	return 0
+}
+
+func listBenchmarks() {
+	fmt.Println("Benchmarks (Table II):")
+	for _, bm := range haccrg.Benchmarks() {
+		fmt.Printf("  %-8s %s\n           inputs: %s\n", bm.Name, bm.Desc, bm.Input)
+		for _, s := range bm.Sites {
+			fmt.Printf("           site %-16s %s: %s\n", s.ID, s.Kind, s.Desc)
+		}
+	}
+}

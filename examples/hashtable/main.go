@@ -1,0 +1,54 @@
+// Hashtable: demonstrate lockset-based critical-section race detection
+// (paper Section III-B). The HASH benchmark guards each bucket with a
+// CAS lock bracketed by the paper's marker instructions; the detector
+// tracks each thread's lockset in a Bloom-filter "atomic ID" and
+// reports accesses whose lockset intersection is empty, or which mix
+// protected and unprotected access.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"haccrg"
+)
+
+func run(title string, inject []string) {
+	opt := haccrg.DefaultDetection()
+	opt.SharedGranularity = 4
+	res, err := haccrg.RunBenchmark("hash", haccrg.RunOptions{
+		Detection: &opt,
+		Inject:    inject,
+		Verify:    len(inject) == 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lockset := 0
+	for _, r := range res.Races {
+		if r.Category == haccrg.CatLockset {
+			lockset++
+		}
+	}
+	fmt.Printf("%s: %d races (%d lockset)\n", title, len(res.Races), lockset)
+	for i, r := range res.Races {
+		if i >= 5 {
+			fmt.Printf("    ... and %d more\n", len(res.Races)-i)
+			break
+		}
+		fmt.Println("   ", r)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("HASH: per-bucket CAS locks with marker instructions and fenced release")
+	fmt.Println()
+	run("correct locking", nil)
+	run("dummy access inside the critical section (hash.crit0)", []string{"hash.crit0"})
+	run("dummy access outside the critical section (hash.crit1)", []string{"hash.crit1"})
+
+	fmt.Println("Both injections reproduce Section VI-A's critical-section races:")
+	fmt.Println("a location touched both under a lock and bare has a null lockset")
+	fmt.Println("intersection, so HAccRG reports it whichever side wrote.")
+}

@@ -1,0 +1,43 @@
+// Histogram: explore the accuracy/overhead trade-off of shadow-entry
+// tracking granularity (paper Section IV-C and Table III) on HIST,
+// whose byte-sized data elements make it the most granularity-
+// sensitive benchmark in the suite.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"haccrg"
+)
+
+func main() {
+	fmt.Println("HIST under HAccRG at increasing shared-memory tracking granularity")
+	fmt.Println("(byte counters of different warps share coarse shadow granules,")
+	fmt.Println("so false races appear and grow; storage shrinks in proportion)")
+	fmt.Println()
+	fmt.Printf("%-12s %-14s %-14s\n", "granularity", "false races", "shadow bits/SM")
+
+	for _, gran := range []int{4, 8, 16, 32, 64} {
+		opt := haccrg.DefaultDetection()
+		opt.SharedGranularity = gran
+		opt.Global = false
+		opt.DetectStaleL1 = false
+		res, err := haccrg.RunBenchmark("hist", haccrg.RunOptions{
+			Detection: &opt,
+			Verify:    true, // false positives must not break the histogram itself
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// HIST has no real shared race: every report is false.
+		entries := 16 * 1024 / gran
+		fmt.Printf("%-12s %-14d %-14d\n",
+			fmt.Sprintf("%d bytes", gran), len(res.Races), entries*12)
+	}
+
+	fmt.Println()
+	fmt.Println("The paper settles on 16-byte granularity (1.5KB of shadow per SM)")
+	fmt.Println("because 7 of the 10 benchmarks show no false positives there;")
+	fmt.Println("HIST is one of the exceptions, exactly as Table III reports.")
+}

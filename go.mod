@@ -1,0 +1,3 @@
+module haccrg
+
+go 1.22

@@ -1,0 +1,255 @@
+// Package haccrg is a from-scratch reproduction of "HAccRG:
+// Hardware-Accelerated Data Race Detection in GPUs" (Holey, Mekkat,
+// Zhai — ICPP 2013): a cycle-level SIMT GPU simulator with
+// hardware Race Detection Units attached to the shared-memory banks
+// and the memory partitions, plus the paper's software baselines and
+// its ten-benchmark evaluation suite.
+//
+// The top-level API wraps the internal packages:
+//
+//	dev := haccrg.MustNewDevice(haccrg.DefaultGPU(), 1<<22, det)
+//	det := haccrg.MustNewDetector(haccrg.DefaultDetection())
+//	res, err := haccrg.RunBenchmark("reduce", haccrg.RunOptions{})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced tables and figures.
+package haccrg
+
+import (
+	"fmt"
+
+	"haccrg/internal/core"
+	"haccrg/internal/gpu"
+	"haccrg/internal/harness"
+	"haccrg/internal/isa"
+	"haccrg/internal/kernels"
+	"haccrg/internal/tlb"
+	"haccrg/internal/trace"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the
+// implementation while giving users importable names.
+type (
+	// GPUConfig describes the simulated device (Table I parameters).
+	GPUConfig = gpu.Config
+	// Device is a simulated GPU.
+	Device = gpu.Device
+	// Kernel is a launchable grid.
+	Kernel = gpu.Kernel
+	// LaunchStats aggregates execution statistics for a launch.
+	LaunchStats = gpu.LaunchStats
+	// DetectionOptions configures HAccRG (granularities, Bloom layout,
+	// which RDUs are enabled).
+	DetectionOptions = core.Options
+	// Detector is the HAccRG race-detection engine.
+	Detector = core.Detector
+	// Race is one distinct detected data race.
+	Race = core.Race
+	// Benchmark is one of the paper's ten workloads.
+	Benchmark = kernels.Benchmark
+	// BenchParams configures a workload build (scale, injections).
+	BenchParams = kernels.Params
+	// ProgramBuilder assembles kernels in the simulator's ISA.
+	ProgramBuilder = isa.Builder
+)
+
+// Race kind and category constants, re-exported.
+const (
+	KindWAR = core.KindWAR
+	KindRAW = core.KindRAW
+	KindWAW = core.KindWAW
+
+	CatBarrier    = core.CatBarrier
+	CatCrossBlock = core.CatCrossBlock
+	CatLockset    = core.CatLockset
+	CatFence      = core.CatFence
+	CatStaleL1    = core.CatStaleL1
+	CatIntraWarp  = core.CatIntraWarp
+)
+
+// DefaultGPU returns the paper's Table I machine: an NVIDIA Quadro
+// FX5800-class GPU (30 SMs, 8 memory partitions) with Fermi-style
+// L1/L2 caches.
+func DefaultGPU() GPUConfig { return gpu.DefaultConfig() }
+
+// SmallGPU returns a scaled-down device (4 SMs, 2 partitions) for
+// fast experimentation and tests.
+func SmallGPU() GPUConfig { return gpu.TestConfig() }
+
+// DefaultDetection returns the paper's evaluated HAccRG configuration:
+// both RDUs, 16-byte shared / 4-byte global granularity, warp-aware
+// reporting, 16-bit 2-bin lockset signatures.
+func DefaultDetection() DetectionOptions { return core.DefaultOptions() }
+
+// NewDetector builds a HAccRG detector.
+func NewDetector(opt DetectionOptions) (*Detector, error) { return core.New(opt) }
+
+// MustNewDetector is NewDetector panicking on invalid options.
+func MustNewDetector(opt DetectionOptions) *Detector { return core.MustNew(opt) }
+
+// NewDevice builds a simulated GPU with globalBytes of device memory
+// and an optional race detector (nil disables detection).
+func NewDevice(cfg GPUConfig, globalBytes int, det gpu.Detector) (*Device, error) {
+	return gpu.NewDevice(cfg, globalBytes, det)
+}
+
+// MustNewDevice is NewDevice panicking on error.
+func MustNewDevice(cfg GPUConfig, globalBytes int, det gpu.Detector) *Device {
+	return gpu.MustNewDevice(cfg, globalBytes, det)
+}
+
+// NewKernelBuilder starts assembling a kernel program.
+func NewKernelBuilder(name string) *ProgramBuilder { return isa.NewBuilder(name) }
+
+// Benchmarks returns the paper's benchmark suite in Table II order.
+func Benchmarks() []*Benchmark { return kernels.All() }
+
+// GetBenchmark returns a benchmark by name, or nil.
+func GetBenchmark(name string) *Benchmark { return kernels.Get(name) }
+
+// RunOptions configures RunBenchmark.
+type RunOptions struct {
+	// Detection enables HAccRG with these options (nil = detection off).
+	Detection *DetectionOptions
+	// Scale multiplies the workload's input sizes (default 1).
+	Scale int
+	// SingleBlock launches SCAN/KMEANS in their designed-for (bug-free)
+	// configuration.
+	SingleBlock bool
+	// Inject activates race-injection sites by ID (see Benchmark.Sites).
+	Inject []string
+	// GPU overrides the device configuration (nil = DefaultGPU).
+	GPU *GPUConfig
+	// Verify checks kernel output against the host reference where the
+	// benchmark defines one.
+	Verify bool
+	// Trace records an event timeline (kernel lifecycle, barriers,
+	// races) alongside the run.
+	Trace bool
+}
+
+// RunResult is RunBenchmark's outcome.
+type RunResult struct {
+	Stats *LaunchStats
+	Races []*Race
+	// Report is the machine-readable detection summary (nil when
+	// detection is off).
+	Report *core.Report
+	// Trace is the recorded event log (nil unless RunOptions.Trace).
+	Trace *trace.Recorder
+}
+
+// RunBenchmark builds, runs and optionally verifies one benchmark.
+func RunBenchmark(name string, opts RunOptions) (*RunResult, error) {
+	bm := kernels.Get(name)
+	if bm == nil {
+		return nil, fmt.Errorf("haccrg: unknown benchmark %q (have %v)", name, benchNames())
+	}
+	if opts.Scale < 1 {
+		opts.Scale = 1
+	}
+	var det gpu.Detector = gpu.NopDetector{}
+	var coreDet *core.Detector
+	if opts.Detection != nil {
+		d, err := core.New(*opts.Detection)
+		if err != nil {
+			return nil, err
+		}
+		det, coreDet = d, d
+	}
+	var rec *trace.Recorder
+	if opts.Trace {
+		rec = trace.New(det)
+		det = rec
+	}
+	cfg := gpu.DefaultConfig()
+	if opts.GPU != nil {
+		cfg = *opts.GPU
+	}
+	dev, err := gpu.NewDevice(cfg, bm.GlobalBytes(opts.Scale), det)
+	if err != nil {
+		return nil, err
+	}
+	p := kernels.Params{Scale: opts.Scale, SingleBlock: opts.SingleBlock}
+	if len(opts.Inject) > 0 {
+		p.Inject = map[string]bool{}
+		for _, id := range opts.Inject {
+			p.Inject[id] = true
+		}
+	}
+	plan, err := bm.Build(dev, p)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := plan.Run(dev)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Verify && plan.Verify != nil {
+		if err := plan.Verify(dev); err != nil {
+			return nil, err
+		}
+	}
+	res := &RunResult{Stats: stats, Trace: rec}
+	if coreDet != nil {
+		res.Races = coreDet.SortedRaces()
+		res.Report = coreDet.Report()
+	}
+	return res, nil
+}
+
+func tlbDefaultConfig() tlb.Config { return tlb.DefaultConfig }
+
+func benchNames() []string {
+	var out []string
+	for _, b := range kernels.All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// Experiments re-exports the harness entry points so downstream users
+// can regenerate the paper's tables and figures programmatically.
+var Experiments = struct {
+	Table1       func(GPUConfig) string
+	Table2       func(scale int) ([]harness.Table2Row, string, error)
+	Table3       func(scale int) ([]harness.Table3Row, []harness.Table3Row, string, error)
+	Table4       func(scale int) (map[string]int64, string, error)
+	Fig7         func(scale int) ([]harness.Fig7Row, string, error)
+	Fig8         func(scale int) ([]harness.Fig8Row, string, error)
+	Fig9         func(scale int) ([]harness.Fig9Row, string, error)
+	RealRaces    func(scale int) ([]harness.RealRaceReport, string, error)
+	Injected     func(scale int) ([]harness.InjectedResult, string, error)
+	BloomStress  func() string
+	IDUsage      func(scale int) (string, error)
+	HardwareCost func() string
+	// Extensions beyond the paper's evaluation.
+	TLBStudy         func(scale int) ([]harness.TLBResult, string, error)
+	WarpRegroupStudy func() (string, error)
+	BloomEndToEnd    func() (string, error)
+	SyncIDGating     func(scale int) (string, error)
+	SchedulerStudy   func(scale int) (string, error)
+}{
+	Table1:       harness.Table1,
+	Table2:       harness.Table2,
+	Table3:       harness.Table3,
+	Table4:       harness.Table4,
+	Fig7:         harness.Fig7,
+	Fig8:         harness.Fig8,
+	Fig9:         harness.Fig9,
+	RealRaces:    harness.RealRaces,
+	Injected:     harness.Injected,
+	BloomStress:  harness.BloomStress,
+	IDUsage:      harness.IDUsage,
+	HardwareCost: harness.HardwareCost,
+	TLBStudy: func(scale int) ([]harness.TLBResult, string, error) {
+		return harness.TLBStudy(scale, tlbDefaultConfig())
+	},
+	WarpRegroupStudy: func() (string, error) {
+		_, _, txt, err := harness.WarpRegroupStudy()
+		return txt, err
+	},
+	BloomEndToEnd:  harness.BloomEndToEnd,
+	SyncIDGating:   harness.SyncIDGatingStudy,
+	SchedulerStudy: harness.SchedulerStudy,
+}

@@ -1,0 +1,187 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{{8, 2}, {16, 2}, {32, 2}, {8, 4}, {16, 4}, {32, 4}, {64, 2}, {16, 1}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{{0, 2}, {12, 2}, {128, 2}, {16, 3}, {16, 0}, {16, 32}, {2, 2}, {-8, 2}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestDefaultConfigIsPaperChoice(t *testing.T) {
+	if DefaultConfig.SizeBits != 16 || DefaultConfig.Bins != 2 {
+		t.Fatalf("DefaultConfig = %+v, want 16-bit/2-bin per Section VI-A2", DefaultConfig)
+	}
+	if err := DefaultConfig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSetsOneBitPerBin(t *testing.T) {
+	c := Config{SizeBits: 16, Bins: 2}
+	s := c.Add(0, 0x1234)
+	binBits := Sig(1)<<uint(c.BinBits()) - 1
+	lo := s & binBits
+	hi := (s >> uint(c.BinBits())) & binBits
+	if popcount(lo) != 1 || popcount(hi) != 1 {
+		t.Fatalf("Add set %d/%d bits in bins, want 1/1 (sig %016b)", popcount(lo), popcount(hi), s)
+	}
+}
+
+func popcount(s Sig) int {
+	n := 0
+	for ; s != 0; s &= s - 1 {
+		n++
+	}
+	return n
+}
+
+func TestSelfIntersection(t *testing.T) {
+	c := DefaultConfig
+	f := func(addr uint64) bool {
+		s := c.Add(0, addr)
+		return c.MayIntersect(s, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyNeverIntersects(t *testing.T) {
+	c := DefaultConfig
+	f := func(addr uint64) bool {
+		s := c.Add(0, addr)
+		return !c.MayIntersect(s, 0) && !c.MayIntersect(0, s) && !c.MayIntersect(0, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// No false negatives: if two threads hold a common lock, their
+// signatures always intersect.
+func TestCommonLockAlwaysIntersects(t *testing.T) {
+	for _, c := range []Config{{8, 2}, {16, 2}, {32, 2}, {16, 4}} {
+		f := func(common, extraA, extraB uint64) bool {
+			a := c.Add(c.Add(0, common), extraA)
+			b := c.Add(c.Add(0, common), extraB)
+			return c.MayIntersect(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("config %+v: %v", c, err)
+		}
+	}
+}
+
+// Superset property: adding an address never clears bits.
+func TestAddMonotone(t *testing.T) {
+	c := DefaultConfig
+	f := func(seed Sig, addr uint64) bool {
+		seed &= c.Mask()
+		s := c.Add(seed, addr)
+		return s&seed == seed && s&^c.Mask() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectIsAnd(t *testing.T) {
+	c := DefaultConfig
+	f := func(a, b Sig) bool { return c.Intersect(a, b) == a&b }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctAddressesCanBeDistinguished(t *testing.T) {
+	c := Config{SizeBits: 32, Bins: 2}
+	a := c.Add(0, 4)  // word index 1
+	b := c.Add(0, 32) // word index 8
+	if c.MayIntersect(a, b) {
+		t.Fatalf("addresses 4 and 32 alias in a 32-bit signature: %x vs %x", a, b)
+	}
+}
+
+// TestAliasRateMatchesPaper reproduces the stress test of Section
+// VI-A2: inject conflicting accesses over many random lock addresses
+// and measure how many the signature cannot distinguish. The paper
+// reports 25% / 12.5% / 6.25% misses for 8/16/32-bit 2-bin signatures.
+func TestAliasRateMatchesPaper(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want float64
+	}{
+		{Config{8, 2}, 0.25},
+		{Config{16, 2}, 0.125},
+		{Config{32, 2}, 0.0625},
+	}
+	rng := rand.New(rand.NewSource(42))
+	const trials = 200000
+	for _, tc := range cases {
+		misses := 0
+		for i := 0; i < trials; i++ {
+			a := uint64(rng.Int63()) &^ 3
+			b := uint64(rng.Int63()) &^ 3
+			if a == b {
+				continue
+			}
+			// Thread 1 holds lock a, thread 2 holds lock b: a race
+			// unless the lockset intersection is non-null. An aliasing
+			// signature hides ("misses") the race.
+			if tc.cfg.MayIntersect(tc.cfg.Add(0, a), tc.cfg.Add(0, b)) {
+				misses++
+			}
+		}
+		got := float64(misses) / trials
+		if got < tc.want*0.9 || got > tc.want*1.1 {
+			t.Errorf("config %+v: miss rate %.4f, want ~%.4f", tc.cfg, got, tc.want)
+		}
+		if ap := tc.cfg.AliasProbability(); ap != tc.want {
+			t.Errorf("config %+v: AliasProbability() = %v, want %v", tc.cfg, ap, tc.want)
+		}
+	}
+}
+
+// TestTwoBinsBeatFourBins verifies the paper's observation that for a
+// fixed signature size, 2 bins are more accurate than 4.
+func TestTwoBinsBeatFourBins(t *testing.T) {
+	for _, size := range []int{16, 32} {
+		two := Config{size, 2}.AliasProbability()
+		four := Config{size, 4}.AliasProbability()
+		if two >= four {
+			t.Errorf("size %d: 2-bin alias %.4f not better than 4-bin %.4f", size, two, four)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	c := DefaultConfig
+	var s Sig
+	for i := 0; i < b.N; i++ {
+		s = c.Add(s, uint64(i)<<2)
+	}
+	_ = s
+}
+
+func BenchmarkMayIntersect(b *testing.B) {
+	c := DefaultConfig
+	x := c.Add(0, 1024)
+	y := c.Add(0, 2048)
+	for i := 0; i < b.N; i++ {
+		_ = c.MayIntersect(x, y)
+	}
+}

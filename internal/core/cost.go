@@ -1,0 +1,88 @@
+package core
+
+import "haccrg/internal/gpu"
+
+// HardwareCost reports the control-logic and storage overhead of
+// HAccRG for a given machine, reproducing the arithmetic of Section
+// VI-C2. All byte figures are exact (fractional KB kept as bytes).
+type HardwareCost struct {
+	// Shared-memory RDU.
+	SharedEntryBits       int // 1 modified + 1 shared + tid bits
+	SharedEntries         int // per SM
+	SharedShadowBytesPerSM int
+	SharedComparatorsPerSM int // parallel comparisons across banks
+
+	// Global-memory RDU.
+	GlobalEntryBitsBase   int // modified + shared + tid + bid + sid + sync ID
+	GlobalEntryBitsFence  int // base + fence ID
+	GlobalEntryBitsAtomic int // base + atomic ID
+	GlobalComparatorsPerSlice int
+	IDComparatorsPerSlice     int
+
+	// Per-SM ID storage for global detection.
+	SyncIDBytesPerSM   int
+	FenceIDBytesPerSM  int
+	AtomicIDBytesPerSM int
+	IDBytesPerSM       int
+
+	// Race register file (fence IDs of all SMs), replicated per slice.
+	RaceRegisterFileBytes int
+}
+
+// bitsFor returns the minimum number of bits addressing n values.
+func bitsFor(n int) int {
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// ComputeHardwareCost evaluates the overhead model for a device
+// configuration and detector options.
+func ComputeHardwareCost(cfg *gpu.Config, opt Options) HardwareCost {
+	var c HardwareCost
+
+	tidBits := bitsFor(cfg.MaxThreadsPerSM) // 10 for 1024 threads/SM
+	c.SharedEntryBits = 2 + tidBits
+	c.SharedEntries = cfg.Shared.SizeBytes / opt.SharedGranularity
+	c.SharedShadowBytesPerSM = (c.SharedEntries*c.SharedEntryBits + 7) / 8
+	// One comparator per bank at the tracking granularity; the paper's
+	// 8 comparators arise from 16 banks * 4B served per 16B granule.
+	c.SharedComparatorsPerSM = cfg.Shared.Banks * cfg.Shared.BankWidth / opt.SharedGranularity
+	if c.SharedComparatorsPerSM < 1 {
+		c.SharedComparatorsPerSM = 1
+	}
+
+	const syncIDBits, fenceIDBits = 8, 8
+	atomicIDBits := opt.Bloom.SizeBits
+	bidBits := bitsFor(cfg.MaxBlocksPerSM)       // 3 for 8 blocks
+	sidBits := bitsFor(cfg.NumSMs)               // 5 for 30 SMs
+	c.GlobalEntryBitsBase = 2 + tidBits + bidBits + sidBits + syncIDBits
+	c.GlobalEntryBitsFence = c.GlobalEntryBitsBase + fenceIDBits
+	c.GlobalEntryBitsAtomic = c.GlobalEntryBitsBase + fenceIDBits + atomicIDBits
+	// One comparator per granule in a cache line for the base entries,
+	// plus one per two granules for fence/atomic IDs (Section VI-C2).
+	granulesPerLine := cfg.SegmentBytes / opt.GlobalGranularity
+	c.GlobalComparatorsPerSlice = granulesPerLine
+	c.IDComparatorsPerSlice = granulesPerLine / 2
+
+	warpsPerSM := cfg.MaxThreadsPerSM / cfg.WarpSize
+	c.SyncIDBytesPerSM = cfg.MaxBlocksPerSM * syncIDBits / 8
+	c.FenceIDBytesPerSM = warpsPerSM * fenceIDBits / 8
+	c.AtomicIDBytesPerSM = cfg.MaxThreadsPerSM * atomicIDBits / 8
+	c.IDBytesPerSM = c.SyncIDBytesPerSM + c.FenceIDBytesPerSM + c.AtomicIDBytesPerSM
+
+	c.RaceRegisterFileBytes = cfg.NumSMs * warpsPerSM * fenceIDBits / 8
+	return c
+}
+
+// GlobalShadowBytes returns the device-memory footprint of the global
+// shadow entries for a kernel touching appBytes of global data at the
+// configured granularity (Table IV). Entries are stored packed at the
+// full 52-bit (fence+atomic) format's byte-rounded size.
+func GlobalShadowBytes(appBytes int, opt Options) int64 {
+	entryBytes := (52 + 7) / 8 // 6.5 bits rounded: 7 bytes packed
+	granules := (appBytes + opt.GlobalGranularity - 1) / opt.GlobalGranularity
+	return int64(granules) * int64(entryBytes)
+}

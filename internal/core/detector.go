@@ -1,0 +1,306 @@
+package core
+
+import (
+	"sort"
+
+	"haccrg/internal/bloom"
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// sharedEntry is one shared-memory shadow entry: the paper's 12-bit
+// format (1-bit modified, 1-bit shared, 10-bit tid). The zero value is
+// NOT the reset state; reset() puts entries into the "no prior access"
+// state (M=true, S=true).
+type sharedEntry struct {
+	tid      uint16
+	modified bool
+	shared   bool
+	fresh    bool // M=true ∧ S=true encoding of "no access yet"
+}
+
+// globalEntry is one global-memory shadow entry: modified, shared,
+// tid, bid, sid, sync ID, fence ID and the atomic-ID lockset signature
+// (Section IV-B).
+type globalEntry struct {
+	tid      uint16
+	bid      uint32
+	sid      uint16
+	modified bool
+	shared   bool
+	syncID   uint32
+	fenceID  uint32
+	sig      bloom.Sig
+	wcycle   int64 // issue cycle of the recorded write (stale-L1 check)
+}
+
+// Detector is the HAccRG race-detection engine, implementing
+// gpu.Detector. One Detector instance models all RDUs of the device:
+// the per-SM shared-memory units and the per-partition global units.
+type Detector struct {
+	opt Options
+	env gpu.Env
+
+	kernel   string
+	warpSize int
+
+	// sharedShadow[sm][granule]; covers each SM's full shared tile.
+	sharedShadow [][]sharedEntry
+	globalShadow map[uint64]*globalEntry
+
+	races []*Race
+	seen  map[raceKey]*Race
+	sites map[siteKey]struct{}
+
+	stats Stats
+}
+
+// New builds a detector; options must validate.
+func New(opt Options) (*Detector, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		opt:          opt,
+		globalShadow: make(map[uint64]*globalEntry),
+		seen:         make(map[raceKey]*Race),
+		sites:        make(map[siteKey]struct{}),
+	}, nil
+}
+
+// MustNew is New panicking on invalid options.
+func MustNew(opt Options) *Detector {
+	d, err := New(opt)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements gpu.Detector.
+func (d *Detector) Name() string {
+	switch {
+	case d.opt.Shared && d.opt.Global:
+		return "haccrg(shared+global)"
+	case d.opt.Shared:
+		return "haccrg(shared)"
+	default:
+		return "haccrg(global)"
+	}
+}
+
+// Options returns the active configuration.
+func (d *Detector) Options() Options { return d.opt }
+
+// Stats returns detection activity counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// Races returns the distinct detected races, ordered by first
+// detection.
+func (d *Detector) Races() []*Race { return d.races }
+
+// SiteCount returns the number of distinct (kind, granule) race sites
+// in the given space — the unit Table III counts false races in.
+func (d *Detector) SiteCount(space isa.Space) int {
+	n := 0
+	for k := range d.sites {
+		if k.space == space {
+			n++
+		}
+	}
+	return n
+}
+
+// RaceGroups returns the set of distinct (space, kind, category)
+// combinations among detected races — a PC-independent fingerprint
+// used to tell whether an injected defect introduced a new kind of
+// race relative to a baseline run.
+func (d *Detector) RaceGroups() map[string]int {
+	m := make(map[string]int)
+	for _, r := range d.races {
+		m[r.Space.String()+"/"+r.Kind.String()+"/"+r.Category.String()]++
+	}
+	return m
+}
+
+// CategoryCounts returns distinct race counts per category.
+func (d *Detector) CategoryCounts() map[Category]int {
+	m := make(map[Category]int)
+	for _, r := range d.races {
+		m[r.Category]++
+	}
+	return m
+}
+
+// Reset drops all recorded races and shadow state (between
+// experiments; kernel boundaries reset shadow state automatically).
+func (d *Detector) Reset() {
+	d.races = nil
+	d.seen = make(map[raceKey]*Race)
+	d.sites = make(map[siteKey]struct{})
+	d.globalShadow = make(map[uint64]*globalEntry)
+	d.sharedShadow = nil
+	d.stats = Stats{}
+}
+
+// KernelStart implements gpu.Detector: kernel launch is an implicit
+// barrier; all shadow entries reset to the no-access state (the
+// paper's cudaMemset of the global shadow at kernel boundaries).
+func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
+	d.env = env
+	d.kernel = kernelName
+	d.warpSize = env.Config().WarpSize
+	nsm := env.Config().NumSMs
+	entries := env.Config().Shared.SizeBytes / d.opt.SharedGranularity
+	if d.sharedShadow == nil || len(d.sharedShadow) != nsm || len(d.sharedShadow[0]) != entries {
+		d.sharedShadow = make([][]sharedEntry, nsm)
+		for i := range d.sharedShadow {
+			d.sharedShadow[i] = make([]sharedEntry, entries)
+		}
+	}
+	for i := range d.sharedShadow {
+		resetShared(d.sharedShadow[i])
+	}
+	d.globalShadow = make(map[uint64]*globalEntry)
+}
+
+// KernelEnd implements gpu.Detector.
+func (d *Detector) KernelEnd() {}
+
+func resetShared(es []sharedEntry) {
+	for i := range es {
+		es[i] = sharedEntry{fresh: true, modified: true, shared: true}
+	}
+}
+
+// BlockStart implements gpu.Detector: a new block's shared region is
+// fresh; its slot's shadow entries reset (block start is an implicit
+// barrier, and the region may be inherited from a retired block).
+func (d *Detector) BlockStart(sm int, sharedBase, sharedSize int) {
+	if !d.opt.Shared || sharedSize == 0 || d.sharedShadow == nil {
+		return
+	}
+	lo := sharedBase / d.opt.SharedGranularity
+	hi := (sharedBase + sharedSize + d.opt.SharedGranularity - 1) / d.opt.SharedGranularity
+	shadow := d.sharedShadow[sm]
+	if hi > len(shadow) {
+		hi = len(shadow)
+	}
+	resetShared(shadow[lo:hi])
+}
+
+// Barrier implements gpu.Detector: reset the block's shared shadow
+// entries and charge the invalidation cycles the paper simulates
+// (entries are cleared one row per bank per cycle).
+func (d *Detector) Barrier(sm, blockID int, sharedBase, sharedSize int, cycle int64) int64 {
+	if !d.opt.Shared || sharedSize == 0 {
+		return 0
+	}
+	lo := sharedBase / d.opt.SharedGranularity
+	hi := (sharedBase + sharedSize + d.opt.SharedGranularity - 1) / d.opt.SharedGranularity
+	shadow := d.sharedShadow[sm]
+	if hi > len(shadow) {
+		hi = len(shadow)
+	}
+	resetShared(shadow[lo:hi])
+	d.stats.BarrierInval++
+	if !d.opt.ModelTraffic {
+		return 0 // software builds charge their own costs
+	}
+
+	entries := int64(hi - lo)
+	banks := int64(d.env.Config().Shared.Banks)
+	stall := (entries + banks - 1) / banks
+
+	if d.opt.SharedShadowInGlobal {
+		// Invalidation becomes a sweep of global-memory shadow lines
+		// written through this SM's L1.
+		entryBytes := int64(2) // 12-bit entries rounded up
+		lineBytes := int64(d.env.Config().SegmentBytes)
+		base := d.sharedShadowBase(sm) + uint64(int64(lo)*entryBytes)
+		span := entries * entryBytes
+		var done int64 = cycle
+		for off := int64(0); off < span; off += lineBytes {
+			t := d.env.InstrTx(sm, cycle, base+uint64(off), true)
+			if t > done {
+				done = t
+			}
+			d.stats.ShadowWrites++
+		}
+		return done - cycle
+	}
+	return stall
+}
+
+// sharedShadowBase returns where SM sm's software shared-shadow region
+// lives in device memory (above the global shadow region).
+func (d *Detector) sharedShadowBase(sm int) uint64 {
+	globalSpan := d.env.GlobalMemSize() / uint64(d.opt.GlobalGranularity) * 8
+	tile := uint64(d.env.Config().Shared.SizeBytes / d.opt.SharedGranularity * 2)
+	return d.env.ShadowBase() + globalSpan + uint64(sm)*tile
+}
+
+// WarpMem implements gpu.Detector: dispatch one warp memory
+// instruction to the shared- or global-memory RDU.
+func (d *Detector) WarpMem(ev *gpu.WarpMemEvent) int64 {
+	switch ev.Space {
+	case isa.SpaceShared:
+		if !d.opt.Shared {
+			return 0
+		}
+		return d.sharedRDU(ev)
+	case isa.SpaceGlobal:
+		if !d.opt.Global {
+			return 0
+		}
+		return d.globalRDU(ev)
+	}
+	return 0
+}
+
+// report records one dynamic race occurrence.
+func (d *Detector) report(space isa.Space, kind Kind, cat Category, pc int, stmt string, granule, addr uint64,
+	firstTid int, firstBlock int, secondTid, secondBlock int, cycle int64) {
+	d.stats.Reports++
+	if space == isa.SpaceShared {
+		d.stats.SharedReports++
+	} else {
+		d.stats.GlobalReports++
+	}
+	d.sites[siteKey{space, kind, granule}] = struct{}{}
+	key := raceKey{d.kernel, space, kind, cat, pc, granule}
+	if r, ok := d.seen[key]; ok {
+		r.Count++
+		return
+	}
+	if d.opt.MaxRaces > 0 && len(d.races) >= d.opt.MaxRaces {
+		return
+	}
+	r := &Race{
+		Kernel: d.kernel, Space: space, Kind: kind, Category: cat,
+		PC: pc, Stmt: stmt, Granule: granule, Addr: addr,
+		FirstTid: firstTid, FirstBlock: firstBlock,
+		SecondTid: secondTid, SecondBlock: secondBlock,
+		Cycle: cycle, Count: 1,
+	}
+	d.seen[key] = r
+	d.races = append(d.races, r)
+}
+
+// SortedRaces returns races ordered by (kernel, pc, granule) for
+// stable reporting.
+func (d *Detector) SortedRaces() []*Race {
+	out := make([]*Race, len(d.races))
+	copy(out, d.races)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		return a.Granule < b.Granule
+	})
+	return out
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"haccrg/internal/bloom"
+)
+
+// Options configures HAccRG detection.
+type Options struct {
+	// Shared enables the per-SM shared-memory RDUs.
+	Shared bool
+	// Global enables the per-partition global-memory RDUs.
+	Global bool
+
+	// SharedGranularity maps this many consecutive shared-memory bytes
+	// to one shadow entry. The paper settles on 16 bytes (7 of 10
+	// benchmarks show no false positives there, Section VI-A1).
+	SharedGranularity int
+	// GlobalGranularity is the global-memory tracking granularity; the
+	// paper keeps 4 bytes since device memory is plentiful.
+	GlobalGranularity int
+
+	// SharedShadowInGlobal stores the shared-memory shadow entries in
+	// global memory instead of SM hardware, fetched through the L1
+	// (the Figure 8 experiment).
+	SharedShadowInGlobal bool
+
+	// WarpAware suppresses races between lanes of the same warp, which
+	// execute in lockstep and are implicitly ordered. Disable it when
+	// modelling dynamic warp re-grouping (Section III-A).
+	WarpAware bool
+
+	// DetectStaleL1 enables the L1-hit stale-read check of Section
+	// IV-B (needs Global).
+	DetectStaleL1 bool
+
+	// Bloom is the atomic-ID signature layout.
+	Bloom bloom.Config
+
+	// ModelTraffic injects the hardware RDUs' shadow-memory traffic
+	// and barrier-invalidation stalls into the timing model. Software
+	// reimplementations (internal/swdetect, internal/grace) disable it
+	// and charge their own instrumentation costs instead.
+	ModelTraffic bool
+
+	// MaxRaces caps distinct recorded races (0 = unlimited); detection
+	// continues counting but stops materializing new records.
+	MaxRaces int
+}
+
+// DefaultOptions returns the configuration evaluated in the paper:
+// both RDUs enabled, 16-byte shared and 4-byte global granularity,
+// warp-aware reporting, 16-bit 2-bin signatures.
+func DefaultOptions() Options {
+	return Options{
+		Shared:            true,
+		Global:            true,
+		SharedGranularity: 16,
+		GlobalGranularity: 4,
+		WarpAware:         true,
+		DetectStaleL1:     true,
+		Bloom:             bloom.DefaultConfig,
+		ModelTraffic:      true,
+	}
+}
+
+// Validate checks the options.
+func (o *Options) Validate() error {
+	if !o.Shared && !o.Global {
+		return fmt.Errorf("core: at least one of Shared/Global must be enabled")
+	}
+	if o.SharedGranularity <= 0 || o.SharedGranularity&(o.SharedGranularity-1) != 0 {
+		return fmt.Errorf("core: shared granularity %d not a power of two", o.SharedGranularity)
+	}
+	if o.GlobalGranularity <= 0 || o.GlobalGranularity&(o.GlobalGranularity-1) != 0 {
+		return fmt.Errorf("core: global granularity %d not a power of two", o.GlobalGranularity)
+	}
+	if err := o.Bloom.Validate(); err != nil {
+		return err
+	}
+	if o.SharedShadowInGlobal && !o.Shared {
+		return fmt.Errorf("core: SharedShadowInGlobal requires Shared")
+	}
+	if o.DetectStaleL1 && !o.Global {
+		return fmt.Errorf("core: DetectStaleL1 requires Global")
+	}
+	return nil
+}
+
+// Stats aggregates detection activity.
+type Stats struct {
+	SharedChecks int64 // lane-level shared-memory RDU checks
+	GlobalChecks int64 // lane-level global-memory RDU checks
+	ShadowReads  int64 // shadow transactions injected (reads)
+	ShadowWrites int64 // shadow transactions injected (writes)
+	Reports       int64 // dynamic race reports (before dedup)
+	SharedReports int64 // dynamic reports in the shared space
+	GlobalReports int64 // dynamic reports in the global space
+	BarrierInval int64 // shared shadow invalidation episodes
+	FenceLookups int64 // race-register-file fence-ID reads
+}

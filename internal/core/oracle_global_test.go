@@ -1,0 +1,166 @@
+package core
+
+// Global-memory soundness fuzzing: random multi-block kernels with
+// global accesses checked against an exact-history oracle. The oracle
+// tracks barrier epochs per block; two accesses conflict when they
+// touch the same word with at least one write and are not ordered —
+// same block requires different warps in the same epoch, different
+// blocks are always concurrent. Fence and stale-L1 refinements only
+// SUPPRESS reports, so HAccRG's reported granules must always be a
+// subset of the oracle's conflicting granules.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+type gOracleAccess struct {
+	block, warp, epoch int
+	write              bool
+}
+
+type globalOracle struct {
+	gpu.NopDetector
+	epochs    map[int]int // per block
+	hist      map[uint64][]gOracleAccess
+	conflicts map[uint64]bool
+}
+
+func newGlobalOracle() *globalOracle {
+	return &globalOracle{
+		epochs:    map[int]int{},
+		hist:      map[uint64][]gOracleAccess{},
+		conflicts: map[uint64]bool{},
+	}
+}
+
+func (o *globalOracle) WarpMem(ev *gpu.WarpMemEvent) int64 {
+	if ev.Space != isa.SpaceGlobal || ev.Atomic {
+		return 0
+	}
+	epoch := o.epochs[ev.Block]
+	for i := range ev.Lanes {
+		la := &ev.Lanes[i]
+		g := la.Addr / 4
+		warp := la.Tid / 32
+		for _, prev := range o.hist[g] {
+			if !prev.write && !ev.Write {
+				continue
+			}
+			concurrent := prev.block != ev.Block ||
+				(prev.warp != warp && prev.epoch == epoch)
+			if concurrent {
+				o.conflicts[g] = true
+			}
+		}
+		o.hist[g] = append(o.hist[g], gOracleAccess{
+			block: ev.Block, warp: warp, epoch: epoch, write: ev.Write,
+		})
+	}
+	return 0
+}
+
+func (o *globalOracle) Barrier(sm, block, base, size int, cycle int64) int64 {
+	o.epochs[block]++
+	return 0
+}
+
+// randomGlobalKernel mixes per-thread, per-block-overlapping and
+// broadcast global word accesses with occasional barriers.
+func randomGlobalKernel(rng *rand.Rand, base uint64) *gpu.Kernel {
+	b := isa.NewBuilder(fmt.Sprintf("gfuzz-%d", rng.Int63()))
+	const (
+		rTid  = isa.Reg(1)
+		rGtid = isa.Reg(2)
+		rAddr = isa.Reg(3)
+		rVal  = isa.Reg(4)
+		rBase = isa.Reg(5)
+	)
+	b.Sreg(rTid, isa.SregTid)
+	b.Sreg(rGtid, isa.SregGtid)
+	b.Ldp(rBase, 0)
+	steps := rng.Intn(10) + 3
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(6) {
+		case 0: // private: buf[gtid]
+			b.Muli(rAddr, rGtid, 4)
+		case 1: // block-overlapping: buf[tid] (all blocks collide)
+			b.Muli(rAddr, rTid, 4)
+		case 2: // folded: buf[gtid%32]
+			b.Remi(rAddr, rGtid, 32)
+			b.Muli(rAddr, rAddr, 4)
+		case 3: // broadcast word
+			b.Movi(rAddr, int64(rng.Intn(128))*4)
+		case 4: // strided private: buf[64 + gtid*2]
+			b.Muli(rAddr, rGtid, 8)
+			b.Addi(rAddr, rAddr, 256)
+		case 5:
+			b.Bar()
+			continue
+		}
+		b.Add(rAddr, rBase, rAddr)
+		if rng.Intn(2) == 0 {
+			b.Ld(rVal, isa.SpaceGlobal, rAddr, 0, 4)
+		} else {
+			b.St(isa.SpaceGlobal, rAddr, 0, rTid, 4)
+		}
+	}
+	b.Exit()
+	return &gpu.Kernel{
+		Name: "gfuzz", Prog: b.MustBuild(),
+		GridDim: rng.Intn(3) + 2, BlockDim: 64,
+	}
+}
+
+func TestGlobalOracleSoundness(t *testing.T) {
+	const trials = 100
+	totalFlagged, totalConflicts := 0, 0
+	for seed := int64(1000); seed < 1000+trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		opt := DefaultOptions()
+		opt.Shared = false
+		opt.DetectStaleL1 = true // include the stale-L1 refinement
+		opt.ModelTraffic = false
+		hacc := MustNew(opt)
+		oracle := newGlobalOracle()
+		dev, err := gpu.NewDevice(gpu.TestConfig(), 1<<16, &multiDetector{a: hacc, b: oracle})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := dev.MustMalloc(1 << 14)
+		k := randomGlobalKernel(rng, buf)
+		k.Params = []uint64{buf}
+		if _, err := dev.Launch(k); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, k.Prog.Disassemble())
+		}
+
+		for _, r := range hacc.Races() {
+			if r.Category == CatIntraWarp {
+				continue
+			}
+			if !oracle.conflicts[r.Granule] {
+				t.Fatalf("seed %d: HAccRG flagged granule %d with no oracle conflict (%v)\n%s",
+					seed, r.Granule, r, k.Prog.Disassemble())
+			}
+			totalFlagged++
+		}
+		totalConflicts += len(oracle.conflicts)
+		if len(oracle.conflicts) == 0 {
+			for _, r := range hacc.Races() {
+				if r.Category != CatIntraWarp {
+					t.Fatalf("seed %d: false positive on conflict-free kernel: %v", seed, r)
+				}
+			}
+		}
+	}
+	if totalConflicts == 0 || totalFlagged == 0 {
+		t.Fatalf("fuzzer ineffective: %d conflicts, %d flagged", totalConflicts, totalFlagged)
+	}
+	t.Logf("global fuzz: %d HAccRG reports validated against %d oracle-conflicting granules over %d kernels",
+		totalFlagged, totalConflicts, trials)
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// globalRDU runs the global-memory Race Detection Units for one warp
+// instruction. Detection happens at the memory partitions where the
+// coalesced transactions arrive; the RDU fetches the shadow entries
+// covering the transaction through the partition's own L2/DRAM path
+// (shadow traffic never blocks the warp but pollutes the L2 — the
+// overhead mechanism of Figures 7 and 9).
+func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
+	gran := uint64(d.opt.GlobalGranularity)
+
+	if ev.Write || ev.Atomic {
+		d.intraWarpWAW(ev, isa.SpaceGlobal, gran)
+	}
+
+	// Shadow traffic: per distinct demand line, read the shadow lines
+	// covering its granule entries, plus one write for the updates.
+	if d.opt.ModelTraffic {
+		seg := uint64(d.env.Config().SegmentBytes)
+		type lineInfo struct{ arrival int64 }
+		lines := make(map[uint64]lineInfo, 2)
+		for i := range ev.Lanes {
+			la := &ev.Lanes[i]
+			line := la.Addr &^ (seg - 1)
+			if li, ok := lines[line]; !ok || la.Arrival > li.arrival {
+				lines[line] = lineInfo{arrival: la.Arrival}
+			}
+		}
+		const entryBytes = 8 // 52-bit entries padded to a power of two
+		for line, li := range lines {
+			part := d.env.PartitionFor(line)
+			// Entries for one demand line span this many shadow lines.
+			granules := seg / gran
+			span := granules * entryBytes
+			shadowAddr := d.env.ShadowBase() + (line/gran)*entryBytes
+			for off := uint64(0); off < span; off += seg {
+				d.env.ShadowTx(part, li.arrival, shadowAddr+off, false)
+				d.stats.ShadowReads++
+			}
+			d.env.ShadowTx(part, li.arrival+1, shadowAddr, true)
+			d.stats.ShadowWrites++
+		}
+	}
+
+	for i := range ev.Lanes {
+		la := &ev.Lanes[i]
+		d.stats.GlobalChecks++
+		if ev.Atomic {
+			continue // atomic operations are synchronization accesses
+		}
+		d.globalCheck(ev, la, gran)
+	}
+	return 0
+}
+
+// globalCheck applies the full HAccRG decision procedure to one lane
+// access: sync-ID ordering, lockset priority, the happens-before state
+// machine, fence-ID validation of RAW pairs, and the stale-L1 check.
+func (d *Detector) globalCheck(ev *gpu.WarpMemEvent, la *gpu.LaneAccess, gran uint64) {
+	g := la.Addr / gran
+	write := ev.Write
+
+	e, ok := d.globalShadow[g]
+	if !ok {
+		// State 1: first access claims the entry; a protected access
+		// stores its lockset, an unprotected one stores the null set.
+		e = &globalEntry{
+			tid: uint16(la.Tid), bid: uint32(ev.Block), sid: uint16(ev.SM),
+			modified: write, shared: false,
+			syncID: ev.SyncID, fenceID: ev.FenceID,
+		}
+		if write {
+			e.wcycle = ev.Cycle
+		}
+		if la.InCrit {
+			e.sig = la.AtomicSig
+		}
+		d.globalShadow[g] = e
+		return
+	}
+
+	sameBlock := e.bid == uint32(ev.Block)
+	sameThread := sameBlock && e.tid == uint16(la.Tid)
+	sameWarp := d.opt.WarpAware && sameBlock && int(e.tid)/d.warpSize == la.Tid/d.warpSize
+
+	// Sync-ID ordering (Section IV-B): accesses from the entry's own
+	// block with a newer sync ID are barrier-ordered after the
+	// recorded access — refresh the entry, no race possible.
+	if sameBlock && e.syncID != ev.SyncID {
+		d.claim(e, ev, la, write)
+		return
+	}
+
+	// Lockset has priority in critical sections (Section III-B).
+	entryProtected := e.sig != 0
+	if entryProtected || la.InCrit {
+		d.locksetCheck(e, ev, la, g, write, sameThread, sameWarp)
+		return
+	}
+
+	// Happens-before machine (Figure 3, with bid/sid extensions).
+	switch {
+	case !e.modified && !e.shared:
+		// State 2: reads from one thread.
+		if !write {
+			if !sameThread && !sameWarp {
+				e.shared = true
+			}
+			return
+		}
+		if sameThread || sameWarp {
+			e.modified = true
+			e.tid = uint16(la.Tid)
+			e.sid = uint16(ev.SM)
+			e.fenceID = ev.FenceID
+			e.wcycle = ev.Cycle
+			return
+		}
+		d.report(isa.SpaceGlobal, KindWAR, d.hbCategory(ev, e, sameBlock), ev.PC, ev.Stmt, g, la.Addr,
+			int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
+		d.claim(e, ev, la, true)
+
+	case e.modified && !e.shared:
+		// State 3: written by the recorded thread.
+		if sameThread || sameWarp {
+			if write {
+				e.tid = uint16(la.Tid)
+				e.sid = uint16(ev.SM)
+				e.fenceID = ev.FenceID
+				e.wcycle = ev.Cycle
+			}
+			return
+		}
+		if write {
+			d.report(isa.SpaceGlobal, KindWAW, d.hbCategory(ev, e, sameBlock), ev.PC, ev.Stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
+			d.claim(e, ev, la, true)
+			return
+		}
+		// RAW: the stale-L1 check first (a hit can return stale data
+		// regardless of the producer's fence), then the fence-ID
+		// comparison against the race register file.
+		// A hit is stale only when the cached copy predates the write.
+		if d.opt.DetectStaleL1 && la.L1Hit && e.sid != uint16(ev.SM) && la.L1Fill < e.wcycle {
+			d.report(isa.SpaceGlobal, KindRAW, CatStaleL1, ev.PC, ev.Stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
+			d.claim(e, ev, la, false)
+			return
+		}
+		d.stats.FenceLookups++
+		cur := d.env.CurrentFenceID(int(e.bid), int(e.tid)/d.warpSize)
+		if cur == e.fenceID {
+			// The producer has not fenced since its write: the
+			// consumer may observe a partial update.
+			cat := CatFence
+			if sameBlock {
+				cat = CatBarrier
+			}
+			d.report(isa.SpaceGlobal, KindRAW, cat, ev.PC, ev.Stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
+		}
+		// Fenced or not, the consumer now owns the entry as a reader.
+		d.claim(e, ev, la, false)
+
+	default:
+		// State 4: read by multiple warps/blocks.
+		if !write {
+			return
+		}
+		d.report(isa.SpaceGlobal, KindWAR, d.hbCategory(ev, e, sameBlock), ev.PC, ev.Stmt, g, la.Addr,
+			int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
+		d.claim(e, ev, la, true)
+	}
+}
+
+// claim refreshes a shadow entry with the current access (used after
+// barrier-ordered handoffs, reported races, and safe consumptions).
+func (d *Detector) claim(e *globalEntry, ev *gpu.WarpMemEvent, la *gpu.LaneAccess, write bool) {
+	e.tid = uint16(la.Tid)
+	e.bid = uint32(ev.Block)
+	e.sid = uint16(ev.SM)
+	e.modified = write
+	e.shared = false
+	e.syncID = ev.SyncID
+	e.fenceID = ev.FenceID
+	if write {
+		e.wcycle = ev.Cycle
+	}
+	if la.InCrit {
+		e.sig = la.AtomicSig
+	} else {
+		e.sig = 0
+	}
+}
+
+// hbCategory labels a happens-before race: same-block races are
+// missing barriers; cross-block races are the SCAN/KMEANS-style bugs.
+func (d *Detector) hbCategory(_ *gpu.WarpMemEvent, _ *globalEntry, sameBlock bool) Category {
+	if sameBlock {
+		return CatBarrier
+	}
+	return CatCrossBlock
+}
+
+// locksetCheck implements Section III-B's two racy scenarios:
+// disjoint locksets, and mixed protected/unprotected access.
+func (d *Detector) locksetCheck(e *globalEntry, ev *gpu.WarpMemEvent, la *gpu.LaneAccess,
+	g uint64, write, sameThread, sameWarp bool) {
+	racy := e.modified || write
+	entryProtected := e.sig != 0
+
+	if sameThread {
+		// Same thread: refresh.
+		e.modified = e.modified || write
+		if write {
+			e.fenceID = ev.FenceID
+			e.wcycle = ev.Cycle
+		}
+		if la.InCrit {
+			if entryProtected {
+				e.sig = d.opt.Bloom.Intersect(e.sig, la.AtomicSig)
+			} else {
+				e.sig = la.AtomicSig
+			}
+		}
+		return
+	}
+
+	switch {
+	case entryProtected && la.InCrit:
+		// Both protected: race iff the lockset intersection is null.
+		if racy && !d.opt.Bloom.MayIntersect(e.sig, la.AtomicSig) && !sameWarp {
+			d.report(isa.SpaceGlobal, locksetKind(e.modified, write), CatLockset, ev.PC, ev.Stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
+			d.claim(e, ev, la, write)
+			return
+		}
+		// The intersection — the set of locks that protected every
+		// access so far — is what the shadow entry keeps.
+		e.sig = d.opt.Bloom.Intersect(e.sig, la.AtomicSig)
+		e.modified = e.modified || write
+		if write {
+			e.tid = uint16(la.Tid)
+			e.bid = uint32(ev.Block)
+			e.sid = uint16(ev.SM)
+			e.fenceID = ev.FenceID
+			e.wcycle = ev.Cycle
+		}
+
+	default:
+		// Mixed protected/unprotected access from different threads.
+		if racy && !sameWarp {
+			d.report(isa.SpaceGlobal, locksetKind(e.modified, write), CatLockset, ev.PC, ev.Stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
+		}
+		d.claim(e, ev, la, write)
+	}
+}
+
+// locksetKind labels a critical-section race by its access pair.
+func locksetKind(entryModified, write bool) Kind {
+	switch {
+	case entryModified && write:
+		return KindWAW
+	case entryModified:
+		return KindRAW
+	default:
+		return KindWAR
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// sharedRDU runs the shared-memory Race Detection Unit for one warp
+// instruction: the Figure 3 happens-before state machine over the
+// block's shadow entries, with warp-aware reporting.
+//
+// In hardware mode the checks are free (parallel comparators beside
+// the banks); the returned stall is non-zero only in the
+// shared-shadow-in-global configuration of Figure 8, where shadow
+// entries must be fetched from device memory through the L1.
+func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
+	shadow := d.sharedShadow[ev.SM]
+	gran := uint64(d.opt.SharedGranularity)
+
+	// Intra-warp WAW: two lanes of this instruction writing the same
+	// byte address, checked before the request issues.
+	if ev.Write || ev.Atomic {
+		d.intraWarpWAW(ev, isa.SpaceShared, gran)
+	}
+
+	var shadowLines map[uint64]struct{}
+	if d.opt.SharedShadowInGlobal {
+		shadowLines = make(map[uint64]struct{}, 2)
+	}
+
+	for i := range ev.Lanes {
+		la := &ev.Lanes[i]
+		d.stats.SharedChecks++
+		g := la.Addr / gran
+		if g >= uint64(len(shadow)) {
+			continue // engine bounds-checks; stay safe
+		}
+		if shadowLines != nil {
+			entryAddr := d.sharedShadowBase(ev.SM) + g*2
+			shadowLines[entryAddr&^uint64(d.env.Config().SegmentBytes-1)] = struct{}{}
+		}
+		if ev.Atomic {
+			continue // atomics are synchronization operations
+		}
+		d.sharedCheck(shadow, g, ev, la)
+	}
+
+	if shadowLines == nil {
+		return 0
+	}
+	// Figure 8 mode: fetch every distinct shadow line through the
+	// demand path before the check can run — the warp waits on the
+	// reads, while the updates write through without blocking (GPU
+	// stores are fire-and-forget).
+	var done int64 = ev.Cycle
+	for line := range shadowLines {
+		t := d.env.InstrTx(ev.SM, ev.Cycle, line, false)
+		d.stats.ShadowReads++
+		d.env.InstrTx(ev.SM, t, line, true)
+		d.stats.ShadowWrites++
+		if t > done {
+			done = t
+		}
+	}
+	return done - ev.Cycle
+}
+
+// sharedCheck applies the state machine to one lane access.
+func (d *Detector) sharedCheck(shadow []sharedEntry, g uint64, ev *gpu.WarpMemEvent, la *gpu.LaneAccess) {
+	e := &shadow[g]
+	write := ev.Write
+	tid := uint16(la.Tid)
+
+	// State 1: no prior access.
+	if e.fresh {
+		e.fresh = false
+		e.shared = false
+		e.modified = write
+		e.tid = tid
+		return
+	}
+
+	sameThread := e.tid == tid
+	sameWarp := d.opt.WarpAware && int(e.tid)/d.warpSize == la.Tid/d.warpSize
+
+	switch {
+	case !e.modified && !e.shared:
+		// State 2: reads from a single thread so far.
+		if !write {
+			if !sameThread && !sameWarp {
+				e.shared = true
+			}
+			return
+		}
+		if sameThread || sameWarp {
+			e.modified = true
+			e.tid = tid
+			return
+		}
+		d.report(isa.SpaceShared, KindWAR, CatBarrier, ev.PC, ev.Stmt, g, la.Addr,
+			int(e.tid), ev.Block, la.Tid, ev.Block, ev.Cycle)
+		e.modified = true
+		e.tid = tid
+
+	case e.modified && !e.shared:
+		// State 3: written by thread tid.
+		if sameThread || sameWarp {
+			if write {
+				e.tid = tid
+			}
+			return
+		}
+		if write {
+			d.report(isa.SpaceShared, KindWAW, CatBarrier, ev.PC, ev.Stmt, g, la.Addr,
+				int(e.tid), ev.Block, la.Tid, ev.Block, ev.Cycle)
+			e.tid = tid
+		} else {
+			d.report(isa.SpaceShared, KindRAW, CatBarrier, ev.PC, ev.Stmt, g, la.Addr,
+				int(e.tid), ev.Block, la.Tid, ev.Block, ev.Cycle)
+		}
+
+	default:
+		// State 4: read by multiple warps (modified=false, shared=true).
+		if !write {
+			return
+		}
+		d.report(isa.SpaceShared, KindWAR, CatBarrier, ev.PC, ev.Stmt, g, la.Addr,
+			int(e.tid), ev.Block, la.Tid, ev.Block, ev.Cycle)
+		e.modified = true
+		e.shared = false
+		e.tid = tid
+	}
+}
+
+// intraWarpWAW reports same-address writes by different lanes of one
+// warp instruction. Exact-address comparison avoids granularity
+// artifacts: lanes writing adjacent words are implicitly ordered by
+// SIMD execution even when they share a shadow granule.
+func (d *Detector) intraWarpWAW(ev *gpu.WarpMemEvent, space isa.Space, gran uint64) {
+	if len(ev.Lanes) < 2 {
+		return
+	}
+	seen := make(map[uint64]int, len(ev.Lanes))
+	for i := range ev.Lanes {
+		la := &ev.Lanes[i]
+		if first, dup := seen[la.Addr]; dup {
+			if ev.Atomic {
+				continue // atomics to the same address serialize
+			}
+			d.report(space, KindWAW, CatIntraWarp, ev.PC, ev.Stmt, la.Addr/gran, la.Addr,
+				first, ev.Block, la.Tid, ev.Block, ev.Cycle)
+			continue
+		}
+		seen[la.Addr] = la.Tid
+	}
+}

@@ -1,0 +1,494 @@
+package gpu
+
+import (
+	"testing"
+
+	"haccrg/internal/isa"
+)
+
+// Register conventions used throughout these tests.
+const (
+	rTid  = isa.Reg(1)
+	rGtid = isa.Reg(2)
+	rAddr = isa.Reg(3)
+	rVal  = isa.Reg(4)
+	rTmp  = isa.Reg(5)
+	rI    = isa.Reg(6)
+	rN    = isa.Reg(7)
+	rBase = isa.Reg(8)
+	rTwo  = isa.Reg(9)
+)
+
+func testDevice(t *testing.T, globalBytes int) *Device {
+	t.Helper()
+	d, err := NewDevice(TestConfig(), globalBytes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// vecAddKernel computes out[gtid] = in[gtid] + 1 over u32 data.
+// Param 0 = in base, param 1 = out base.
+func vecAddKernel(grid, blockDim int, in, out uint64) *Kernel {
+	b := isa.NewBuilder("vecadd")
+	b.Sreg(rGtid, isa.SregGtid)
+	b.Ldp(rBase, 0)
+	b.Muli(rTmp, rGtid, 4)
+	b.Add(rAddr, rBase, rTmp)
+	b.Ld(rVal, isa.SpaceGlobal, rAddr, 0, 4)
+	b.Addi(rVal, rVal, 1)
+	b.Ldp(rBase, 1)
+	b.Add(rAddr, rBase, rTmp)
+	b.St(isa.SpaceGlobal, rAddr, 0, rVal, 4)
+	b.Exit()
+	return &Kernel{
+		Name: "vecadd", Prog: b.MustBuild(),
+		GridDim: grid, BlockDim: blockDim,
+		Params: []uint64{in, out},
+	}
+}
+
+func TestVecAdd(t *testing.T) {
+	d := testDevice(t, 1<<20)
+	n := 4 * 64 // 4 blocks of 64 threads
+	in := d.MustMalloc(n * 4)
+	out := d.MustMalloc(n * 4)
+	for i := 0; i < n; i++ {
+		d.Global.SetU32(int(in)/4+i, uint32(i*3))
+	}
+	st, err := d.Launch(vecAddKernel(4, 64, in, out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := d.Global.U32(int(out)/4 + i); got != uint32(i*3+1) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, i*3+1)
+		}
+	}
+	if st.Cycles <= 0 {
+		t.Error("no cycles simulated")
+	}
+	if st.GlobalReads != int64(n) || st.GlobalWrites != int64(n) {
+		t.Errorf("global reads/writes = %d/%d, want %d/%d", st.GlobalReads, st.GlobalWrites, n, n)
+	}
+	if st.ThreadInstrs == 0 || st.WarpInstrs == 0 {
+		t.Error("instruction counters empty")
+	}
+}
+
+func TestDivergenceIfElsePattern(t *testing.T) {
+	// Threads with tid < 16 write 100+tid, others write 200+tid.
+	d := testDevice(t, 1<<16)
+	out := d.MustMalloc(64 * 4)
+	b := isa.NewBuilder("div")
+	b.Sreg(rTid, isa.SregTid)
+	b.Setpi(0, isa.CmpLT, rTid, 16)
+	b.Movi(rVal, 200)
+	b.If(0)
+	b.Movi(rVal, 100)
+	b.EndIf()
+	b.Add(rVal, rVal, rTid)
+	b.Ldp(rBase, 0)
+	b.Muli(rTmp, rTid, 4)
+	b.Add(rAddr, rBase, rTmp)
+	b.St(isa.SpaceGlobal, rAddr, 0, rVal, 4)
+	b.Exit()
+	k := &Kernel{Name: "div", Prog: b.MustBuild(), GridDim: 1, BlockDim: 64, Params: []uint64{out}}
+	st, err := d.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		want := uint32(200 + i)
+		if i < 16 {
+			want = uint32(100 + i)
+		}
+		if got := d.Global.U32(int(out)/4 + i); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if st.Divergences == 0 {
+		t.Error("expected divergence in warp 0")
+	}
+}
+
+func TestDivergentLoop(t *testing.T) {
+	// Each thread loops tid%7+1 times, accumulating; threads in a warp
+	// exit at different iterations — divergence-stack stress.
+	d := testDevice(t, 1<<16)
+	out := d.MustMalloc(96 * 4)
+	b := isa.NewBuilder("loop")
+	b.Sreg(rTid, isa.SregTid)
+	b.Remi(rN, rTid, 7)
+	b.Addi(rN, rN, 1) // n = tid%7 + 1
+	b.Movi(rI, 0)
+	b.Movi(rVal, 0)
+	b.Setp(0, isa.CmpLT, rI, rN)
+	b.While(0)
+	b.Add(rVal, rVal, rI)
+	b.Addi(rI, rI, 1)
+	b.Setp(0, isa.CmpLT, rI, rN)
+	b.EndWhile()
+	b.Ldp(rBase, 0)
+	b.Muli(rTmp, rTid, 4)
+	b.Add(rAddr, rBase, rTmp)
+	b.St(isa.SpaceGlobal, rAddr, 0, rVal, 4)
+	b.Exit()
+	k := &Kernel{Name: "loop", Prog: b.MustBuild(), GridDim: 1, BlockDim: 96, Params: []uint64{out}}
+	if _, err := d.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 96; i++ {
+		n := i%7 + 1
+		want := uint32(n * (n - 1) / 2)
+		if got := d.Global.U32(int(out)/4 + i); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSharedMemoryReverse(t *testing.T) {
+	// Block loads tid into shared, barriers, writes shared[dim-1-tid].
+	d := testDevice(t, 1<<16)
+	out := d.MustMalloc(128 * 4)
+	b := isa.NewBuilder("rev")
+	b.Sreg(rTid, isa.SregTid)
+	b.Sreg(rN, isa.SregNtid)
+	b.Muli(rAddr, rTid, 4)
+	b.St(isa.SpaceShared, rAddr, 0, rTid, 4)
+	b.Bar()
+	b.Subi(rTmp, rN, 1)
+	b.Sub(rTmp, rTmp, rTid) // dim-1-tid
+	b.Muli(rTmp, rTmp, 4)
+	b.Ld(rVal, isa.SpaceShared, rTmp, 0, 4)
+	b.Sreg(rGtid, isa.SregGtid)
+	b.Ldp(rBase, 0)
+	b.Muli(rTmp, rGtid, 4)
+	b.Add(rAddr, rBase, rTmp)
+	b.St(isa.SpaceGlobal, rAddr, 0, rVal, 4)
+	b.Exit()
+	k := &Kernel{
+		Name: "rev", Prog: b.MustBuild(), GridDim: 2, BlockDim: 64,
+		SharedBytes: 64 * 4, Params: []uint64{out},
+	}
+	st, err := d.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blk := 0; blk < 2; blk++ {
+		for i := 0; i < 64; i++ {
+			want := uint32(63 - i)
+			if got := d.Global.U32(int(out)/4 + blk*64 + i); got != want {
+				t.Fatalf("block %d out[%d] = %d, want %d", blk, i, got, want)
+			}
+		}
+	}
+	if st.Barriers != 2 {
+		t.Errorf("barriers = %d, want 2 (one per block)", st.Barriers)
+	}
+	if st.SharedReads != 128 || st.SharedWrites != 128 {
+		t.Errorf("shared reads/writes = %d/%d, want 128/128", st.SharedReads, st.SharedWrites)
+	}
+}
+
+func TestGlobalAtomicAdd(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctr := d.MustMalloc(4)
+	b := isa.NewBuilder("atom")
+	b.Ldp(rAddr, 0)
+	b.Movi(rVal, 1)
+	b.Atom(rTmp, isa.AtomAdd, isa.SpaceGlobal, rAddr, 0, rVal, 0)
+	b.Exit()
+	k := &Kernel{Name: "atom", Prog: b.MustBuild(), GridDim: 3, BlockDim: 96, Params: []uint64{ctr}}
+	st, err := d.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Global.U32(int(ctr) / 4); got != 3*96 {
+		t.Fatalf("counter = %d, want %d", got, 3*96)
+	}
+	if st.GlobalAtomics != 3*96 {
+		t.Errorf("atomics = %d, want %d", st.GlobalAtomics, 3*96)
+	}
+}
+
+func TestAtomicCASAndInc(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	base := d.MustMalloc(8)
+	d.Global.SetU32(int(base)/4, 7)
+	b := isa.NewBuilder("cas")
+	b.Ldp(rAddr, 0)
+	b.Sreg(rTid, isa.SregTid)
+	// CAS(7 -> 99): exactly one thread wins.
+	b.Movi(rVal, 7)
+	b.Movi(rTmp, 99)
+	b.Atom(rI, isa.AtomCAS, isa.SpaceGlobal, rAddr, 0, rVal, rTmp)
+	// atomicInc with wrap at 10 on the second word.
+	b.Movi(rVal, 10)
+	b.Atom(rI, isa.AtomInc, isa.SpaceGlobal, rAddr, 4, rVal, 0)
+	b.Exit()
+	k := &Kernel{Name: "cas", Prog: b.MustBuild(), GridDim: 1, BlockDim: 32, Params: []uint64{base}}
+	if _, err := d.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Global.U32(int(base) / 4); got != 99 {
+		t.Fatalf("CAS result = %d, want 99", got)
+	}
+	// 32 atomicInc with limit 10: counts 0..10 then wraps to 0; after
+	// 32 ops: 32 mod 11 = 10.
+	if got := d.Global.U32(int(base)/4 + 1); got != 10 {
+		t.Fatalf("inc result = %d, want 10", got)
+	}
+}
+
+func TestFenceIncrementsWarpClock(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	out := d.MustMalloc(4)
+	b := isa.NewBuilder("fence")
+	b.Ldp(rAddr, 0)
+	b.Movi(rVal, 5)
+	b.St(isa.SpaceGlobal, rAddr, 0, rVal, 4)
+	b.Membar()
+	b.Membar()
+	b.Exit()
+	k := &Kernel{Name: "fence", Prog: b.MustBuild(), GridDim: 1, BlockDim: 64, Params: []uint64{out}}
+	st, err := d.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 warps x 2 fences.
+	if st.Fences != 4 {
+		t.Errorf("fences = %d, want 4", st.Fences)
+	}
+}
+
+func TestMultiKernelLaunchesAccumulate(t *testing.T) {
+	d := testDevice(t, 1<<20)
+	in := d.MustMalloc(256 * 4)
+	out := d.MustMalloc(256 * 4)
+	k := vecAddKernel(4, 64, in, out)
+	s1, err := d.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := vecAddKernel(4, 64, out, in)
+	s2, err := d.Launch(k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Global.U32(int(in) / 4); got != 2 {
+		t.Fatalf("chained kernels: in[0] = %d, want 2", got)
+	}
+	total := *s1
+	total.Add(s2)
+	if total.GlobalReads != s1.GlobalReads+s2.GlobalReads {
+		t.Error("stats Add lost reads")
+	}
+}
+
+func TestOutOfBoundsReported(t *testing.T) {
+	d := testDevice(t, 1024)
+	b := isa.NewBuilder("oob")
+	b.Movi(rAddr, 1<<30)
+	b.Ld(rVal, isa.SpaceGlobal, rAddr, 0, 4)
+	b.Exit()
+	k := &Kernel{Name: "oob", Prog: b.MustBuild(), GridDim: 1, BlockDim: 32}
+	if _, err := d.Launch(k); err == nil {
+		t.Fatal("out-of-bounds access did not error")
+	}
+}
+
+func TestSharedOutOfBlockPartitionReported(t *testing.T) {
+	d := testDevice(t, 1024)
+	b := isa.NewBuilder("oob-shared")
+	b.Movi(rAddr, 8192)
+	b.Ld(rVal, isa.SpaceShared, rAddr, 0, 4)
+	b.Exit()
+	k := &Kernel{Name: "oob-shared", Prog: b.MustBuild(), GridDim: 1, BlockDim: 32, SharedBytes: 256}
+	if _, err := d.Launch(k); err == nil {
+		t.Fatal("shared access beyond the block's partition did not error")
+	}
+}
+
+func TestMallocExhaustion(t *testing.T) {
+	d := testDevice(t, 1024)
+	if _, err := d.Malloc(512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Malloc(1024); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	d.ResetAllocator()
+	if _, err := d.Malloc(1024); err != nil {
+		t.Fatalf("allocator reset failed: %v", err)
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	d := testDevice(t, 1024)
+	b := isa.NewBuilder("v")
+	b.Exit()
+	prog := b.MustBuild()
+	cases := []*Kernel{
+		{Name: "no-prog", GridDim: 1, BlockDim: 32},
+		{Name: "zero-grid", Prog: prog, GridDim: 0, BlockDim: 32},
+		{Name: "huge-block", Prog: prog, GridDim: 1, BlockDim: 4096},
+		{Name: "huge-shared", Prog: prog, GridDim: 1, BlockDim: 32, SharedBytes: 1 << 20},
+	}
+	for _, k := range cases {
+		if _, err := d.Launch(k); err == nil {
+			t.Errorf("kernel %q launched, want error", k.Name)
+		}
+	}
+}
+
+func TestMoreBlocksThanResidency(t *testing.T) {
+	// 64 blocks on a 4-SM device: blocks must queue and all complete.
+	d := testDevice(t, 1<<20)
+	n := 64 * 32
+	in := d.MustMalloc(n * 4)
+	out := d.MustMalloc(n * 4)
+	st, err := d.Launch(vecAddKernel(64, 32, in, out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := d.Global.U32(int(out)/4 + i); got != 1 {
+			t.Fatalf("out[%d] = %d, want 1", i, got)
+		}
+	}
+	if st.GlobalWrites != int64(n) {
+		t.Errorf("writes = %d, want %d", st.GlobalWrites, n)
+	}
+}
+
+func TestNonWarpMultipleBlockDim(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	out := d.MustMalloc(50 * 4)
+	st, err := d.Launch(vecAddKernel(1, 50, out, out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 threads = 1 full warp + 18-lane tail warp.
+	if st.GlobalWrites != 50 {
+		t.Errorf("writes = %d, want 50", st.GlobalWrites)
+	}
+}
+
+func TestSelpAndPredicates(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	out := d.MustMalloc(32 * 4)
+	b := isa.NewBuilder("selp")
+	b.Sreg(rTid, isa.SregTid)
+	b.Setpi(2, isa.CmpGE, rTid, 10)
+	b.Movi(rVal, 111)
+	b.Movi(rTmp, 222)
+	b.Selp(rI, 2, rVal, rTmp) // tid>=10 ? 111 : 222
+	b.Ldp(rBase, 0)
+	b.Muli(rAddr, rTid, 4)
+	b.Add(rAddr, rBase, rAddr)
+	b.St(isa.SpaceGlobal, rAddr, 0, rI, 4)
+	b.Exit()
+	k := &Kernel{Name: "selp", Prog: b.MustBuild(), GridDim: 1, BlockDim: 32, Params: []uint64{out}}
+	if _, err := d.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		want := uint32(222)
+		if i >= 10 {
+			want = 111
+		}
+		if got := d.Global.U32(int(out)/4 + i); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFloatPipeline(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	out := d.MustMalloc(32 * 4)
+	b := isa.NewBuilder("fp")
+	b.Sreg(rTid, isa.SregTid)
+	b.ItoF(rVal, rTid)
+	b.MovF(rTmp, 2.0)
+	b.FMul(rVal, rVal, rTmp) // 2*tid
+	b.MovF(rTmp, 1.0)
+	b.FAdd(rVal, rVal, rTmp) // 2*tid+1
+	b.FSqrt(rI, rVal)
+	b.FMul(rI, rI, rI) // back to ~2*tid+1
+	b.Ldp(rBase, 0)
+	b.Muli(rAddr, rTid, 4)
+	b.Add(rAddr, rBase, rAddr)
+	b.StF(isa.SpaceGlobal, rAddr, 0, rI)
+	b.Exit()
+	k := &Kernel{Name: "fp", Prog: b.MustBuild(), GridDim: 1, BlockDim: 32, Params: []uint64{out}}
+	if _, err := d.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		got := d.Global.F32(int(out)/4 + i)
+		want := float32(2*i + 1)
+		if got < want-0.01 || got > want+0.01 {
+			t.Fatalf("out[%d] = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	run := func() int64 {
+		d := testDevice(t, 1<<20)
+		in := d.MustMalloc(1024 * 4)
+		out := d.MustMalloc(1024 * 4)
+		st, err := d.Launch(vecAddKernel(16, 64, in, out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("simulation not deterministic: %d vs %d cycles", a, b)
+	}
+}
+
+func TestLockMarkersCriticalSection(t *testing.T) {
+	// All 32 threads increment a counter under a CAS lock using the
+	// GPU-safe retry-loop pattern (a naive intra-warp spin lock
+	// deadlocks under SIMT, on this simulator as on pre-Volta GPUs).
+	const rDone = rTwo
+	d := testDevice(t, 1<<16)
+	lock := d.MustMalloc(4)
+	data := d.MustMalloc(4)
+	b := isa.NewBuilder("lock")
+	b.Ldp(rAddr, 0)
+	b.Ldp(rBase, 1)
+	b.Movi(rDone, 0)
+	b.Setpi(1, isa.CmpEQ, rDone, 0)
+	b.While(1)
+	b.Movi(rVal, 0)
+	b.Movi(rTmp, 1)
+	b.Atom(rI, isa.AtomCAS, isa.SpaceGlobal, rAddr, 0, rVal, rTmp)
+	b.Setpi(0, isa.CmpEQ, rI, 0) // p0: this lane acquired the lock
+	b.If(0)
+	b.AcqMark(rAddr)
+	b.Ld(rVal, isa.SpaceGlobal, rBase, 0, 4)
+	b.Addi(rVal, rVal, 1)
+	b.St(isa.SpaceGlobal, rBase, 0, rVal, 4)
+	b.Membar()
+	b.RelMark()
+	b.Movi(rN, 0)
+	b.Atom(rI, isa.AtomExch, isa.SpaceGlobal, rAddr, 0, rN, 0)
+	b.Movi(rDone, 1)
+	b.EndIf()
+	b.Setpi(1, isa.CmpEQ, rDone, 0)
+	b.EndWhile()
+	b.Exit()
+	k := &Kernel{Name: "lock", Prog: b.MustBuild(), GridDim: 1, BlockDim: 32, Params: []uint64{lock, data}}
+	if _, err := d.Launch(k); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Global.U32(int(data) / 4); got != 32 {
+		t.Fatalf("critical-section counter = %d, want 32", got)
+	}
+}

@@ -1,0 +1,434 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"haccrg/internal/isa"
+	"haccrg/internal/mem"
+)
+
+// memInstr executes one LD/ST/ATOM warp instruction: functional effect
+// at issue, timing through the shared-memory banks or the
+// L1/NoC/partition path, plus the race-detection event.
+func (s *sm) memInstr(w *warp, in *isa.Instr, execMask uint64, cycle int64, k *Kernel, st *LaunchStats) {
+	issueDone := cycle + s.dev.cfg.IssueInterval()
+
+	switch in.Space {
+	case isa.SpaceParam:
+		for l := range w.lanes {
+			if execMask&(1<<uint(l)) == 0 {
+				continue
+			}
+			ln := &w.lanes[l]
+			addr := ln.regs[in.SrcA] + uint64(in.Imm)
+			idx := int(addr / 8)
+			if in.Op != isa.OpLd || idx >= len(k.Params) {
+				s.fail(fmt.Errorf("gpu: kernel %q pc %d: bad param access (idx %d of %d)",
+					k.Name, w.pc, idx, len(k.Params)))
+				continue
+			}
+			ln.regs[in.Dst] = k.Params[idx]
+		}
+		w.readyAt = issueDone
+		return
+
+	case isa.SpaceShared:
+		s.sharedInstr(w, in, execMask, cycle, k, st)
+		return
+
+	case isa.SpaceGlobal:
+		s.globalInstr(w, in, execMask, cycle, k, st, false)
+		return
+
+	case isa.SpaceLocal:
+		s.globalInstr(w, in, execMask, cycle, k, st, true)
+		return
+	}
+}
+
+// sharedInstr handles shared-memory accesses: bank-conflict timing and
+// the shared-memory RDU event. Shared atomics serialize per address.
+func (s *sm) sharedInstr(w *warp, in *isa.Instr, execMask uint64, cycle int64, k *Kernel, st *LaunchStats) {
+	b := w.block
+	var tileAddrs []uint64
+	ev := WarpMemEvent{
+		Space:       isa.SpaceShared,
+		Write:       in.Op == isa.OpSt,
+		Atomic:      in.Op == isa.OpAtom,
+		PC:          w.pc,
+		SM:          s.id,
+		Block:       b.id,
+		WarpInBlock: w.inBlock,
+		Kernel:      k.Name,
+		Stmt:        in.Line,
+		SyncID:      b.syncID,
+		FenceID:     w.fenceID,
+		Cycle:       cycle,
+	}
+
+	for l := range w.lanes {
+		if execMask&(1<<uint(l)) == 0 {
+			continue
+		}
+		ln := &w.lanes[l]
+		rel := ln.regs[in.SrcA] + uint64(in.Imm)
+		if rel+uint64(in.Size) > uint64(b.sharedSize) {
+			s.fail(fmt.Errorf("gpu: kernel %q pc %d: shared access %#x+%d outside block's %d bytes",
+				k.Name, w.pc, rel, in.Size, b.sharedSize))
+			continue
+		}
+		tile := uint64(b.sharedBase) + rel
+		tileAddrs = append(tileAddrs, tile)
+		if err := s.sharedLane(in, ln, tile); err != nil {
+			s.fail(err)
+			continue
+		}
+		ev.Lanes = append(ev.Lanes, LaneAccess{
+			Lane:      l,
+			Tid:       w.tidOf(l),
+			GTid:      b.id*b.dim + w.tidOf(l),
+			Addr:      tile,
+			Size:      in.Size,
+			AtomicSig: ln.sig,
+			InCrit:    ln.critDepth > 0,
+			Arrival:   cycle,
+		})
+	}
+
+	switch in.Op {
+	case isa.OpLd:
+		st.SharedReads += int64(len(ev.Lanes))
+	case isa.OpSt:
+		st.SharedWrites += int64(len(ev.Lanes))
+	case isa.OpAtom:
+		st.SharedAtomics += int64(len(ev.Lanes))
+	}
+
+	conflicts := s.shared.ConflictCyclesFor(tileAddrs)
+	lat := s.dev.cfg.SharedLatency + conflicts - 1
+	if in.Op == isa.OpAtom {
+		lat += conflicts // read-modify-write pass
+	}
+	stall := s.dev.detector.WarpMem(&ev)
+	st.DetectorStall += stall
+	w.readyAt = cycle + s.dev.cfg.IssueInterval() + lat + stall
+}
+
+// sharedLane applies the functional effect of one lane's shared access.
+func (s *sm) sharedLane(in *isa.Instr, ln *lane, tile uint64) error {
+	m := s.shared.Mem
+	switch in.Op {
+	case isa.OpLd:
+		return loadReg(m, in, ln, tile)
+	case isa.OpSt:
+		return storeReg(m, in, ln, tile)
+	case isa.OpAtom:
+		return atomicApply(m, in, ln, tile)
+	}
+	return nil
+}
+
+// globalInstr handles device-memory accesses (global and local
+// spaces): coalescing, L1, interconnect, partitions, and the global
+// RDU event for global-space accesses.
+func (s *sm) globalInstr(w *warp, in *isa.Instr, execMask uint64, cycle int64, k *Kernel, st *LaunchStats, local bool) {
+	dev := s.dev
+	b := w.block
+	ws := len(w.lanes)
+
+	type laneAddr struct {
+		lane int
+		addr uint64
+	}
+	addrs := make([]laneAddr, 0, ws)
+	flat := make([]uint64, 0, ws)
+	for l := 0; l < ws; l++ {
+		if execMask&(1<<uint(l)) == 0 {
+			continue
+		}
+		ln := &w.lanes[l]
+		a := ln.regs[in.SrcA] + uint64(in.Imm)
+		if local {
+			gtid := uint64(b.id*b.dim + w.tidOf(l))
+			a = dev.localBase + gtid*uint64(dev.cfg.LocalBytesPerThread) + a
+		}
+		addrs = append(addrs, laneAddr{l, a})
+		flat = append(flat, a)
+	}
+	if len(addrs) == 0 {
+		w.readyAt = cycle + dev.cfg.IssueInterval()
+		return
+	}
+
+	// Functional effect, in lane order (atomics thereby serialize
+	// deterministically within the warp).
+	for _, la := range addrs {
+		ln := &w.lanes[la.lane]
+		var err error
+		switch in.Op {
+		case isa.OpLd:
+			err = loadReg(dev.Global, in, ln, la.addr)
+		case isa.OpSt:
+			err = storeReg(dev.Global, in, ln, la.addr)
+		case isa.OpAtom:
+			err = atomicApply(dev.Global, in, ln, la.addr)
+		}
+		if err != nil {
+			s.fail(fmt.Errorf("gpu: kernel %q pc %d: %w", k.Name, w.pc, err))
+		}
+	}
+
+	if local {
+		st.LocalAccesses += int64(len(addrs))
+	} else {
+		switch in.Op {
+		case isa.OpLd:
+			st.GlobalReads += int64(len(addrs))
+		case isa.OpSt:
+			st.GlobalWrites += int64(len(addrs))
+		case isa.OpAtom:
+			st.GlobalAtomics += int64(len(addrs))
+		}
+		b.globalSinceBar = true
+	}
+
+	// Timing. Atomics issue one partition transaction per unique
+	// address; loads/stores coalesce into segments.
+	//
+	// Accesses inside a critical section behave as volatile (bypass
+	// the non-coherent L1): correct GPU lock code must declare the
+	// protected data volatile or it breaks under L1 caching, as the
+	// paper's Section IV-B discussion notes.
+	volatileCS := true
+	for _, la := range addrs {
+		if w.lanes[la.lane].critDepth == 0 {
+			volatileCS = false
+			break
+		}
+	}
+	seg := dev.cfg.SegmentBytes
+	issueDone := cycle + dev.cfg.IssueInterval()
+	maxDone := issueDone
+	lineHit := make(map[uint64]bool)
+	lineArr := make(map[uint64]int64)
+	lineFill := make(map[uint64]int64)
+
+	if in.Op == isa.OpAtom {
+		seen := make(map[uint64]int64)
+		for _, la := range addrs {
+			lineAddr := la.addr &^ uint64(seg-1)
+			if done, dup := seen[la.addr]; dup {
+				if done > maxDone {
+					maxDone = done
+				}
+				continue
+			}
+			s.l1.Invalidate(lineAddr) // atomics operate at the partition
+			part := dev.PartitionFor(la.addr)
+			arrive := dev.net.Send(part, cycle+1, 8)
+			l2done := dev.parts[part].Access(arrive, lineAddr, true, true, false)
+			done := dev.net.Reply(part, l2done, 8)
+			seen[la.addr] = done
+			lineArr[la.addr] = arrive
+			if done > maxDone {
+				maxDone = done
+			}
+		}
+		w.readyAt = maxDone
+	} else {
+		write := in.Op == isa.OpSt
+		lines := mem.Coalesce(flat, int(in.Size), seg)
+		for _, line := range lines {
+			part := dev.PartitionFor(line)
+			if volatileCS && !write {
+				s.l1.Invalidate(line) // volatile load: straight to L2
+				arrive := dev.net.Send(part, cycle+dev.cfg.L1Latency, 0)
+				l2done := dev.parts[part].Access(arrive, line, false, false, false)
+				done := dev.net.Reply(part, l2done, seg)
+				lineHit[line] = false
+				lineArr[line] = arrive
+				if done > maxDone {
+					maxDone = done
+				}
+				continue
+			}
+			res := s.l1.Access(line, write, cycle)
+			if write {
+				// Write-through, no-allocate: the store always goes to
+				// the partition; it does not block the warp.
+				arrive := dev.net.Send(part, cycle+1, seg)
+				done := dev.parts[part].Access(arrive, line, true, false, false)
+				lineHit[line] = res.Hit
+				lineArr[line] = arrive
+				if done > w.storeDone {
+					w.storeDone = done
+				}
+				continue
+			}
+			if res.Hit {
+				done := cycle + dev.cfg.L1Latency
+				lineHit[line] = true
+				lineArr[line] = done
+				if f, ok := s.l1.FillStamp(line); ok {
+					lineFill[line] = f
+				}
+				if done > maxDone {
+					maxDone = done
+				}
+				continue
+			}
+			// MSHR merge: an in-flight fill of the same line serves
+			// this miss too, without a duplicate transaction.
+			if fill, inflight := s.mshr[line]; inflight && fill > cycle {
+				lineHit[line] = false
+				lineArr[line] = fill
+				if fill > maxDone {
+					maxDone = fill
+				}
+				continue
+			}
+			arrive := dev.net.Send(part, cycle+dev.cfg.L1Latency, 0)
+			l2done := dev.parts[part].Access(arrive, line, false, false, false)
+			done := dev.net.Reply(part, l2done, seg)
+			s.mshr[line] = done
+			if len(s.mshr) > 4*dev.cfg.MaxThreadsPerSM {
+				for l, f := range s.mshr {
+					if f <= cycle {
+						delete(s.mshr, l)
+					}
+				}
+			}
+			lineHit[line] = false
+			lineArr[line] = arrive
+			if done > maxDone {
+				maxDone = done
+			}
+		}
+		if write {
+			w.readyAt = issueDone
+		} else {
+			w.readyAt = maxDone
+		}
+	}
+
+	if local {
+		return // per-thread memory cannot race
+	}
+
+	// Race-detection event: one lane access per active lane, carrying
+	// the metadata the paper's request packets transport.
+	ev := WarpMemEvent{
+		Space:       isa.SpaceGlobal,
+		Write:       in.Op == isa.OpSt,
+		Atomic:      in.Op == isa.OpAtom,
+		PC:          w.pc,
+		SM:          s.id,
+		Block:       b.id,
+		WarpInBlock: w.inBlock,
+		Kernel:      k.Name,
+		Stmt:        in.Line,
+		SyncID:      b.syncID,
+		FenceID:     w.fenceID,
+		Cycle:       cycle,
+	}
+	for _, la := range addrs {
+		ln := &w.lanes[la.lane]
+		key := la.addr
+		if in.Op != isa.OpAtom {
+			key = la.addr &^ uint64(seg-1)
+		}
+		arrive, ok := lineArr[key]
+		if !ok {
+			arrive = cycle + dev.cfg.L1Latency
+		}
+		ev.Lanes = append(ev.Lanes, LaneAccess{
+			Lane:      la.lane,
+			Tid:       w.tidOf(la.lane),
+			GTid:      b.id*b.dim + w.tidOf(la.lane),
+			Addr:      la.addr,
+			Size:      in.Size,
+			AtomicSig: ln.sig,
+			InCrit:    ln.critDepth > 0,
+			L1Hit:     lineHit[key],
+			L1Fill:    lineFill[key],
+			Arrival:   arrive,
+		})
+	}
+	stall := dev.detector.WarpMem(&ev)
+	st.DetectorStall += stall
+	if stall > 0 {
+		w.readyAt += stall
+	}
+}
+
+// loadReg performs a lane load into the destination register.
+func loadReg(m *mem.Memory, in *isa.Instr, ln *lane, addr uint64) error {
+	if in.Float && in.Size == 4 {
+		f, err := m.LoadF32(addr)
+		if err != nil {
+			return err
+		}
+		ln.regs[in.Dst] = math.Float64bits(f)
+		return nil
+	}
+	v, err := m.Load(addr, int(in.Size))
+	if err != nil {
+		return err
+	}
+	ln.regs[in.Dst] = v
+	return nil
+}
+
+// storeReg performs a lane store from the source register.
+func storeReg(m *mem.Memory, in *isa.Instr, ln *lane, addr uint64) error {
+	if in.Float && in.Size == 4 {
+		return m.StoreF32(addr, math.Float64frombits(ln.regs[in.SrcB]))
+	}
+	return m.Store(addr, int(in.Size), ln.regs[in.SrcB])
+}
+
+// atomicApply performs the read-modify-write of an atomic for one
+// lane; the old value lands in the destination register.
+func atomicApply(m *mem.Memory, in *isa.Instr, ln *lane, addr uint64) error {
+	old, err := m.Load(addr, int(in.Size))
+	if err != nil {
+		return err
+	}
+	bOp := ln.regs[in.SrcB]
+	cOp := ln.regs[in.SrcC]
+	var nv uint64
+	switch in.AOp {
+	case isa.AtomAdd:
+		nv = old + bOp
+	case isa.AtomInc:
+		if old >= bOp {
+			nv = 0
+		} else {
+			nv = old + 1
+		}
+	case isa.AtomExch:
+		nv = bOp
+	case isa.AtomCAS:
+		if old == bOp {
+			nv = cOp
+		} else {
+			nv = old
+		}
+	case isa.AtomMin:
+		nv = old
+		if int64(bOp) < int64(old) {
+			nv = bOp
+		}
+	case isa.AtomMax:
+		nv = old
+		if int64(bOp) > int64(old) {
+			nv = bOp
+		}
+	}
+	if err := m.Store(addr, int(in.Size), nv); err != nil {
+		return err
+	}
+	ln.regs[in.Dst] = old
+	return nil
+}

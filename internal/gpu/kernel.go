@@ -1,0 +1,59 @@
+package gpu
+
+import (
+	"fmt"
+
+	"haccrg/internal/isa"
+)
+
+// Kernel is one launchable grid: a program plus launch geometry, the
+// per-block shared-memory footprint and the parameter array (read via
+// ld.param).
+type Kernel struct {
+	Name        string
+	Prog        *isa.Program
+	GridDim     int // blocks in the grid (1-D)
+	BlockDim    int // threads per block (1-D)
+	SharedBytes int // static shared memory per block
+	Params      []uint64
+}
+
+// Validate checks launch feasibility against a configuration.
+func (k *Kernel) Validate(cfg *Config) error {
+	if k.Prog == nil {
+		return fmt.Errorf("gpu: kernel %q has no program", k.Name)
+	}
+	if err := k.Prog.Validate(); err != nil {
+		return err
+	}
+	if k.GridDim <= 0 {
+		return fmt.Errorf("gpu: kernel %q: grid dim %d", k.Name, k.GridDim)
+	}
+	if k.BlockDim <= 0 || k.BlockDim > cfg.MaxThreadsPerSM {
+		return fmt.Errorf("gpu: kernel %q: block dim %d exceeds SM capacity %d",
+			k.Name, k.BlockDim, cfg.MaxThreadsPerSM)
+	}
+	if k.SharedBytes > cfg.Shared.SizeBytes {
+		return fmt.Errorf("gpu: kernel %q: shared bytes %d exceed SM shared memory %d",
+			k.Name, k.SharedBytes, cfg.Shared.SizeBytes)
+	}
+	return nil
+}
+
+// blocksPerSM returns how many blocks of this kernel fit concurrently
+// on one SM, limited by thread count, block slots and shared memory.
+func (k *Kernel) blocksPerSM(cfg *Config) int {
+	n := cfg.MaxBlocksPerSM
+	if byThreads := cfg.MaxThreadsPerSM / k.BlockDim; byThreads < n {
+		n = byThreads
+	}
+	if k.SharedBytes > 0 {
+		if byShared := cfg.Shared.SizeBytes / k.SharedBytes; byShared < n {
+			n = byShared
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

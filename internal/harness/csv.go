@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTable2CSV exports the benchmark characterization rows.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "inputs", "shared_read_pct", "global_read_pct", "cycles"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		err := cw.Write([]string{
+			r.Bench, r.Input,
+			strconv.FormatFloat(r.SharedReadPc, 'f', 4, 64),
+			strconv.FormatFloat(r.GlobalReadPc, 'f', 4, 64),
+			strconv.FormatInt(r.Cycles, 10),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV exports the normalized execution-time series.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "base_cycles", "hw_shared", "hw_shared_global", "sw_haccrg", "grace_addr"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		err := cw.Write([]string{
+			r.Bench,
+			strconv.FormatInt(r.BaseCycles, 10),
+			strconv.FormatFloat(r.Shared, 'f', 4, 64),
+			strconv.FormatFloat(r.SharedGlobal, 'f', 4, 64),
+			strconv.FormatFloat(r.Software, 'f', 4, 64),
+			strconv.FormatFloat(r.GRace, 'f', 4, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig9CSV exports the DRAM bandwidth-utilization series.
+func WriteFig9CSV(w io.Writer, rows []Fig9Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "off", "shared", "shared_global"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		err := cw.Write([]string{
+			r.Bench,
+			strconv.FormatFloat(r.Off, 'f', 5, 64),
+			strconv.FormatFloat(r.Shared, 'f', 5, 64),
+			strconv.FormatFloat(r.SharedGlobal, 'f', 5, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV exports false-race counts per granularity for one
+// memory space.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	head := []string{"benchmark"}
+	for _, g := range Table3Granularities {
+		head = append(head, fmt.Sprintf("false_%dB", g))
+	}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Bench}
+		for _, g := range Table3Granularities {
+			rec = append(rec, strconv.Itoa(r.False[g]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,203 @@
+// Package harness runs the paper's experiments: it sweeps benchmarks
+// across detector configurations and regenerates every table and
+// figure of the evaluation section (Tables I-IV, Figures 7-9, the
+// effectiveness studies of Section VI-A, and the hardware-overhead
+// arithmetic of Section VI-C).
+package harness
+
+import (
+	"fmt"
+
+	"haccrg/internal/core"
+	"haccrg/internal/gpu"
+	"haccrg/internal/grace"
+	"haccrg/internal/isa"
+	"haccrg/internal/kernels"
+	"haccrg/internal/swdetect"
+)
+
+// DetectorKind selects the detection configuration of a run.
+type DetectorKind string
+
+// Detector configurations used across the experiments.
+const (
+	DetOff          DetectorKind = "off"
+	DetShared       DetectorKind = "shared"
+	DetGlobal       DetectorKind = "global"
+	DetSharedGlobal DetectorKind = "shared+global"
+	DetFig8         DetectorKind = "shared-shadow-in-global"
+	DetSoftware     DetectorKind = "sw-haccrg"
+	DetGRace        DetectorKind = "grace-addr"
+)
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Bench    string
+	Detector DetectorKind
+	Scale    int
+
+	// SharedGranularity / GlobalGranularity override the detector's
+	// tracking granularities when non-zero.
+	SharedGranularity int
+	GlobalGranularity int
+
+	SingleBlock bool
+	Inject      []string
+
+	// GPU overrides the device configuration (nil = paper's Table I).
+	GPU *gpu.Config
+}
+
+// RunResult captures one run's outcome.
+type RunResult struct {
+	Config RunConfig
+	Stats  *gpu.LaunchStats
+
+	Races       []*core.Race
+	SharedSites int
+	GlobalSites int
+	Groups      map[string]int
+
+	DetectorStats core.Stats
+	// Software-detector extras (zero for hardware runs).
+	InstrStall int64
+	LogBytes   int64
+}
+
+// detectorFor builds the run's detector; the second return value
+// yields the underlying core engine for race extraction (nil for off).
+func detectorFor(rc RunConfig) (gpu.Detector, *core.Detector, *swdetect.Detector, *grace.Detector, error) {
+	opt := core.DefaultOptions()
+	if rc.SharedGranularity > 0 {
+		opt.SharedGranularity = rc.SharedGranularity
+	}
+	if rc.GlobalGranularity > 0 {
+		opt.GlobalGranularity = rc.GlobalGranularity
+	}
+	switch rc.Detector {
+	case DetOff, "":
+		return gpu.NopDetector{}, nil, nil, nil, nil
+	case DetShared:
+		opt.Global = false
+		opt.DetectStaleL1 = false
+	case DetGlobal:
+		opt.Shared = false
+	case DetSharedGlobal:
+		// defaults
+	case DetFig8:
+		opt.SharedShadowInGlobal = true
+	case DetSoftware:
+		d, err := swdetect.New(opt, swdetect.DefaultCostModel)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return d, d.Inner(), d, nil, nil
+	case DetGRace:
+		d, err := grace.New(opt, grace.DefaultCostModel)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return d, nil, nil, d, nil
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("harness: unknown detector %q", rc.Detector)
+	}
+	d, err := core.New(opt)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return d, d, nil, nil, nil
+}
+
+// Run executes one configuration to completion.
+func Run(rc RunConfig) (*RunResult, error) {
+	bm := kernels.Get(rc.Bench)
+	if bm == nil {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", rc.Bench)
+	}
+	if rc.Scale < 1 {
+		rc.Scale = 1
+	}
+	det, coreDet, swDet, grDet, err := detectorFor(rc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := gpu.DefaultConfig()
+	if rc.GPU != nil {
+		cfg = *rc.GPU
+	}
+	switch rc.Detector {
+	case DetGlobal, DetSharedGlobal, DetFig8:
+		// Request packets carry sync, fence and atomic IDs.
+		cfg.NoC.RDUMetaEnabled = true
+	}
+	dev, err := gpu.NewDevice(cfg, bm.GlobalBytes(rc.Scale), det)
+	if err != nil {
+		return nil, err
+	}
+	p := kernels.Params{Scale: rc.Scale, SingleBlock: rc.SingleBlock}
+	if len(rc.Inject) > 0 {
+		p.Inject = make(map[string]bool, len(rc.Inject))
+		for _, id := range rc.Inject {
+			p.Inject[id] = true
+		}
+	}
+	plan, err := bm.Build(dev, p)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := plan.Run(dev)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Config: rc, Stats: stats}
+	if coreDet != nil {
+		res.Races = coreDet.SortedRaces()
+		res.SharedSites = coreDet.SiteCount(isa.SpaceShared)
+		res.GlobalSites = coreDet.SiteCount(isa.SpaceGlobal)
+		res.Groups = coreDet.RaceGroups()
+		res.DetectorStats = coreDet.Stats()
+	}
+	if swDet != nil {
+		res.InstrStall = swDet.InstrStallCycles
+	}
+	if grDet != nil {
+		res.InstrStall = grDet.InstrStallCycles
+		res.LogBytes = grDet.LogBytes
+		res.Races = grDet.Races()
+	}
+	return res, nil
+}
+
+// MustRun is Run panicking on error (for benchmark harness code paths
+// whose configurations are static).
+func MustRun(rc RunConfig) *RunResult {
+	r, err := Run(rc)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Verify runs a benchmark without detection and checks its output
+// against the host reference (where defined).
+func Verify(bench string, scale int, singleBlock bool) error {
+	bm := kernels.Get(bench)
+	if bm == nil {
+		return fmt.Errorf("harness: unknown benchmark %q", bench)
+	}
+	dev, err := gpu.NewDevice(gpu.DefaultConfig(), bm.GlobalBytes(scale), nil)
+	if err != nil {
+		return err
+	}
+	plan, err := bm.Build(dev, kernels.Params{Scale: scale, SingleBlock: singleBlock})
+	if err != nil {
+		return err
+	}
+	if _, err := plan.Run(dev); err != nil {
+		return err
+	}
+	if plan.Verify == nil {
+		return nil
+	}
+	return plan.Verify(dev)
+}

@@ -1,0 +1,447 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder assembles a Program. Methods append instructions; labels are
+// resolved when Build is called. Branch reconvergence points are given
+// as labels too, so structured control flow (if/loop) written with the
+// helpers below always carries correct SIMT reconvergence information.
+type Builder struct {
+	name   string
+	code   []Instr
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+
+	pendPred Pred
+	pendNeg  bool
+	pendNote string
+
+	ifSeq     int
+	loopSeq   int
+	ifStack   []int
+	loopStack []loopCtx
+}
+
+type fixup struct {
+	pc     int
+	target string // label for Tgt ("" = none)
+	reconv string // label for Rcv ("" = none)
+}
+
+type loopCtx struct {
+	head string
+	end  string
+}
+
+// NewBuilder returns an empty builder for a kernel named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		labels:   make(map[string]int),
+		pendPred: NoPred,
+	}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	// Guards are only attached via P/PN (or the branch helpers, which
+	// route through pendPred); a plain emit is unpredicated.
+	if b.pendPred != NoPred {
+		in.Pred = b.pendPred
+		in.PredNeg = b.pendNeg
+		b.pendPred = NoPred
+		b.pendNeg = false
+	} else {
+		in.Pred = NoPred
+		in.PredNeg = false
+	}
+	if b.pendNote != "" {
+		in.Line = b.pendNote
+		b.pendNote = ""
+	}
+	b.code = append(b.code, in)
+	return b
+}
+
+// Note annotates the next emitted instruction with a source-level
+// description; race reports carry it alongside the PC.
+func (b *Builder) Note(text string) *Builder {
+	b.pendNote = text
+	return b
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("isa: %s: %s", b.name, fmt.Sprintf(format, args...)))
+}
+
+// P guards the next emitted instruction with predicate p.
+func (b *Builder) P(p Pred) *Builder { b.pendPred, b.pendNeg = p, false; return b }
+
+// PN guards the next emitted instruction with the negation of p.
+func (b *Builder) PN(p Pred) *Builder { b.pendPred, b.pendNeg = p, true; return b }
+
+// Label defines a label at the current PC.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errf("duplicate label %q", name)
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// PC returns the current program counter (index of the next instruction).
+func (b *Builder) PC() int { return len(b.code) }
+
+// --- data movement ---
+
+// Mov emits d = a.
+func (b *Builder) Mov(d, a Reg) *Builder { return b.emit(Instr{Op: OpMov, Dst: d, SrcA: a}) }
+
+// Movi emits d = imm.
+func (b *Builder) Movi(d Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpMov, Dst: d, Imm: imm, UseImm: true})
+}
+
+// MovF emits d = float constant f (stored as float64 bits).
+func (b *Builder) MovF(d Reg, f float64) *Builder {
+	return b.emit(Instr{Op: OpMov, Dst: d, Imm: int64(math.Float64bits(f)), UseImm: true})
+}
+
+// Sreg emits d = special register k.
+func (b *Builder) Sreg(d Reg, k SregKind) *Builder {
+	return b.emit(Instr{Op: OpSreg, Dst: d, Imm: int64(k)})
+}
+
+// Selp emits d = p ? a : c.
+func (b *Builder) Selp(d Reg, p Pred, a, c Reg) *Builder {
+	return b.emit(Instr{Op: OpSelp, Dst: d, SrcA: a, SrcC: c, PD: p})
+}
+
+// --- integer ALU ---
+
+func (b *Builder) alu(op Op, d, a, s Reg) *Builder {
+	return b.emit(Instr{Op: op, Dst: d, SrcA: a, SrcB: s})
+}
+
+func (b *Builder) alui(op Op, d, a Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: op, Dst: d, SrcA: a, Imm: imm, UseImm: true})
+}
+
+// Add emits d = a + s.
+func (b *Builder) Add(d, a, s Reg) *Builder { return b.alu(OpAdd, d, a, s) }
+
+// Addi emits d = a + imm.
+func (b *Builder) Addi(d, a Reg, imm int64) *Builder { return b.alui(OpAdd, d, a, imm) }
+
+// Sub emits d = a - s.
+func (b *Builder) Sub(d, a, s Reg) *Builder { return b.alu(OpSub, d, a, s) }
+
+// Subi emits d = a - imm.
+func (b *Builder) Subi(d, a Reg, imm int64) *Builder { return b.alui(OpSub, d, a, imm) }
+
+// Mul emits d = a * s.
+func (b *Builder) Mul(d, a, s Reg) *Builder { return b.alu(OpMul, d, a, s) }
+
+// Muli emits d = a * imm.
+func (b *Builder) Muli(d, a Reg, imm int64) *Builder { return b.alui(OpMul, d, a, imm) }
+
+// Div emits d = a / s (signed; division by zero yields 0).
+func (b *Builder) Div(d, a, s Reg) *Builder { return b.alu(OpDiv, d, a, s) }
+
+// Divi emits d = a / imm.
+func (b *Builder) Divi(d, a Reg, imm int64) *Builder { return b.alui(OpDiv, d, a, imm) }
+
+// Rem emits d = a % s (signed; modulo by zero yields 0).
+func (b *Builder) Rem(d, a, s Reg) *Builder { return b.alu(OpRem, d, a, s) }
+
+// Remi emits d = a % imm.
+func (b *Builder) Remi(d, a Reg, imm int64) *Builder { return b.alui(OpRem, d, a, imm) }
+
+// Min emits d = min(a, s).
+func (b *Builder) Min(d, a, s Reg) *Builder { return b.alu(OpMin, d, a, s) }
+
+// Max emits d = max(a, s).
+func (b *Builder) Max(d, a, s Reg) *Builder { return b.alu(OpMax, d, a, s) }
+
+// And emits d = a & s.
+func (b *Builder) And(d, a, s Reg) *Builder { return b.alu(OpAnd, d, a, s) }
+
+// Andi emits d = a & imm.
+func (b *Builder) Andi(d, a Reg, imm int64) *Builder { return b.alui(OpAnd, d, a, imm) }
+
+// Or emits d = a | s.
+func (b *Builder) Or(d, a, s Reg) *Builder { return b.alu(OpOr, d, a, s) }
+
+// Ori emits d = a | imm.
+func (b *Builder) Ori(d, a Reg, imm int64) *Builder { return b.alui(OpOr, d, a, imm) }
+
+// Xor emits d = a ^ s.
+func (b *Builder) Xor(d, a, s Reg) *Builder { return b.alu(OpXor, d, a, s) }
+
+// Xori emits d = a ^ imm.
+func (b *Builder) Xori(d, a Reg, imm int64) *Builder { return b.alui(OpXor, d, a, imm) }
+
+// Not emits d = ^a.
+func (b *Builder) Not(d, a Reg) *Builder { return b.emit(Instr{Op: OpNot, Dst: d, SrcA: a}) }
+
+// Shl emits d = a << s.
+func (b *Builder) Shl(d, a, s Reg) *Builder { return b.alu(OpShl, d, a, s) }
+
+// Shli emits d = a << imm.
+func (b *Builder) Shli(d, a Reg, imm int64) *Builder { return b.alui(OpShl, d, a, imm) }
+
+// Shr emits d = a >> s (arithmetic).
+func (b *Builder) Shr(d, a, s Reg) *Builder { return b.alu(OpShr, d, a, s) }
+
+// Shri emits d = a >> imm.
+func (b *Builder) Shri(d, a Reg, imm int64) *Builder { return b.alui(OpShr, d, a, imm) }
+
+// Mad emits d = a*s + c.
+func (b *Builder) Mad(d, a, s, c Reg) *Builder {
+	return b.emit(Instr{Op: OpMad, Dst: d, SrcA: a, SrcB: s, SrcC: c})
+}
+
+// --- float ALU ---
+
+// FAdd emits d = a + s (float64).
+func (b *Builder) FAdd(d, a, s Reg) *Builder { return b.alu(OpFAdd, d, a, s) }
+
+// FSub emits d = a - s (float64).
+func (b *Builder) FSub(d, a, s Reg) *Builder { return b.alu(OpFSub, d, a, s) }
+
+// FMul emits d = a * s (float64).
+func (b *Builder) FMul(d, a, s Reg) *Builder { return b.alu(OpFMul, d, a, s) }
+
+// FDiv emits d = a / s (float64).
+func (b *Builder) FDiv(d, a, s Reg) *Builder { return b.alu(OpFDiv, d, a, s) }
+
+// FMin emits d = min(a, s) (float64).
+func (b *Builder) FMin(d, a, s Reg) *Builder { return b.alu(OpFMin, d, a, s) }
+
+// FMax emits d = max(a, s) (float64).
+func (b *Builder) FMax(d, a, s Reg) *Builder { return b.alu(OpFMax, d, a, s) }
+
+// FSqrt emits d = sqrt(a).
+func (b *Builder) FSqrt(d, a Reg) *Builder { return b.emit(Instr{Op: OpFSqrt, Dst: d, SrcA: a}) }
+
+// FExp emits d = exp(a).
+func (b *Builder) FExp(d, a Reg) *Builder { return b.emit(Instr{Op: OpFExp, Dst: d, SrcA: a}) }
+
+// FLog emits d = log(a).
+func (b *Builder) FLog(d, a Reg) *Builder { return b.emit(Instr{Op: OpFLog, Dst: d, SrcA: a}) }
+
+// FSin emits d = sin(a).
+func (b *Builder) FSin(d, a Reg) *Builder { return b.emit(Instr{Op: OpFSin, Dst: d, SrcA: a}) }
+
+// FCos emits d = cos(a).
+func (b *Builder) FCos(d, a Reg) *Builder { return b.emit(Instr{Op: OpFCos, Dst: d, SrcA: a}) }
+
+// FAbs emits d = |a|.
+func (b *Builder) FAbs(d, a Reg) *Builder { return b.emit(Instr{Op: OpFAbs, Dst: d, SrcA: a}) }
+
+// ItoF emits d = float64(int64(a)).
+func (b *Builder) ItoF(d, a Reg) *Builder { return b.emit(Instr{Op: OpItoF, Dst: d, SrcA: a}) }
+
+// FtoI emits d = int64(float64(a)), truncating toward zero.
+func (b *Builder) FtoI(d, a Reg) *Builder { return b.emit(Instr{Op: OpFtoI, Dst: d, SrcA: a}) }
+
+// --- predicates and control flow ---
+
+// Setp emits p = cmp(a, s) over signed integers.
+func (b *Builder) Setp(p Pred, cmp CmpOp, a, s Reg) *Builder {
+	return b.emit(Instr{Op: OpSetp, PD: p, Cmp: cmp, SrcA: a, SrcB: s})
+}
+
+// Setpi emits p = cmp(a, imm) over signed integers.
+func (b *Builder) Setpi(p Pred, cmp CmpOp, a Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpSetp, PD: p, Cmp: cmp, SrcA: a, Imm: imm, UseImm: true})
+}
+
+// FSetp emits p = cmp(a, s) over float64.
+func (b *Builder) FSetp(p Pred, cmp CmpOp, a, s Reg) *Builder {
+	return b.emit(Instr{Op: OpFSetp, PD: p, Cmp: cmp, SrcA: a, SrcB: s})
+}
+
+// Jmp emits an unconditional branch to label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), target: label})
+	return b.emit(Instr{Op: OpBra})
+}
+
+// BraP emits a predicated (possibly divergent) branch: lanes where p
+// holds jump to target; the warp reconverges at reconv.
+func (b *Builder) BraP(p Pred, target, reconv string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), target: target, reconv: reconv})
+	b.pendPred, b.pendNeg = p, false
+	return b.emit(Instr{Op: OpBra})
+}
+
+// BraPN is BraP guarded on !p.
+func (b *Builder) BraPN(p Pred, target, reconv string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), target: target, reconv: reconv})
+	b.pendPred, b.pendNeg = p, true
+	return b.emit(Instr{Op: OpBra})
+}
+
+// Exit emits thread termination for the active lanes.
+func (b *Builder) Exit() *Builder { return b.emit(Instr{Op: OpExit}) }
+
+// --- memory ---
+
+// Ld emits d = space[a + off] of the given byte size.
+func (b *Builder) Ld(d Reg, space Space, a Reg, off int64, size uint8) *Builder {
+	return b.emit(Instr{Op: OpLd, Dst: d, SrcA: a, Imm: off, Space: space, Size: size})
+}
+
+// LdF emits a float32 load: d = float64(float32bits(space[a+off])).
+func (b *Builder) LdF(d Reg, space Space, a Reg, off int64) *Builder {
+	return b.emit(Instr{Op: OpLd, Dst: d, SrcA: a, Imm: off, Space: space, Size: 4, Float: true})
+}
+
+// St emits space[a + off] = s of the given byte size.
+func (b *Builder) St(space Space, a Reg, off int64, s Reg, size uint8) *Builder {
+	return b.emit(Instr{Op: OpSt, SrcA: a, Imm: off, SrcB: s, Space: space, Size: size})
+}
+
+// StF emits a float32 store of register s (held as float64).
+func (b *Builder) StF(space Space, a Reg, off int64, s Reg) *Builder {
+	return b.emit(Instr{Op: OpSt, SrcA: a, Imm: off, SrcB: s, Space: space, Size: 4, Float: true})
+}
+
+// Ldp emits d = param[idx]; kernel parameters are 64-bit values.
+func (b *Builder) Ldp(d Reg, idx int64) *Builder {
+	return b.emit(Instr{Op: OpLd, Dst: d, SrcA: 0, Imm: idx * 8, Space: SpaceParam, Size: 8})
+}
+
+// Atom emits d = atomic op on space[a+off] with operands s (and c for CAS).
+func (b *Builder) Atom(d Reg, op AtomOp, space Space, a Reg, off int64, s, c Reg) *Builder {
+	return b.emit(Instr{Op: OpAtom, Dst: d, AOp: op, SrcA: a, Imm: off, SrcB: s, SrcC: c, Space: space, Size: 4})
+}
+
+// --- synchronization ---
+
+// Bar emits a block-wide barrier (__syncthreads).
+func (b *Builder) Bar() *Builder { return b.emit(Instr{Op: OpBar}) }
+
+// Membar emits a memory fence (__threadfence).
+func (b *Builder) Membar() *Builder { return b.emit(Instr{Op: OpMembar}) }
+
+// AcqMark emits a critical-section begin marker; the lock variable's
+// address is in register a. Inserted after the lock-acquire atomic,
+// as the paper's marker instructions are.
+func (b *Builder) AcqMark(a Reg) *Builder { return b.emit(Instr{Op: OpAcqMark, SrcA: a}) }
+
+// RelMark emits a critical-section end marker, clearing the thread's
+// lockset signature. Inserted before the lock-release operation.
+func (b *Builder) RelMark() *Builder { return b.emit(Instr{Op: OpRelMark}) }
+
+// --- structured control flow helpers ---
+
+// If opens a divergent region executed by lanes where p holds.
+// Must be closed with EndIf.
+func (b *Builder) If(p Pred) *Builder {
+	b.ifSeq++
+	end := fmt.Sprintf(".if%d.end", b.ifSeq)
+	b.ifStack = append(b.ifStack, b.ifSeq)
+	return b.BraPN(p, end, end)
+}
+
+// IfNot opens a divergent region executed by lanes where p does not hold.
+func (b *Builder) IfNot(p Pred) *Builder {
+	b.ifSeq++
+	end := fmt.Sprintf(".if%d.end", b.ifSeq)
+	b.ifStack = append(b.ifStack, b.ifSeq)
+	return b.BraP(p, end, end)
+}
+
+// EndIf closes the innermost If/IfNot region.
+func (b *Builder) EndIf() *Builder {
+	if len(b.ifStack) == 0 {
+		b.errf("EndIf without If")
+		return b
+	}
+	id := b.ifStack[len(b.ifStack)-1]
+	b.ifStack = b.ifStack[:len(b.ifStack)-1]
+	return b.Label(fmt.Sprintf(".if%d.end", id))
+}
+
+// While opens a loop: body executes while cond(p) holds; the predicate
+// must be (re)computed before EndWhile via the returned check label
+// convention — in practice use Loop below for counted loops.
+// While emits the loop head label and the conditional exit branch,
+// assuming p has already been set before entry and is updated in the
+// body before EndWhile jumps back.
+func (b *Builder) While(p Pred) *Builder {
+	b.loopSeq++
+	head := fmt.Sprintf(".loop%d.head", b.loopSeq)
+	end := fmt.Sprintf(".loop%d.end", b.loopSeq)
+	b.loopStack = append(b.loopStack, loopCtx{head: head, end: end})
+	b.Label(head)
+	return b.BraPN(p, end, end)
+}
+
+// EndWhile closes the innermost While loop, jumping back to its head.
+func (b *Builder) EndWhile() *Builder {
+	if len(b.loopStack) == 0 {
+		b.errf("EndWhile without While")
+		return b
+	}
+	c := b.loopStack[len(b.loopStack)-1]
+	b.loopStack = b.loopStack[:len(b.loopStack)-1]
+	b.Jmp(c.head)
+	return b.Label(c.end)
+}
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.ifStack) != 0 {
+		b.errf("%d unclosed If regions", len(b.ifStack))
+	}
+	if len(b.loopStack) != 0 {
+		b.errf("%d unclosed While loops", len(b.loopStack))
+	}
+	for _, f := range b.fixups {
+		in := &b.code[f.pc]
+		if f.target != "" {
+			pc, ok := b.labels[f.target]
+			if !ok {
+				b.errf("undefined label %q", f.target)
+				continue
+			}
+			in.Tgt = pc
+		}
+		if f.reconv != "" {
+			pc, ok := b.labels[f.reconv]
+			if !ok {
+				b.errf("undefined reconvergence label %q", f.reconv)
+				continue
+			}
+			in.Rcv = pc
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	// Ensure the program terminates even if the author forgot Exit.
+	if n := len(b.code); n == 0 || b.code[n-1].Op != OpExit {
+		b.Exit()
+	}
+	p := &Program{Name: b.name, Code: b.code, Labels: b.labels}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build but panics on error; for use in kernel
+// constructors where programs are static.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

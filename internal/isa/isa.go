@@ -1,0 +1,353 @@
+// Package isa defines a small PTX-like instruction set for the GPU
+// simulator. Programs are sequences of Instr values operating on 32
+// per-thread general registers and 8 per-thread predicate registers.
+// Control flow uses explicit reconvergence points (the builder computes
+// them from structured Label/branch pairs), which drive the SIMT
+// divergence stack in the execution engine.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers per thread.
+// Registers hold 64-bit values; float operations interpret them as
+// IEEE-754 float64 bit patterns.
+const NumRegs = 32
+
+// NumPreds is the number of 1-bit predicate registers per thread.
+const NumPreds = 8
+
+// Reg names a general-purpose register.
+type Reg uint8
+
+// Pred names a predicate register.
+type Pred uint8
+
+// NoPred marks an unpredicated instruction.
+const NoPred = Pred(0xFF)
+
+// Space identifies a memory space for LD/ST/ATOM instructions.
+type Space uint8
+
+// Memory spaces. Param is a small read-only per-kernel argument array;
+// Local is per-thread and is carved out of device memory like CUDA
+// local memory.
+const (
+	SpaceShared Space = iota
+	SpaceGlobal
+	SpaceLocal
+	SpaceParam
+)
+
+func (s Space) String() string {
+	switch s {
+	case SpaceShared:
+		return "shared"
+	case SpaceGlobal:
+		return "global"
+	case SpaceLocal:
+		return "local"
+	case SpaceParam:
+		return "param"
+	}
+	return fmt.Sprintf("space(%d)", uint8(s))
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+
+	// Data movement.
+	OpMov  // d = a (or imm)
+	OpSreg // d = special register selected by Imm (SregKind)
+	OpSelp // d = pred ? a : b
+
+	// Integer ALU (signed 64-bit).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpMin
+	OpMax
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpShl
+	OpShr
+	OpMad // d = a*b + c
+
+	// Float ALU (float64 in registers).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFMin
+	OpFMax
+	OpFSqrt
+	OpFExp
+	OpFLog
+	OpFSin
+	OpFCos
+	OpFAbs
+	OpItoF // d = float(a)
+	OpFtoI // d = int(a), truncating
+
+	// Predicates and control flow.
+	OpSetp  // preds[PD] = cmp(a, b)
+	OpFSetp // float compare
+	OpBra   // branch to Target; predicated branches diverge, Reconv set
+	OpExit  // thread termination
+
+	// Memory.
+	OpLd   // d = mem[a + Imm]
+	OpSt   // mem[a + Imm] = b
+	OpAtom // d = atomic(mem[a + Imm], b, c)
+
+	// Synchronization.
+	OpBar     // block-wide barrier
+	OpMembar  // memory fence: increments the warp's fence ID
+	OpAcqMark // critical-section begin marker; lock address in a
+	OpRelMark // critical-section end marker; clears the thread's lockset
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpMov: "mov", OpSreg: "sreg", OpSelp: "selp",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpMin: "min", OpMax: "max", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpNot: "not", OpShl: "shl", OpShr: "shr", OpMad: "mad",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFMin: "fmin", OpFMax: "fmax", OpFSqrt: "fsqrt", OpFExp: "fexp",
+	OpFLog: "flog", OpFSin: "fsin", OpFCos: "fcos", OpFAbs: "fabs",
+	OpItoF: "itof", OpFtoI: "ftoi",
+	OpSetp: "setp", OpFSetp: "fsetp", OpBra: "bra", OpExit: "exit",
+	OpLd: "ld", OpSt: "st", OpAtom: "atom",
+	OpBar: "bar", OpMembar: "membar",
+	OpAcqMark: "acqmark", OpRelMark: "relmark",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// SregKind selects a special register for OpSreg.
+type SregKind uint8
+
+// Special registers readable by kernels.
+const (
+	SregTid    SregKind = iota // thread index within block (1-D)
+	SregNtid                   // block dimension (threads per block)
+	SregCtaid                  // block index within grid (1-D)
+	SregNctaid                 // grid dimension (number of blocks)
+	SregLane                   // lane index within warp
+	SregWarp                   // warp index within block
+	SregGtid                   // global thread id: ctaid*ntid + tid
+)
+
+// CmpOp is a comparison operator for SETP/FSETP.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (c CmpOp) String() string {
+	switch c {
+	case CmpEQ:
+		return "eq"
+	case CmpNE:
+		return "ne"
+	case CmpLT:
+		return "lt"
+	case CmpLE:
+		return "le"
+	case CmpGT:
+		return "gt"
+	case CmpGE:
+		return "ge"
+	}
+	return "cmp?"
+}
+
+// AtomOp selects the operation performed by OpAtom. All atomics return
+// the previous value of the memory location into Dst.
+type AtomOp uint8
+
+// Atomic operations, mirroring the CUDA atomics the paper relies on.
+const (
+	AtomAdd AtomOp = iota
+	AtomInc        // d = old; mem = (old >= b) ? 0 : old+1   (CUDA atomicInc)
+	AtomExch
+	AtomCAS // d = old; if old == b { mem = c }
+	AtomMin
+	AtomMax
+)
+
+func (a AtomOp) String() string {
+	switch a {
+	case AtomAdd:
+		return "add"
+	case AtomInc:
+		return "inc"
+	case AtomExch:
+		return "exch"
+	case AtomCAS:
+		return "cas"
+	case AtomMin:
+		return "min"
+	case AtomMax:
+		return "max"
+	}
+	return "atom?"
+}
+
+// Instr is one decoded instruction. The zero value is a NOP.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	SrcA Reg
+	SrcB Reg
+	SrcC Reg
+
+	Imm    int64 // immediate operand / LD-ST byte offset / SregKind
+	UseImm bool  // SrcB (or SrcA for Mov) replaced by Imm
+
+	PD Pred // destination predicate for SETP/FSETP
+
+	Pred    Pred // guard predicate (NoPred if unpredicated)
+	PredNeg bool // guard on !pred
+
+	Space Space // LD/ST/ATOM
+	Size  uint8 // access size in bytes: 1, 2, 4 or 8
+	Float bool  // LD/ST converts between float32 (Size 4) in memory and float64 in regs
+
+	Cmp CmpOp  // SETP/FSETP
+	AOp AtomOp // ATOM
+	Tgt int    // branch target PC
+	Rcv int    // reconvergence PC for divergent branches
+
+	Line string // optional debug annotation from the builder
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (i *Instr) IsMem() bool {
+	return i.Op == OpLd || i.Op == OpSt || i.Op == OpAtom
+}
+
+// String renders a compact disassembly of the instruction.
+func (i *Instr) String() string {
+	guard := ""
+	if i.Pred != NoPred {
+		n := ""
+		if i.PredNeg {
+			n = "!"
+		}
+		guard = fmt.Sprintf("@%sp%d ", n, i.Pred)
+	}
+	switch i.Op {
+	case OpBra:
+		return fmt.Sprintf("%sbra %d (rcv %d)", guard, i.Tgt, i.Rcv)
+	case OpSetp, OpFSetp:
+		if i.UseImm {
+			return fmt.Sprintf("%s%s.%s p%d, r%d, %d", guard, i.Op, i.Cmp, i.PD, i.SrcA, i.Imm)
+		}
+		return fmt.Sprintf("%s%s.%s p%d, r%d, r%d", guard, i.Op, i.Cmp, i.PD, i.SrcA, i.SrcB)
+	case OpLd:
+		return fmt.Sprintf("%sld.%s.b%d r%d, [r%d+%d]", guard, i.Space, i.Size*8, i.Dst, i.SrcA, i.Imm)
+	case OpSt:
+		return fmt.Sprintf("%sst.%s.b%d [r%d+%d], r%d", guard, i.Space, i.Size*8, i.SrcA, i.Imm, i.SrcB)
+	case OpAtom:
+		return fmt.Sprintf("%satom.%s.%s r%d, [r%d+%d], r%d, r%d", guard, i.Space, i.AOp, i.Dst, i.SrcA, i.Imm, i.SrcB, i.SrcC)
+	case OpSreg:
+		return fmt.Sprintf("%ssreg r%d, %d", guard, i.Dst, i.Imm)
+	default:
+		if i.UseImm {
+			return fmt.Sprintf("%s%s r%d, r%d, %d", guard, i.Op, i.Dst, i.SrcA, i.Imm)
+		}
+		return fmt.Sprintf("%s%s r%d, r%d, r%d", guard, i.Op, i.Dst, i.SrcA, i.SrcB)
+	}
+}
+
+// Program is an assembled kernel body.
+type Program struct {
+	Name   string
+	Code   []Instr
+	Labels map[string]int // label name -> PC, for diagnostics
+}
+
+// Disassemble renders the whole program, one instruction per line.
+func (p *Program) Disassemble() string {
+	out := ""
+	rev := map[int]string{}
+	for l, pc := range p.Labels {
+		if prev, ok := rev[pc]; !ok || l < prev {
+			rev[pc] = l
+		}
+	}
+	for pc := range p.Code {
+		if l, ok := rev[pc]; ok {
+			out += l + ":\n"
+		}
+		out += fmt.Sprintf("  %4d  %s\n", pc, p.Code[pc].String())
+	}
+	return out
+}
+
+// Validate checks structural invariants of the program: branch targets
+// in range, reconvergence points set for predicated branches, register
+// and predicate indices in range, and memory sizes valid.
+func (p *Program) Validate() error {
+	n := len(p.Code)
+	if n == 0 {
+		return fmt.Errorf("isa: program %q is empty", p.Name)
+	}
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if in.Op >= opMax {
+			return fmt.Errorf("isa: %q pc %d: bad opcode %d", p.Name, pc, in.Op)
+		}
+		if in.Pred != NoPred && in.Pred >= NumPreds {
+			return fmt.Errorf("isa: %q pc %d: guard predicate p%d out of range", p.Name, pc, in.Pred)
+		}
+		if in.Dst >= NumRegs || in.SrcA >= NumRegs || in.SrcB >= NumRegs || in.SrcC >= NumRegs {
+			return fmt.Errorf("isa: %q pc %d: register out of range", p.Name, pc)
+		}
+		switch in.Op {
+		case OpBra:
+			if in.Tgt < 0 || in.Tgt >= n {
+				return fmt.Errorf("isa: %q pc %d: branch target %d out of range", p.Name, pc, in.Tgt)
+			}
+			if in.Pred != NoPred && (in.Rcv < 0 || in.Rcv > n) {
+				return fmt.Errorf("isa: %q pc %d: predicated branch without reconvergence point", p.Name, pc)
+			}
+		case OpSetp, OpFSetp:
+			if in.PD >= NumPreds {
+				return fmt.Errorf("isa: %q pc %d: predicate p%d out of range", p.Name, pc, in.PD)
+			}
+		case OpLd, OpSt, OpAtom:
+			switch in.Size {
+			case 1, 2, 4, 8:
+			default:
+				return fmt.Errorf("isa: %q pc %d: bad access size %d", p.Name, pc, in.Size)
+			}
+			if in.Float && in.Size != 4 && in.Size != 8 {
+				return fmt.Errorf("isa: %q pc %d: float access must be 4 or 8 bytes", p.Name, pc)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(0, 1)
+	b.Label("loop")
+	b.Addi(0, 0, 1)
+	b.Setpi(0, CmpLT, 0, 10)
+	b.BraP(0, "loop", "end")
+	b.Label("end")
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The branch (pc 3) targets pc 1 and reconverges at pc 4.
+	br := p.Code[3]
+	if br.Op != OpBra || br.Tgt != 1 || br.Rcv != 4 {
+		t.Fatalf("branch = %+v, want tgt 1 rcv 4", br)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Nopish()
+	if _, err := b.Label("x").Exit().Build(); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+// Nopish emits a harmless instruction (test helper via exported API).
+func (b *Builder) Nopish() *Builder { return b.Movi(0, 0) }
+
+func TestBuilderUnclosedIf(t *testing.T) {
+	b := NewBuilder("t")
+	b.Setpi(0, CmpEQ, 0, 0)
+	b.If(0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unclosed If accepted")
+	}
+}
+
+func TestBuilderEndIfWithoutIf(t *testing.T) {
+	b := NewBuilder("t")
+	b.EndIf()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("stray EndIf accepted")
+	}
+}
+
+func TestBuilderUnclosedWhile(t *testing.T) {
+	b := NewBuilder("t")
+	b.Setpi(0, CmpEQ, 0, 0)
+	b.While(0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unclosed While accepted")
+	}
+}
+
+func TestBuilderAppendsExit(t *testing.T) {
+	b := NewBuilder("t")
+	b.Movi(0, 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[len(p.Code)-1].Op != OpExit {
+		t.Fatal("builder did not append a terminating Exit")
+	}
+}
+
+func TestIfEmitsGuardedBranch(t *testing.T) {
+	b := NewBuilder("t")
+	b.Setpi(2, CmpLT, 1, 5)
+	b.If(2)
+	b.Movi(3, 1)
+	b.EndIf()
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.Code[1]
+	if br.Op != OpBra || br.Pred != 2 || !br.PredNeg {
+		t.Fatalf("If branch = %+v, want @!p2 bra", br)
+	}
+	if br.Tgt != 3 || br.Rcv != 3 {
+		t.Fatalf("If branch targets %d/%d, want 3/3", br.Tgt, br.Rcv)
+	}
+}
+
+func TestPredicateZeroGuardSurvives(t *testing.T) {
+	// Guarding with p0 must not be confused with "unpredicated".
+	b := NewBuilder("t")
+	b.Setpi(0, CmpEQ, 1, 0)
+	b.P(0).Movi(2, 7)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Pred != 0 || p.Code[1].PredNeg {
+		t.Fatalf("guard lost: %+v", p.Code[1])
+	}
+	if p.Code[0].Pred != NoPred {
+		t.Fatalf("unguarded instruction got a guard: %+v", p.Code[0])
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		code []Instr
+	}{
+		{"empty", nil},
+		{"bad-target", []Instr{{Op: OpBra, Tgt: 99, Pred: NoPred}}},
+		{"bad-size", []Instr{{Op: OpLd, Size: 3, Pred: NoPred}}},
+		{"bad-reg", []Instr{{Op: OpAdd, Dst: 200, Pred: NoPred}}},
+		{"bad-pred", []Instr{{Op: OpSetp, PD: 99, Pred: NoPred}}},
+		{"bad-guard", []Instr{{Op: OpMov, Pred: 99}}},
+	}
+	for _, tc := range cases {
+		p := &Program{Name: tc.name, Code: tc.code}
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate passed, want error", tc.name)
+		}
+	}
+}
+
+func TestMovFRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		b := NewBuilder("t")
+		b.MovF(5, v)
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		return math.Float64frombits(uint64(p.Code[0].Imm)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleMentionsEverything(t *testing.T) {
+	b := NewBuilder("t")
+	b.Sreg(1, SregTid)
+	b.Ld(2, SpaceGlobal, 1, 8, 4)
+	b.St(SpaceShared, 1, 0, 2, 4)
+	b.Atom(3, AtomAdd, SpaceGlobal, 1, 0, 2, 0)
+	b.Bar()
+	b.Membar()
+	b.Label("end")
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p.Disassemble()
+	for _, want := range []string{"sreg", "ld.global", "st.shared", "atom.global.add", "bar", "membar", "exit", "end:"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestOpAndEnumStrings(t *testing.T) {
+	if OpFSqrt.String() != "fsqrt" || OpAcqMark.String() != "acqmark" {
+		t.Error("op names wrong")
+	}
+	if SpaceShared.String() != "shared" || SpaceParam.String() != "param" {
+		t.Error("space names wrong")
+	}
+	if CmpGE.String() != "ge" || AtomCAS.String() != "cas" {
+		t.Error("enum names wrong")
+	}
+	if Op(200).String() == "" || Space(9).String() == "" {
+		t.Error("out-of-range enums must still render")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	mem := []Op{OpLd, OpSt, OpAtom}
+	for _, op := range mem {
+		if in := (&Instr{Op: op}); !in.IsMem() {
+			t.Errorf("%s not recognized as memory op", op)
+		}
+	}
+	if in := (&Instr{Op: OpAdd}); in.IsMem() {
+		t.Error("add recognized as memory op")
+	}
+}
+
+func TestNestedStructuredFlow(t *testing.T) {
+	// Nested If inside While must balance and validate.
+	b := NewBuilder("t")
+	b.Movi(1, 0)
+	b.Setpi(0, CmpLT, 1, 4)
+	b.While(0)
+	b.Setpi(1, CmpEQ, 1, 2)
+	b.If(1)
+	b.Movi(2, 42)
+	b.EndIf()
+	b.Addi(1, 1, 1)
+	b.Setpi(0, CmpLT, 1, 4)
+	b.EndWhile()
+	b.Exit()
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid program")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Jmp("missing")
+	b.MustBuild()
+}
+
+// Property: every structured program the builder produces validates,
+// regardless of the random mix of If/While nesting (within the
+// builder's own balance rules).
+func TestPropertyStructuredProgramsValidate(t *testing.T) {
+	f := func(script []uint8) bool {
+		b := NewBuilder("prop")
+		b.Sreg(1, SregTid)
+		depth := 0
+		var kinds []byte // 'i' or 'w'
+		for _, op := range script {
+			switch op % 8 {
+			case 0, 1, 2:
+				b.Add(Reg(2+op%4), Reg(2+(op>>2)%4), Reg(2+(op>>4)%4))
+			case 3:
+				b.Setpi(Pred(op%4), CmpLT, Reg(2+op%4), int64(op))
+			case 4:
+				if depth < 3 {
+					b.Setpi(Pred(op%4), CmpGT, 1, int64(op%16))
+					b.If(Pred(op % 4))
+					kinds = append(kinds, 'i')
+					depth++
+				}
+			case 5:
+				if depth < 3 {
+					b.Setpi(Pred(op%4), CmpLT, Reg(2), 1)
+					b.While(Pred(op % 4))
+					kinds = append(kinds, 'w')
+					depth++
+				}
+			case 6, 7:
+				if depth > 0 {
+					if kinds[len(kinds)-1] == 'i' {
+						b.EndIf()
+					} else {
+						b.Setpi(0, CmpLT, Reg(2), 0) // loop condition turns false
+						b.EndWhile()
+					}
+					kinds = kinds[:len(kinds)-1]
+					depth--
+				}
+			}
+		}
+		for depth > 0 {
+			if kinds[len(kinds)-1] == 'i' {
+				b.EndIf()
+			} else {
+				b.Setpi(0, CmpLT, Reg(2), 0)
+				b.EndWhile()
+			}
+			kinds = kinds[:len(kinds)-1]
+			depth--
+		}
+		b.Exit()
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

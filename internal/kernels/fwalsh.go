@@ -1,0 +1,180 @@
+package kernels
+
+import (
+	"fmt"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// FWALSH: fast Walsh-Hadamard transform over an integer array, done in
+// place. Stages with stride >= the per-block tile run as separate
+// global-memory kernel launches (the kernel boundary is the global
+// synchronization, as in the SDK version); the remaining stages run in
+// shared memory inside one block with barriers between stages.
+// Integer butterflies (a+b, a-b) keep host verification exact.
+const (
+	fwBlockDim = 128
+	fwN        = 2048 // elements per Scale unit (power of two)
+)
+
+func init() {
+	register(&Benchmark{
+		Name:  "fwalsh",
+		Desc:  "fast Walsh transform (CUDA SDK fastWalshTransform)",
+		Input: fmt.Sprintf("%d elements, %d threads/block", fwN, fwBlockDim),
+		Sites: []Site{
+			{ID: "fwalsh.bar0", Kind: InjRemoveBarrier, Desc: "barrier after the tile load into shared"},
+			{ID: "fwalsh.bar1", Kind: InjRemoveBarrier, Desc: "barrier between shared-memory butterfly stages"},
+			{ID: "fwalsh.bar2", Kind: InjRemoveBarrier, Desc: "barrier before the tile store"},
+			{ID: "fwalsh.dummy0", Kind: InjDummyCross, Desc: "cross-block store in the global-stage kernel"},
+		},
+		GlobalBytes: func(scale int) int { return fwN*scale*4 + dummyBytes + 4096 },
+		Build:       buildFwalsh,
+	})
+}
+
+func buildFwalsh(d *gpu.Device, p Params) (*Plan, error) {
+	n := fwN * p.scale()
+	data, err := d.Malloc(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	dummy, err := d.Malloc(dummyBytes)
+	if err != nil {
+		return nil, err
+	}
+	host := make([]int32, n)
+	for i := 0; i < n; i++ {
+		v := int32(i%13 - 6)
+		host[i] = v
+		d.Global.SetU32(int(data)/4+i, uint32(v))
+	}
+
+	tile := 2 * fwBlockDim // elements handled per block in the shared kernel
+
+	// Global-stage kernel: one butterfly per thread at stride given by
+	// param 1. pos = (i/stride)*2*stride + i%stride.
+	gb := isa.NewBuilder("fwalsh-global")
+	preamble(gb)
+	gb.Ldp(rA, 0) // data
+	gb.Ldp(rB, 1) // stride (elements)
+	gb.Div(rC, rGtid, rB)
+	gb.Muli(rC, rC, 2)
+	gb.Mul(rC, rC, rB)
+	gb.Rem(rD, rGtid, rB)
+	gb.Add(rC, rC, rD) // pos
+	gb.Muli(rD, rC, 4)
+	gb.Add(rD, rA, rD) // &data[pos]
+	gb.Muli(rE, rB, 4)
+	gb.Add(rE, rD, rE) // &data[pos+stride]
+	gb.Ld(rF, isa.SpaceGlobal, rD, 0, 4)
+	gb.Ld(rG, isa.SpaceGlobal, rE, 0, 4)
+	gb.Add(rH, rF, rG)
+	gb.Sub(rI, rF, rG)
+	gb.St(isa.SpaceGlobal, rD, 0, rH, 4)
+	gb.St(isa.SpaceGlobal, rE, 0, rI, 4)
+	dummyCross(gb, &p, "fwalsh.dummy0", 2)
+	gb.Exit()
+	globalProg := gb.MustBuild()
+
+	// Shared-stage kernel: each block loads a tile of 2*blockDim
+	// elements and runs the remaining stages with barriers.
+	sb := isa.NewBuilder("fwalsh-shared")
+	preamble(sb)
+	sb.Ldp(rA, 0)
+	sb.Muli(rB, rBid, int64(tile*4))
+	sb.Add(rA, rA, rB) // tile base in global
+	// Load two consecutive elements per thread (2*tid, 2*tid+1); the
+	// first butterfly stage reads (tid, tid+blockDim), so the barrier
+	// after the load orders cross-warp producer/consumer pairs.
+	sb.Muli(rC, rTid, 8)
+	for _, off := range []int64{0, 4} {
+		sb.Add(rE, rA, rC)
+		sb.Ld(rF, isa.SpaceGlobal, rE, off, 4)
+		sb.St(isa.SpaceShared, rC, off, rF, 4)
+	}
+	bar(sb, &p, "fwalsh.bar0")
+	// Stages: stride = tile/2 down to 1.
+	sb.Movi(rI, int64(tile/2))
+	sb.Setpi(0, isa.CmpGE, rI, 1)
+	sb.While(0)
+	// One butterfly per thread: i = tid.
+	sb.Div(rC, rTid, rI)
+	sb.Muli(rC, rC, 2)
+	sb.Mul(rC, rC, rI)
+	sb.Rem(rD, rTid, rI)
+	sb.Add(rC, rC, rD)
+	sb.Muli(rD, rC, 4) // pos*4
+	sb.Muli(rE, rI, 4)
+	sb.Add(rE, rD, rE) // (pos+stride)*4
+	sb.Ld(rF, isa.SpaceShared, rD, 0, 4)
+	sb.Ld(rG, isa.SpaceShared, rE, 0, 4)
+	sb.Add(rH, rF, rG)
+	sb.Sub(rJ, rF, rG)
+	sb.St(isa.SpaceShared, rD, 0, rH, 4)
+	sb.St(isa.SpaceShared, rE, 0, rJ, 4)
+	// Inter-stage barrier, skipped after the stride-1 stage (the
+	// pre-store barrier covers it); uniform condition.
+	sb.Setpi(1, isa.CmpGT, rI, 1)
+	sb.If(1)
+	bar(sb, &p, "fwalsh.bar1")
+	sb.EndIf()
+	sb.Shri(rI, rI, 1)
+	sb.Setpi(0, isa.CmpGE, rI, 1)
+	sb.EndWhile()
+	bar(sb, &p, "fwalsh.bar2")
+	// Store the tile back.
+	for _, off := range []int64{0, int64(fwBlockDim)} {
+		sb.Addi(rC, rTid, off)
+		sb.Muli(rD, rC, 4)
+		sb.Ld(rF, isa.SpaceShared, rD, 0, 4)
+		sb.Add(rE, rA, rD)
+		sb.St(isa.SpaceGlobal, rE, 0, rF, 4)
+	}
+	sb.Exit()
+	sharedProg := sb.MustBuild()
+
+	var launches []*gpu.Kernel
+	// Global stages first: stride from n/2 down to tile.
+	for stride := n / 2; stride >= tile; stride /= 2 {
+		launches = append(launches, &gpu.Kernel{
+			Name: "fwalsh-global", Prog: globalProg,
+			GridDim: (n / 2) / fwBlockDim, BlockDim: fwBlockDim,
+			Params: []uint64{data, uint64(stride), dummy},
+		})
+	}
+	launches = append(launches, &gpu.Kernel{
+		Name: "fwalsh-shared", Prog: sharedProg,
+		GridDim: n / tile, BlockDim: fwBlockDim,
+		SharedBytes: tile * 4,
+		Params:      []uint64{data, 0, dummy},
+	})
+
+	verify := func(d *gpu.Device) error {
+		want := walshHost(host)
+		for i := 0; i < n; i++ {
+			if got := int32(d.Global.U32(int(data)/4 + i)); got != want[i] {
+				return fmt.Errorf("fwalsh: data[%d] = %d, want %d", i, got, want[i])
+			}
+		}
+		return nil
+	}
+	return &Plan{Kernels: launches, AppBytes: n * 4, Verify: verify}, nil
+}
+
+// walshHost computes the Walsh-Hadamard transform with the same
+// stage order as the device kernels.
+func walshHost(in []int32) []int32 {
+	n := len(in)
+	x := make([]int32, n)
+	copy(x, in)
+	for stride := n / 2; stride >= 1; stride /= 2 {
+		for i := 0; i < n/2; i++ {
+			pos := (i/stride)*2*stride + i%stride
+			a, c := x[pos], x[pos+stride]
+			x[pos], x[pos+stride] = a+c, a-c
+		}
+	}
+	return x
+}

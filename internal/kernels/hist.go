@@ -1,0 +1,165 @@
+package kernels
+
+import (
+	"fmt"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// HIST: 64-bin histogram of byte data. Each thread owns a private
+// byte-counter column per bin in shared memory; the column order is
+// shuffled so that warps interleave at 8-byte chunks (a bank-spreading
+// layout in the spirit of the SDK histogram's threadPos shuffle). A
+// 4-byte word therefore stays within one warp — no false races at
+// word granularity — but any coarser shadow granule spans columns of
+// several warps, which is why the paper reports high false-race
+// counts for HIST as tracking granularity grows (its data elements
+// are one byte). After a barrier, threads sum the per-thread columns
+// of one bin each and merge into the global histogram with atomics.
+const (
+	histBins     = 64
+	histBlockDim = 128
+	histBytes    = 32 << 10 // input bytes per Scale unit
+	histRow      = histBlockDim
+	histChunk    = 8 // bytes of consecutive columns owned by one warp
+)
+
+func init() {
+	register(&Benchmark{
+		Name:  "hist",
+		Desc:  "64-bin byte histogram (CUDA SDK histogram64)",
+		Input: fmt.Sprintf("%d KB of bytes, %d bins, %d threads/block", histBytes>>10, histBins, histBlockDim),
+		Sites: []Site{
+			{ID: "hist.bar0", Kind: InjRemoveBarrier, Desc: "barrier after clearing the per-thread counters"},
+			{ID: "hist.bar1", Kind: InjRemoveBarrier, Desc: "barrier before the per-bin merge"},
+			{ID: "hist.dummy0", Kind: InjDummyCross, Desc: "cross-block store after counting"},
+			{ID: "hist.dummy1", Kind: InjDummyCross, Desc: "cross-block store after the merge"},
+		},
+		GlobalBytes: func(scale int) int { return histBytes*scale + histBins*4 + dummyBytes + 4096 },
+		Build:       buildHist,
+	})
+}
+
+func buildHist(d *gpu.Device, p Params) (*Plan, error) {
+	total := histBytes * p.scale()
+	in, err := d.Malloc(total)
+	if err != nil {
+		return nil, err
+	}
+	out, err := d.Malloc(histBins * 4)
+	if err != nil {
+		return nil, err
+	}
+	dummy, err := d.Malloc(dummyBytes)
+	if err != nil {
+		return nil, err
+	}
+	hostHist := make([]uint32, histBins)
+	data := d.Global.Bytes()[in : in+uint64(total)]
+	x := uint32(123456789)
+	for i := range data {
+		x = x*1664525 + 1013904223
+		v := byte((x >> 13) % histBins)
+		data[i] = v
+		hostHist[v]++
+	}
+
+	blocks := 8 * p.scale()
+	perThread := total / (blocks * histBlockDim)
+	sharedBytes := histBins * histRow // byte counters
+
+	b := isa.NewBuilder("hist")
+	preamble(b)
+	// This thread's shuffled byte column:
+	// col = (lane/8)*(warps*8) + warp*8 + lane%8.
+	b.Remi(rO, rTid, 32) // lane
+	b.Divi(rN, rTid, 32) // warp
+	b.Divi(rM, rO, histChunk)
+	b.Muli(rM, rM, (histBlockDim/32)*histChunk)
+	b.Muli(rN, rN, histChunk)
+	b.Add(rM, rM, rN)
+	b.Remi(rO, rO, histChunk)
+	b.Add(rO, rM, rO) // rO = col, live for the whole kernel
+
+	// Clear the counter array with word stores, grid-strided across
+	// the block: thread t clears words t, t+blockDim, ...
+	b.Mov(rI, rTid)
+	b.Setpi(0, isa.CmpLT, rI, histBins*histRow/4)
+	b.While(0)
+	b.Muli(rA, rI, 4)
+	b.Movi(rB, 0)
+	b.St(isa.SpaceShared, rA, 0, rB, 4)
+	b.Addi(rI, rI, histBlockDim)
+	b.Setpi(0, isa.CmpLT, rI, histBins*histRow/4)
+	b.EndWhile()
+	bar(b, &p, "hist.bar0")
+
+	// Count: threads read the input as coalesced 32-bit words in a
+	// grid-stride pattern (as the SDK histogram does) and process the
+	// four packed byte values of each word.
+	totalThreads := blocks * histBlockDim
+	wordsPerThread := perThread / 4
+	b.Ldp(rA, 0) // input base
+	b.Movi(rI, 0)
+	b.Setpi(0, isa.CmpLT, rI, int64(wordsPerThread))
+	b.While(0)
+	b.Muli(rC, rI, int64(totalThreads))
+	b.Add(rC, rC, rGtid)
+	b.Muli(rC, rC, 4)
+	b.Add(rC, rA, rC)
+	b.Ld(rD, isa.SpaceGlobal, rC, 0, 4) // four packed bytes
+	for byteIdx := 0; byteIdx < 4; byteIdx++ {
+		b.Shri(rE, rD, int64(8*byteIdx))
+		b.Andi(rE, rE, 0xFF) // bin
+		b.Muli(rE, rE, histRow)
+		b.Add(rE, rE, rO) // s[bin*row + col]
+		b.Ld(rF, isa.SpaceShared, rE, 0, 1)
+		b.Addi(rF, rF, 1)
+		b.St(isa.SpaceShared, rE, 0, rF, 1)
+	}
+	b.Addi(rI, rI, 1)
+	b.Setpi(0, isa.CmpLT, rI, int64(wordsPerThread))
+	b.EndWhile()
+	dummyCross(b, &p, "hist.dummy0", 2)
+	bar(b, &p, "hist.bar1")
+
+	// Merge: threads with tid < bins sum their bin's row and atomically
+	// add into the global histogram.
+	b.Setpi(1, isa.CmpLT, rTid, histBins)
+	b.If(1)
+	b.Movi(rG, 0) // sum
+	b.Movi(rI, 0)
+	b.Setpi(2, isa.CmpLT, rI, histBlockDim)
+	b.While(2)
+	b.Muli(rA, rTid, histRow)
+	b.Add(rA, rA, rI)
+	b.Ld(rF, isa.SpaceShared, rA, 0, 1)
+	b.Add(rG, rG, rF)
+	b.Addi(rI, rI, 1)
+	b.Setpi(2, isa.CmpLT, rI, histBlockDim)
+	b.EndWhile()
+	b.Ldp(rB, 1)
+	b.Muli(rC, rTid, 4)
+	b.Add(rB, rB, rC)
+	b.Atom(rD, isa.AtomAdd, isa.SpaceGlobal, rB, 0, rG, 0)
+	b.EndIf()
+	dummyCross(b, &p, "hist.dummy1", 2)
+	b.Exit()
+
+	k := &gpu.Kernel{
+		Name: "hist", Prog: b.MustBuild(),
+		GridDim: blocks, BlockDim: histBlockDim,
+		SharedBytes: sharedBytes,
+		Params:      []uint64{in, out, dummy},
+	}
+	verify := func(d *gpu.Device) error {
+		for bin := 0; bin < histBins; bin++ {
+			if got := d.Global.U32(int(out)/4 + bin); got != hostHist[bin] {
+				return fmt.Errorf("hist: bin %d = %d, want %d", bin, got, hostHist[bin])
+			}
+		}
+		return nil
+	}
+	return &Plan{Kernels: []*gpu.Kernel{k}, AppBytes: total + histBins*4, Verify: verify}, nil
+}

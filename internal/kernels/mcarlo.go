@@ -1,0 +1,161 @@
+package kernels
+
+import (
+	"fmt"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// MCARLO: Monte Carlo option pricing. One block prices one option:
+// each thread simulates paths with a 32-bit LCG and accumulates an
+// integer payoff; per-thread sums land in shared memory and a
+// barrier-synchronized tree reduction produces the block result.
+// Integer payoffs keep host verification exact.
+const (
+	mcBlockDim = 128
+	mcOptions  = 16 // blocks per Scale unit
+	mcPaths    = 64 // paths per thread per Scale unit
+)
+
+func init() {
+	register(&Benchmark{
+		Name:  "mcarlo",
+		Desc:  "Monte Carlo option pricing (CUDA SDK MonteCarlo)",
+		Input: fmt.Sprintf("%d options, %d paths/thread, %d threads/block", mcOptions, mcPaths, mcBlockDim),
+		Sites: []Site{
+			{ID: "mcarlo.bar0", Kind: InjRemoveBarrier, Desc: "barrier after per-thread sums land in shared"},
+			{ID: "mcarlo.bar1", Kind: InjRemoveBarrier, Desc: "barrier inside the tree-reduction loop"},
+			{ID: "mcarlo.dummy0", Kind: InjDummyCross, Desc: "cross-block store after the block result"},
+		},
+		GlobalBytes: func(scale int) int { return mcOptions*scale*8 + dummyBytes + 4096 },
+		Build:       buildMcarlo,
+	})
+}
+
+// mcarloRand steps the LCG used on both device and host.
+func mcarloRand(x uint32) uint32 { return x*1664525 + 1013904223 }
+
+// mcarloSeed gives thread t of block b its deterministic seed.
+func mcarloSeed(b, t int) uint32 { return uint32(b*mcBlockDim+t)*2654435761 + 12345 }
+
+func buildMcarlo(d *gpu.Device, p Params) (*Plan, error) {
+	blocks := mcOptions * p.scale()
+	in, err := d.Malloc(blocks * 4)
+	if err != nil {
+		return nil, err
+	}
+	out, err := d.Malloc(blocks * 4)
+	if err != nil {
+		return nil, err
+	}
+	dummy, err := d.Malloc(dummyBytes)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < blocks; i++ {
+		d.Global.SetU32(int(in)/4+i, uint32(90+i%40)) // spot prices
+	}
+
+	b := isa.NewBuilder("mcarlo")
+	preamble(b)
+	// Load this option's spot price.
+	b.Ldp(rA, 0) // in base
+	b.Muli(rB, rBid, 4)
+	b.Add(rA, rA, rB)
+	b.Ld(rD, isa.SpaceGlobal, rA, 0, 4) // rD = spot
+
+	// LCG seed = gtid*2654435761 + 12345 (32-bit).
+	b.Muli(rE, rGtid, 2654435761)
+	b.Addi(rE, rE, 12345)
+	b.Movi(rF, 0xFFFFFFFF)
+	b.And(rE, rE, rF)
+
+	// Path loop: sum += max(spot + ((x>>16)&0xFF) - 128, 0).
+	b.Movi(rG, 0)                        // sum
+	b.Movi(rI, 0)                        // i
+	b.Movi(rJ, int64(mcPaths*p.scale())) // paths
+	b.Setp(0, isa.CmpLT, rI, rJ)
+	b.While(0)
+	b.Muli(rE, rE, 1664525)
+	b.Addi(rE, rE, 1013904223)
+	b.And(rE, rE, rF)
+	b.Shri(rH, rE, 16)
+	b.Andi(rH, rH, 0xFF)
+	b.Add(rH, rH, rD)
+	b.Subi(rH, rH, 128)
+	b.Movi(rK, 0)
+	b.Max(rH, rH, rK)
+	b.Add(rG, rG, rH)
+	b.Addi(rI, rI, 1)
+	b.Setp(0, isa.CmpLT, rI, rJ)
+	b.EndWhile()
+
+	// shared[tid] = sum.
+	b.Muli(rA, rTid, 4)
+	b.St(isa.SpaceShared, rA, 0, rG, 4)
+	bar(b, &p, "mcarlo.bar0")
+
+	// Tree reduction: for s = ntid/2; s >= 1; s >>= 1.
+	b.Shri(rI, rNtid, 1)
+	b.Setpi(0, isa.CmpGE, rI, 1)
+	b.While(0)
+	b.Setp(1, isa.CmpLT, rTid, rI)
+	b.If(1)
+	b.Add(rB, rTid, rI)
+	b.Muli(rB, rB, 4)
+	b.Ld(rC, isa.SpaceShared, rB, 0, 4)
+	b.Muli(rA, rTid, 4)
+	b.Ld(rH, isa.SpaceShared, rA, 0, 4)
+	b.Add(rH, rH, rC)
+	b.St(isa.SpaceShared, rA, 0, rH, 4)
+	b.EndIf()
+	bar(b, &p, "mcarlo.bar1")
+	b.Shri(rI, rI, 1)
+	b.Setpi(0, isa.CmpGE, rI, 1)
+	b.EndWhile()
+
+	// Thread 0 stores the block result.
+	b.Setpi(2, isa.CmpEQ, rTid, 0)
+	b.If(2)
+	b.Movi(rA, 0)
+	b.Ld(rH, isa.SpaceShared, rA, 0, 4)
+	b.Ldp(rB, 1)
+	b.Muli(rC, rBid, 4)
+	b.Add(rB, rB, rC)
+	b.St(isa.SpaceGlobal, rB, 0, rH, 4)
+	b.EndIf()
+	dummyCross(b, &p, "mcarlo.dummy0", 2)
+	b.Exit()
+
+	k := &gpu.Kernel{
+		Name: "mcarlo", Prog: b.MustBuild(),
+		GridDim: blocks, BlockDim: mcBlockDim,
+		SharedBytes: mcBlockDim * 4,
+		Params:      []uint64{in, out, dummy},
+	}
+	paths := mcPaths * p.scale()
+	verify := func(d *gpu.Device) error {
+		for blk := 0; blk < blocks; blk++ {
+			spot := uint32(90 + blk%40)
+			var want uint32
+			for t := 0; t < mcBlockDim; t++ {
+				x := mcarloSeed(blk, t)
+				var sum uint32
+				for i := 0; i < paths; i++ {
+					x = mcarloRand(x)
+					v := int32((x>>16)&0xFF) + int32(spot) - 128
+					if v > 0 {
+						sum += uint32(v)
+					}
+				}
+				want += sum
+			}
+			if got := d.Global.U32(int(out)/4 + blk); got != want {
+				return fmt.Errorf("mcarlo: option %d = %d, want %d", blk, got, want)
+			}
+		}
+		return nil
+	}
+	return &Plan{Kernels: []*gpu.Kernel{k}, AppBytes: blocks * 8, Verify: verify}, nil
+}

@@ -1,0 +1,170 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// OFFT: the spectrum-generation stage of an FFT-based ocean-surface
+// simulation over a W x H mesh. Each thread computes the spectrum
+// value for its mesh point from wave parameters (a strided shared
+// staging step models twiddle-factor handling — the stride is what
+// makes OFFT the outlier of Figure 8) and writes out[y*W + x].
+//
+// Documented bug (Section VI-A): threads in column 0 also fill the
+// conjugate "wrap" entry, but the mirror index is computed as W - x
+// instead of (W - x) % W, so for x == 0 it lands on (y+1)*W — the
+// primary output of a *different* thread. The wrap fill reads the slot
+// before accumulating into it, producing the write-after-read race the
+// paper reports.
+const (
+	ofMeshW    = 64
+	ofMeshH    = 32 // rows per Scale unit
+	ofBlockDim = 64
+	ofStride   = 9 // words between staged twiddle entries (bank-friendly, granule-hostile)
+)
+
+func init() {
+	register(&Benchmark{
+		Name:  "offt",
+		Desc:  "ocean simulation spectrum generation (CUDA SDK oceanFFT), with its address-calculation bug",
+		Input: fmt.Sprintf("mesh %dx%d", ofMeshW, ofMeshH),
+		Sites: []Site{
+			{ID: "offt.bar0", Kind: InjRemoveBarrier, Desc: "barrier after staging twiddles in shared"},
+			{ID: "offt.bar1", Kind: InjRemoveBarrier, Desc: "barrier between the two twiddle staging passes"},
+			{ID: "offt.dummy0", Kind: InjDummyCross, Desc: "cross-block store after the spectrum store"},
+		},
+		GlobalBytes: func(scale int) int {
+			n := ofMeshW * ofMeshH * scale
+			return n*4*2 + ofMeshW*scale*4 + dummyBytes + 4096
+		},
+		Build: buildOfft,
+	})
+}
+
+func buildOfft(d *gpu.Device, p Params) (*Plan, error) {
+	h := ofMeshH * p.scale()
+	n := ofMeshW * h
+	in, err := d.Malloc(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	out, err := d.Malloc((n + ofMeshW) * 4) // slack for the buggy wrap writes
+	if err != nil {
+		return nil, err
+	}
+	dummy, err := d.Malloc(dummyBytes)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		d.Global.SetF32(int(in)/4+i, float32(i%17)*0.25)
+	}
+
+	b := isa.NewBuilder("offt")
+	preamble(b)
+	// Stage "twiddle" values into shared with a 9-word stride: thread
+	// t writes shared[t*stride] and, after the barrier, reads its
+	// neighbour's entry shared[((t+1)%dim)*stride] — bank-conflict-free
+	// but scattered across shadow granules, which is what makes OFFT
+	// the Figure 8 outlier.
+	tileWords := int64(ofBlockDim * ofStride)
+	b.Muli(rA, rTid, ofStride)
+	b.Remi(rA, rA, tileWords)
+	b.Muli(rA, rA, 4)
+	b.ItoF(rB, rTid)
+	b.StF(isa.SpaceShared, rA, 0, rB)
+	bar(b, &p, "offt.bar0")
+	b.Addi(rO, rTid, 1)
+	b.Remi(rO, rO, ofBlockDim)
+	b.Muli(rO, rO, ofStride)
+	b.Muli(rO, rO, 4)
+	b.LdF(rC, isa.SpaceShared, rO, 0) // neighbour's staged value
+	b.Bar() // the second pass overwrites slots other threads just read
+	// Second staging pass: accumulate the neighbour value into this
+	// thread's slot, then read the next neighbour after a barrier.
+	b.StF(isa.SpaceShared, rA, 0, rC)
+	bar(b, &p, "offt.bar1")
+	b.Addi(rO, rTid, 17)
+	b.Remi(rO, rO, ofBlockDim)
+	b.Muli(rO, rO, ofStride)
+	b.Muli(rO, rO, 4)
+	b.LdF(rP, isa.SpaceShared, rO, 0)
+	b.FAdd(rC, rC, rP)
+
+	// Spectrum value: v = sin(w*k) * exp(-k/64) + staged, over the
+	// wave parameter w = in[gtid].
+	b.Ldp(rD, 0)
+	b.Muli(rE, rGtid, 4)
+	b.Add(rD, rD, rE)
+	b.LdF(rF, isa.SpaceGlobal, rD, 0)
+	b.ItoF(rG, rGtid)
+	b.MovF(rH, 1.0/64.0)
+	b.FMul(rH, rG, rH)
+	b.FMul(rI, rF, rG)
+	b.FSin(rI, rI)
+	b.MovF(rJ, -1.0)
+	b.FMul(rH, rH, rJ)
+	b.FExp(rH, rH)
+	b.FMul(rI, rI, rH)
+	b.FAdd(rI, rI, rC)
+	// out[y*W + x] = v, where y*W + x == gtid.
+	b.Ldp(rK, 1)
+	b.Muli(rE, rGtid, 4)
+	b.Add(rL, rK, rE)
+	b.StF(isa.SpaceGlobal, rL, 0, rI)
+	dummyCross(b, &p, "offt.dummy0", 2)
+
+	// Wrap fill for column 0: mirror = y*W + (W - x). For x == 0 that
+	// is (y+1)*W — another thread's primary slot. The fill accumulates
+	// (read-modify-write), so the collision is a WAR then WAW.
+	b.Remi(rM, rGtid, ofMeshW) // x
+	b.Setpi(0, isa.CmpEQ, rM, 0)
+	b.If(0)
+	b.Divi(rN, rGtid, ofMeshW) // y
+	b.Muli(rN, rN, ofMeshW)
+	b.Addi(rN, rN, ofMeshW) // y*W + (W - 0)  <- the bug: not mod W
+	b.Muli(rN, rN, 4)
+	b.Add(rN, rK, rN)
+	b.Note("wrap-entry read at y*W + (W-x): miscalculated mirror index")
+	b.LdF(rE, isa.SpaceGlobal, rN, 0)
+	b.FAdd(rE, rE, rI)
+	b.Note("wrap-entry write collides with the next row's spectrum store")
+	b.StF(isa.SpaceGlobal, rN, 0, rE)
+	b.EndIf()
+	b.Exit()
+
+	k := &gpu.Kernel{
+		Name: "offt", Prog: b.MustBuild(),
+		GridDim: n / ofBlockDim, BlockDim: ofBlockDim,
+		SharedBytes: int(tileWords) * 4,
+		Params:      []uint64{in, out, dummy},
+	}
+	// Partial verification: the documented bug only corrupts column-0
+	// slots (the wrap targets at (y+1)*W); every other output is
+	// deterministic and must match the host computation exactly.
+	verify := func(d *gpu.Device) error {
+		for gtid := 0; gtid < n; gtid++ {
+			if gtid%ofMeshW == 0 {
+				continue // wrap-write target or producer: race-dependent
+			}
+			tid := gtid % ofBlockDim
+			// Staged twiddle contribution: neighbours' pass-2 values.
+			c1 := float64((tid + 1) % ofBlockDim)
+			c2 := float64((tid + 18) % ofBlockDim)
+			rc := c1 + c2
+			w := float64(float32(gtid%17) * 0.25)
+			g := float64(gtid)
+			v := math.Sin(w*g)*math.Exp(-(g*(1.0/64.0))) + rc
+			want := float32(v)
+			if got := d.Global.F32(int(out)/4 + gtid); got != want {
+				return fmt.Errorf("offt: out[%d] = %v, want %v", gtid, got, want)
+			}
+		}
+		return nil
+	}
+	return &Plan{Kernels: []*gpu.Kernel{k}, AppBytes: n * 8, Verify: verify}, nil
+}

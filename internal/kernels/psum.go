@@ -1,0 +1,176 @@
+package kernels
+
+import (
+	"fmt"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// PSUM: the threadfence microbenchmark patterned on the CUDA
+// programming guide example the paper's Figure 1 is built from. Every
+// thread computes a partial sum of a slice of the input and writes it
+// to out[gtid]; a memory fence makes the partial visible; an atomicInc
+// on a completion counter elects the last thread, which reads all
+// partials and produces the final sum. Global-memory dominated (the
+// paper reports 87% global reads), with one removable fence.
+const (
+	psBlockDim = 64
+	psBlocks   = 8   // per Scale unit
+	psPerThr   = 128 // input elements per thread
+)
+
+func init() {
+	register(&Benchmark{
+		Name:  "psum",
+		Desc:  "partial-sum threadfence microbenchmark (CUDA guide threadfence example)",
+		Input: fmt.Sprintf("%d elements, %d threads", psBlocks*psBlockDim*psPerThr, psBlocks*psBlockDim),
+		Sites: []Site{
+			{ID: "psum.bar0", Kind: InjRemoveBarrier, Desc: "barrier before thread 0 scans the block's partials in shared"},
+			{ID: "psum.fence0", Kind: InjRemoveFence, Desc: "fence between the partial store and the done-counter increment"},
+			{ID: "psum.dummy0", Kind: InjDummyCross, Desc: "cross-block store after the partial store"},
+		},
+		GlobalBytes: func(scale int) int {
+			nt := psBlocks * scale * psBlockDim
+			return nt*psPerThr*4 + nt*4 + dummyBytes + 4096
+		},
+		Build: buildPsum,
+	})
+}
+
+func buildPsum(d *gpu.Device, p Params) (*Plan, error) {
+	blocks := psBlocks * p.scale()
+	threads := blocks * psBlockDim
+	n := threads * psPerThr
+	in, err := d.Malloc(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	out, err := d.Malloc(threads * 4)
+	if err != nil {
+		return nil, err
+	}
+	blockMax, err := d.Malloc(blocks * 4)
+	if err != nil {
+		return nil, err
+	}
+	result, err := d.Malloc(4)
+	if err != nil {
+		return nil, err
+	}
+	counter, err := d.Malloc(4)
+	if err != nil {
+		return nil, err
+	}
+	dummy, err := d.Malloc(dummyBytes)
+	if err != nil {
+		return nil, err
+	}
+	var want uint64
+	for i := 0; i < n; i++ {
+		v := uint32(i%31 + 1)
+		d.Global.SetU32(int(in)/4+i, v)
+		want += uint64(v)
+	}
+	want &= 0xFFFFFFFF
+
+	b := isa.NewBuilder("psum")
+	preamble(b)
+	b.Ldp(rA, 0) // in
+	// Coalesced grid-stride slice: sum = Σ in[gtid + k*threads].
+	b.Movi(rG, 0)
+	b.Movi(rI, 0)
+	b.Setpi(0, isa.CmpLT, rI, psPerThr)
+	b.While(0)
+	b.Muli(rC, rI, int64(threads))
+	b.Add(rC, rC, rGtid)
+	b.Muli(rC, rC, 4)
+	b.Add(rC, rA, rC)
+	b.Ld(rD, isa.SpaceGlobal, rC, 0, 4)
+	b.Add(rG, rG, rD)
+	b.Addi(rI, rI, 1)
+	b.Setpi(0, isa.CmpLT, rI, psPerThr)
+	b.EndWhile()
+	// out[gtid] = sum.
+	b.Ldp(rB, 1)
+	b.Muli(rC, rGtid, 4)
+	b.Add(rB, rB, rC)
+	b.Note("store out[gtid]; must be fenced before atomicInc")
+	b.St(isa.SpaceGlobal, rB, 0, rG, 4)
+	dummyCross(b, &p, "psum.dummy0", 4)
+	// Diagnostic: thread 0 records the block's largest partial.
+	b.Muli(rC, rTid, 4)
+	b.St(isa.SpaceShared, rC, 0, rG, 4)
+	bar(b, &p, "psum.bar0")
+	b.Setpi(3, isa.CmpEQ, rTid, 0)
+	b.If(3)
+	b.Movi(rH, 0)
+	b.Movi(rI, 0)
+	b.Setpi(4, isa.CmpLT, rI, psBlockDim)
+	b.While(4)
+	b.Muli(rC, rI, 4)
+	b.Ld(rD, isa.SpaceShared, rC, 0, 4)
+	b.Max(rH, rH, rD)
+	b.Addi(rI, rI, 1)
+	b.Setpi(4, isa.CmpLT, rI, psBlockDim)
+	b.EndWhile()
+	b.Ldp(rC, 5)
+	b.Muli(rD, rBid, 4)
+	b.Add(rC, rC, rD)
+	b.St(isa.SpaceGlobal, rC, 0, rH, 4)
+	b.EndIf()
+	fence(b, &p, "psum.fence0")
+	// old = atomicInc(counter, threads); last thread finishes.
+	b.Ldp(rE, 3)
+	b.Movi(rF, int64(threads))
+	b.Atom(rK, isa.AtomInc, isa.SpaceGlobal, rE, 0, rF, 0)
+	b.Setpi(1, isa.CmpEQ, rK, int64(threads-1))
+	b.If(1)
+	b.Movi(rG, 0)
+	b.Movi(rI, 0)
+	b.Setpi(2, isa.CmpLT, rI, int64(threads))
+	b.While(2)
+	b.Ldp(rB, 1)
+	b.Muli(rC, rI, 4)
+	b.Add(rB, rB, rC)
+	b.Note("last thread consumes out[i]")
+	b.Ld(rD, isa.SpaceGlobal, rB, 0, 4)
+	b.Add(rG, rG, rD)
+	b.Addi(rI, rI, 1)
+	b.Setpi(2, isa.CmpLT, rI, int64(threads))
+	b.EndWhile()
+	b.Ldp(rB, 2)
+	b.St(isa.SpaceGlobal, rB, 0, rG, 4)
+	b.EndIf()
+	b.Exit()
+
+	k := &gpu.Kernel{
+		Name: "psum", Prog: b.MustBuild(),
+		GridDim: blocks, BlockDim: psBlockDim,
+		SharedBytes: psBlockDim * 4,
+		Params:      []uint64{in, out, result, counter, dummy, blockMax},
+	}
+	verify := func(d *gpu.Device) error {
+		if got := uint64(d.Global.U32(int(result) / 4)); got != want {
+			return fmt.Errorf("psum: result = %d, want %d", got, want)
+		}
+		for blk := 0; blk < blocks; blk++ {
+			var wantMax uint32
+			for t := 0; t < psBlockDim; t++ {
+				gtid := blk*psBlockDim + t
+				var sum uint32
+				for k := 0; k < psPerThr; k++ {
+					sum += uint32((k*threads+gtid)%31 + 1)
+				}
+				if sum > wantMax {
+					wantMax = sum
+				}
+			}
+			if got := d.Global.U32(int(blockMax)/4 + blk); got != wantMax {
+				return fmt.Errorf("psum: blockMax[%d] = %d, want %d", blk, got, wantMax)
+			}
+		}
+		return nil
+	}
+	return &Plan{Kernels: []*gpu.Kernel{k}, AppBytes: n*4 + threads*4 + blocks*4 + 8, Verify: verify}, nil
+}

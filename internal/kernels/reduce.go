@@ -1,0 +1,204 @@
+package kernels
+
+import (
+	"fmt"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// REDUCE: single-kernel parallel sum. Each block reduces its chunk in
+// shared memory, writes a partial sum to global memory, executes a
+// memory fence, and atomically increments a completion counter; the
+// last block to finish reduces the partials into the final value.
+// The fence between the partial-sum store and the counter increment is
+// exactly what Section III-C's detection protects: removing it (the
+// "reduce.fence0" injection) lets the last block consume partials
+// before they are guaranteed visible.
+const (
+	rdBlockDim = 128
+	rdBlocks   = 16 // per Scale unit
+	rdPerThr   = 16 // elements per thread
+)
+
+func init() {
+	register(&Benchmark{
+		Name:  "reduce",
+		Desc:  "parallel reduction with last-block-done fence (CUDA SDK reduction + threadFenceReduction)",
+		Input: fmt.Sprintf("%d elements, %d blocks x %d threads", rdBlocks*rdBlockDim*rdPerThr, rdBlocks, rdBlockDim),
+		Sites: []Site{
+			{ID: "reduce.bar0", Kind: InjRemoveBarrier, Desc: "barrier after per-thread partial sums land in shared"},
+			{ID: "reduce.bar1", Kind: InjRemoveBarrier, Desc: "barrier inside the block tree reduction"},
+			{ID: "reduce.bar2", Kind: InjRemoveBarrier, Desc: "barrier inside the last block's final reduction"},
+			{ID: "reduce.fence0", Kind: InjRemoveFence, Desc: "fence between the partial-sum store and the done-counter increment"},
+			{ID: "reduce.dummy0", Kind: InjDummyCross, Desc: "cross-block store while accumulating"},
+			{ID: "reduce.dummy1", Kind: InjDummyCross, Desc: "cross-block store in the final reduction"},
+		},
+		GlobalBytes: func(scale int) int {
+			return rdBlocks*scale*rdBlockDim*rdPerThr*4 + rdBlocks*scale*4 + dummyBytes + 4096
+		},
+		Build: buildReduce,
+	})
+}
+
+func buildReduce(d *gpu.Device, p Params) (*Plan, error) {
+	blocks := rdBlocks * p.scale()
+	n := blocks * rdBlockDim * rdPerThr
+	in, err := d.Malloc(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	partials, err := d.Malloc(blocks * 4)
+	if err != nil {
+		return nil, err
+	}
+	result, err := d.Malloc(4)
+	if err != nil {
+		return nil, err
+	}
+	counter, err := d.Malloc(4)
+	if err != nil {
+		return nil, err
+	}
+	dummy, err := d.Malloc(dummyBytes)
+	if err != nil {
+		return nil, err
+	}
+	var want uint64
+	for i := 0; i < n; i++ {
+		v := uint32(i%97 + 1)
+		d.Global.SetU32(int(in)/4+i, v)
+		want += uint64(v)
+	}
+	want &= 0xFFFFFFFF
+
+	b := isa.NewBuilder("reduce")
+	preamble(b)
+	// Grid-stride accumulation: sum = Σ in[gtid + k*gridSize].
+	b.Ldp(rA, 0) // in
+	b.Mul(rB, rNtid, rNctaid)
+	b.Movi(rG, 0) // sum
+	b.Mov(rC, rGtid)
+	b.Setpi(0, isa.CmpLT, rC, int64(n))
+	b.While(0)
+	b.Muli(rD, rC, 4)
+	b.Add(rD, rA, rD)
+	b.Ld(rE, isa.SpaceGlobal, rD, 0, 4)
+	b.Add(rG, rG, rE)
+	b.Add(rC, rC, rB)
+	b.Setpi(0, isa.CmpLT, rC, int64(n))
+	b.EndWhile()
+	dummyCross(b, &p, "reduce.dummy0", 4)
+	// shared[tid] = sum; tree reduce.
+	b.Muli(rD, rTid, 4)
+	b.St(isa.SpaceShared, rD, 0, rG, 4)
+	bar(b, &p, "reduce.bar0")
+	b.Shri(rI, rNtid, 1)
+	b.Setpi(0, isa.CmpGE, rI, 1)
+	b.While(0)
+	b.Setp(1, isa.CmpLT, rTid, rI)
+	b.If(1)
+	b.Add(rE, rTid, rI)
+	b.Muli(rE, rE, 4)
+	b.Ld(rF, isa.SpaceShared, rE, 0, 4)
+	b.Muli(rD, rTid, 4)
+	b.Ld(rH, isa.SpaceShared, rD, 0, 4)
+	b.Add(rH, rH, rF)
+	b.St(isa.SpaceShared, rD, 0, rH, 4)
+	b.EndIf()
+	bar(b, &p, "reduce.bar1")
+	b.Shri(rI, rI, 1)
+	b.Setpi(0, isa.CmpGE, rI, 1)
+	b.EndWhile()
+
+	// Thread 0: partials[bid] = shared[0]; fence; old = atomicInc.
+	// isLast broadcast through a dedicated flag word *past* the
+	// reduction array (aliasing the array would be a real WAR race
+	// against the last block's re-use of the slots).
+	b.Setpi(2, isa.CmpEQ, rTid, 0)
+	b.If(2)
+	b.Movi(rD, 0)
+	b.Ld(rH, isa.SpaceShared, rD, 0, 4)
+	b.Ldp(rB, 1) // partials
+	b.Muli(rC, rBid, 4)
+	b.Add(rB, rB, rC)
+	b.Note("store partials[bid]; must be fenced before the done counter")
+	b.St(isa.SpaceGlobal, rB, 0, rH, 4)
+	fence(b, &p, "reduce.fence0")
+	b.Ldp(rE, 3) // counter
+	b.Subi(rF, rNctaid, 0)
+	b.Atom(rK, isa.AtomInc, isa.SpaceGlobal, rE, 0, rF, 0)
+	// isLast = (old == gridDim-1); stash in shared[1].
+	b.Subi(rF, rNctaid, 1)
+	b.Setp(3, isa.CmpEQ, rK, rF)
+	b.Movi(rL, 0)
+	b.Movi(rM, 1)
+	b.Selp(rN, 3, rM, rL)
+	b.Movi(rD, rdBlockDim*4)
+	b.St(isa.SpaceShared, rD, 0, rN, 4)
+	b.EndIf()
+	b.Bar() // broadcast isLast (not an injection site: removing it
+	// would break control flow, not just ordering)
+	b.Movi(rD, rdBlockDim*4)
+	b.Ld(rN, isa.SpaceShared, rD, 0, 4)
+	b.Setpi(4, isa.CmpEQ, rN, 1)
+	b.If(4)
+	// Last block: load partials into shared and tree-reduce them.
+	b.Movi(rG, 0)
+	b.Mov(rC, rTid)
+	b.Setpi(5, isa.CmpLT, rC, int64(blocks))
+	b.While(5)
+	b.Ldp(rB, 1)
+	b.Muli(rE, rC, 4)
+	b.Add(rB, rB, rE)
+	b.Note("last block consumes partials[i]")
+	b.Ld(rF, isa.SpaceGlobal, rB, 0, 4)
+	b.Add(rG, rG, rF)
+	b.Add(rC, rC, rNtid)
+	b.Setpi(5, isa.CmpLT, rC, int64(blocks))
+	b.EndWhile()
+	dummyCross(b, &p, "reduce.dummy1", 4)
+	b.Muli(rD, rTid, 4)
+	b.St(isa.SpaceShared, rD, 0, rG, 4)
+	b.Bar() // within the guarded region; uniform per block
+	b.Shri(rI, rNtid, 1)
+	b.Setpi(5, isa.CmpGE, rI, 1)
+	b.While(5)
+	b.Setp(6, isa.CmpLT, rTid, rI)
+	b.If(6)
+	b.Add(rE, rTid, rI)
+	b.Muli(rE, rE, 4)
+	b.Ld(rF, isa.SpaceShared, rE, 0, 4)
+	b.Muli(rD, rTid, 4)
+	b.Ld(rH, isa.SpaceShared, rD, 0, 4)
+	b.Add(rH, rH, rF)
+	b.St(isa.SpaceShared, rD, 0, rH, 4)
+	b.EndIf()
+	bar(b, &p, "reduce.bar2")
+	b.Shri(rI, rI, 1)
+	b.Setpi(5, isa.CmpGE, rI, 1)
+	b.EndWhile()
+	b.Setpi(6, isa.CmpEQ, rTid, 0)
+	b.If(6)
+	b.Movi(rD, 0)
+	b.Ld(rH, isa.SpaceShared, rD, 0, 4)
+	b.Ldp(rB, 2) // result
+	b.St(isa.SpaceGlobal, rB, 0, rH, 4)
+	b.EndIf()
+	b.EndIf()
+	b.Exit()
+
+	k := &gpu.Kernel{
+		Name: "reduce", Prog: b.MustBuild(),
+		GridDim: blocks, BlockDim: rdBlockDim,
+		SharedBytes: (rdBlockDim + 1) * 4,
+		Params:      []uint64{in, partials, result, counter, dummy},
+	}
+	verify := func(d *gpu.Device) error {
+		if got := uint64(d.Global.U32(int(result) / 4)); got != want {
+			return fmt.Errorf("reduce: result = %d, want %d", got, want)
+		}
+		return nil
+	}
+	return &Plan{Kernels: []*gpu.Kernel{k}, AppBytes: n*4 + blocks*4 + 8, Verify: verify}, nil
+}

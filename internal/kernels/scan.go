@@ -1,0 +1,129 @@
+package kernels
+
+import (
+	"fmt"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// SCAN: inclusive parallel prefix sum (Hillis-Steele) in shared
+// memory. The kernel is written for a single thread-block scanning one
+// array in place; the benchmark suite launches it with several blocks
+// "to scale up the workload", so all blocks read and write the same
+// global array — the documented bug whose cross-block races the paper
+// detects (Section VI-A). Params.SingleBlock launches the designed-for
+// configuration, which must be race-free.
+const (
+	scanBlockDim  = 256
+	scanBugBlocks = 4
+)
+
+func init() {
+	register(&Benchmark{
+		Name:  "scan",
+		Desc:  "parallel prefix sum (CUDA SDK scan), single-block kernel launched multi-block",
+		Input: fmt.Sprintf("%d elements", scanBlockDim),
+		Sites: []Site{
+			{ID: "scan.bar0", Kind: InjRemoveBarrier, Desc: "barrier after the global->shared load"},
+			{ID: "scan.bar1", Kind: InjRemoveBarrier, Desc: "barrier between the gather and scatter of each scan step"},
+			{ID: "scan.bar2", Kind: InjRemoveBarrier, Desc: "barrier at the end of each scan step"},
+			{ID: "scan.dummy0", Kind: InjDummyCross, Desc: "cross-block store after the result store"},
+		},
+		GlobalBytes: func(scale int) int { return scanBlockDim*8*scale + dummyBytes + 4096 },
+		Build:       buildScan,
+	})
+}
+
+func buildScan(d *gpu.Device, p Params) (*Plan, error) {
+	n := scanBlockDim // elements, one per thread
+	in, err := d.Malloc(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	out, err := d.Malloc(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	dummy, err := d.Malloc(dummyBytes)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		d.Global.SetU32(int(in)/4+i, uint32(i%7+1))
+	}
+
+	b := isa.NewBuilder("scan")
+	preamble(b)
+	// shared[tid] = in[tid]  (no bid offset: the documented bug).
+	b.Ldp(rA, 0)
+	b.Muli(rB, rTid, 4)
+	b.Add(rA, rA, rB)
+	b.Note("load in[tid] (all blocks read the same array)")
+	b.Ld(rC, isa.SpaceGlobal, rA, 0, 4)
+	b.Muli(rD, rTid, 4)
+	b.St(isa.SpaceShared, rD, 0, rC, 4)
+	bar(b, &p, "scan.bar0")
+
+	// Hillis-Steele: for d = 1; d < n; d <<= 1.
+	b.Movi(rI, 1)
+	b.Setpi(0, isa.CmpLT, rI, int64(n))
+	b.While(0)
+	// Gather: t = tid >= d ? shared[tid-d] : 0.
+	b.Movi(rE, 0)
+	b.Setp(1, isa.CmpGE, rTid, rI)
+	b.If(1)
+	b.Sub(rF, rTid, rI)
+	b.Muli(rF, rF, 4)
+	b.Ld(rE, isa.SpaceShared, rF, 0, 4)
+	b.EndIf()
+	bar(b, &p, "scan.bar1")
+	// Scatter: shared[tid] += t (for tid >= d).
+	b.Setp(1, isa.CmpGE, rTid, rI)
+	b.If(1)
+	b.Muli(rF, rTid, 4)
+	b.Ld(rG, isa.SpaceShared, rF, 0, 4)
+	b.Add(rG, rG, rE)
+	b.St(isa.SpaceShared, rF, 0, rG, 4)
+	b.EndIf()
+	bar(b, &p, "scan.bar2")
+	b.Shli(rI, rI, 1)
+	b.Setpi(0, isa.CmpLT, rI, int64(n))
+	b.EndWhile()
+
+	// out[tid] = shared[tid]  (again no bid offset).
+	b.Muli(rD, rTid, 4)
+	b.Ld(rC, isa.SpaceShared, rD, 0, 4)
+	b.Ldp(rA, 1)
+	b.Muli(rB, rTid, 4)
+	b.Add(rA, rA, rB)
+	b.Note("store out[tid] (all blocks write the same array)")
+	b.St(isa.SpaceGlobal, rA, 0, rC, 4)
+	dummyCross(b, &p, "scan.dummy0", 2)
+	b.Exit()
+
+	grid := scanBugBlocks * p.scale()
+	if p.SingleBlock {
+		grid = 1
+	}
+	k := &gpu.Kernel{
+		Name: "scan", Prog: b.MustBuild(),
+		GridDim: grid, BlockDim: scanBlockDim,
+		SharedBytes: scanBlockDim * 4,
+		Params:      []uint64{in, out, dummy},
+	}
+	var verify func(d *gpu.Device) error
+	if p.SingleBlock {
+		verify = func(d *gpu.Device) error {
+			var run uint32
+			for i := 0; i < n; i++ {
+				run += uint32(i%7 + 1)
+				if got := d.Global.U32(int(out)/4 + i); got != run {
+					return fmt.Errorf("scan: out[%d] = %d, want %d", i, got, run)
+				}
+			}
+			return nil
+		}
+	}
+	return &Plan{Kernels: []*gpu.Kernel{k}, AppBytes: n * 8, Verify: verify}, nil
+}

@@ -1,0 +1,30 @@
+package mem
+
+// Coalesce groups the byte addresses touched by a warp's global/local
+// memory instruction into the minimal set of aligned segments
+// (transactions) of segBytes each, the way the GPU's coalescing unit
+// does. Accesses spanning a segment boundary contribute to both
+// segments. The returned slice is sorted by construction order
+// (first-touch), which is deterministic for a given warp.
+func Coalesce(addrs []uint64, accessBytes int, segBytes int) []uint64 {
+	if len(addrs) == 0 {
+		return nil
+	}
+	seg := uint64(segBytes)
+	var out []uint64
+	seen := make(map[uint64]struct{}, 4)
+	add := func(a uint64) {
+		base := a &^ (seg - 1)
+		if _, dup := seen[base]; !dup {
+			seen[base] = struct{}{}
+			out = append(out, base)
+		}
+	}
+	for _, a := range addrs {
+		add(a)
+		if end := a + uint64(accessBytes) - 1; end&^(seg-1) != a&^(seg-1) {
+			add(end)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package mem
+
+import "fmt"
+
+// PartitionConfig describes one memory partition (the paper's "memory
+// slice"): a bank of the unified L2 plus one DRAM channel.
+type PartitionConfig struct {
+	L2            CacheConfig
+	DRAM          DRAMConfig
+	L2Latency     int64 // L2 hit latency in cycles
+	AtomicLatency int64 // extra cycles for an atomic's read-modify-write at the partition
+}
+
+// Partition is one memory slice. Global-memory transactions from all
+// SMs arrive here (via the interconnect), probe the L2 bank and fall
+// through to DRAM on a miss. The global-memory RDU of the paper lives
+// next to this structure and injects shadow-memory transactions
+// through the same L2/DRAM path — that shared path is what produces
+// the L2-pollution slowdown of Figures 7 and 9.
+type Partition struct {
+	ID   int
+	L2   *Cache
+	DRAM *DRAM
+
+	cfg      PartitionConfig
+	portFree int64
+
+	// Stats.
+	Transactions int64
+	Atomics      int64
+	ShadowAccess int64 // transactions injected by the race-detection unit
+}
+
+// NewPartition builds a memory slice.
+func NewPartition(id int, cfg PartitionConfig) (*Partition, error) {
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("mem: partition %d: %w", id, err)
+	}
+	return &Partition{ID: id, L2: l2, DRAM: NewDRAM(cfg.DRAM), cfg: cfg}, nil
+}
+
+// Access services one line transaction arriving at the given cycle and
+// returns its completion cycle. atomic requests pay the partition's
+// read-modify-write latency; shadow marks RDU-injected traffic for
+// accounting (it shares the L2/DRAM datapath with demand traffic).
+func (p *Partition) Access(arrival int64, lineAddr uint64, write, atomic, shadow bool) int64 {
+	start := arrival
+	if p.portFree > start {
+		start = p.portFree
+	}
+	p.portFree = start + 1 // one transaction per cycle through the L2 port
+	p.Transactions++
+	if shadow {
+		p.ShadowAccess++
+	}
+	if atomic {
+		p.Atomics++
+	}
+
+	res := p.L2.Access(lineAddr, write, start)
+	done := start + p.cfg.L2Latency
+	if res.Writeback {
+		// Dirty victim drains to DRAM off the critical path; it still
+		// occupies the DRAM bus, which is what utilization measures.
+		p.DRAM.Service(done, res.WritebackAddr, true)
+	}
+	if !res.Hit {
+		// Miss: the L2 is write-back/write-allocate, so both read and
+		// write misses fetch the line from DRAM.
+		done = p.DRAM.Service(done, lineAddr, false)
+	}
+	if atomic {
+		done += p.cfg.AtomicLatency
+		p.portFree = done // atomics serialize at the partition
+	}
+	return done
+}
+
+// ResetStats clears the per-launch counters (cache stats included).
+func (p *Partition) ResetStats() {
+	p.Transactions = 0
+	p.Atomics = 0
+	p.ShadowAccess = 0
+	p.L2.Stats = CacheStats{}
+	p.DRAM.ResetStats()
+}

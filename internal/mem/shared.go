@@ -1,0 +1,75 @@
+package mem
+
+// SharedConfig describes the banked per-SM shared memory (scratchpad).
+type SharedConfig struct {
+	SizeBytes int // per SM; the paper models 16KB (GT200)
+	Banks     int // 16 on GT200
+	BankWidth int // bytes served per bank per cycle (4)
+}
+
+// DefaultSharedConfig matches the paper's Quadro FX5800 configuration.
+var DefaultSharedConfig = SharedConfig{SizeBytes: 16 << 10, Banks: 16, BankWidth: 4}
+
+// Shared is one SM's shared memory: a flat tile plus the bank-conflict
+// model. Blocks resident on the same SM receive disjoint static
+// partitions of the tile, handled by the execution engine.
+type Shared struct {
+	cfg SharedConfig
+	Mem *Memory
+
+	// Stats.
+	Accesses       int64
+	ConflictCycles int64
+}
+
+// NewShared allocates a shared-memory tile.
+func NewShared(cfg SharedConfig) *Shared {
+	return &Shared{cfg: cfg, Mem: NewMemory("shared", cfg.SizeBytes)}
+}
+
+// Config returns the tile geometry.
+func (s *Shared) Config() SharedConfig { return s.cfg }
+
+// ConflictCycles computes how many cycles a warp's shared-memory
+// access occupies: the maximum number of distinct words mapped to any
+// single bank (accesses to the same word broadcast and count once).
+// addrs lists the byte addresses of active lanes only.
+func (s *Shared) ConflictCyclesFor(addrs []uint64) int64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	// Per bank, count distinct word addresses.
+	type bw struct {
+		bank int
+		word uint64
+	}
+	seen := make(map[bw]struct{}, len(addrs))
+	perBank := make(map[int]int64, s.cfg.Banks)
+	for _, a := range addrs {
+		word := a / uint64(s.cfg.BankWidth)
+		bank := int(word % uint64(s.cfg.Banks))
+		k := bw{bank, word}
+		if _, dup := seen[k]; dup {
+			continue // broadcast
+		}
+		seen[k] = struct{}{}
+		perBank[bank]++
+	}
+	var maxC int64 = 1
+	for _, c := range perBank {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	s.Accesses++
+	s.ConflictCycles += maxC - 1
+	return maxC
+}
+
+// Clear zeroes the tile (block launch semantics).
+func (s *Shared) Clear(base, size int) {
+	b := s.Mem.Bytes()
+	for i := base; i < base+size && i < len(b); i++ {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,74 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: arrival is never before departure + base latency, and a
+// port never delivers two packets in the same occupancy window.
+func TestPropertyArrivalMonotone(t *testing.T) {
+	cfg := Config{LatencyCycles: 15, FlitBytes: 32, FlitsPerCycle: 1, MetaBytesBase: 8}
+	f := func(departs []uint16, payloads []uint8) bool {
+		n := New(cfg, 2)
+		var lastArrive int64
+		var depart int64
+		for i, d := range departs {
+			depart += int64(d % 64)
+			pay := 0
+			if i < len(payloads) {
+				pay = int(payloads[i]) % 256
+			}
+			arrive := n.Send(0, depart, pay)
+			if arrive < depart+cfg.LatencyCycles {
+				return false
+			}
+			if arrive < lastArrive { // same port: FIFO-ish ordering
+				return false
+			}
+			lastArrive = arrive
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flit accounting matches payload sizes: total flits >= one
+// per packet, and grows with payload.
+func TestPropertyFlitAccounting(t *testing.T) {
+	cfg := DefaultConfig
+	rng := rand.New(rand.NewSource(9))
+	n := New(cfg, 4)
+	packets := int64(0)
+	for i := 0; i < 500; i++ {
+		n.Send(rng.Intn(4), int64(i), rng.Intn(256))
+		packets++
+	}
+	if n.FlitCount < packets {
+		t.Fatalf("flits %d < packets %d", n.FlitCount, packets)
+	}
+	// A second network carrying bigger payloads must move more flits.
+	big := New(cfg, 4)
+	for i := 0; i < 500; i++ {
+		big.Send(i%4, int64(i), 256)
+	}
+	if big.FlitCount <= n.FlitCount {
+		t.Fatalf("bigger payloads moved fewer flits: %d vs %d", big.FlitCount, n.FlitCount)
+	}
+}
+
+// Property: ports are independent — traffic on one never delays another.
+func TestPropertyPortIndependence(t *testing.T) {
+	cfg := Config{LatencyCycles: 10, FlitBytes: 32, FlitsPerCycle: 1, MetaBytesBase: 8}
+	loaded := New(cfg, 2)
+	for i := 0; i < 100; i++ {
+		loaded.Send(0, 0, 128) // hammer port 0
+	}
+	quiet := New(cfg, 2)
+	if loaded.Send(1, 50, 0) != quiet.Send(1, 50, 0) {
+		t.Fatal("port 1 delayed by port 0 traffic")
+	}
+}

@@ -1,0 +1,199 @@
+// Package trace records simulation events — kernel launches, barrier
+// episodes, fences, race reports — into a structured log that can be
+// rendered as a text timeline or exported as JSON lines for external
+// tooling. It attaches to the engine through the same gpu.Detector
+// hook the race detectors use and can wrap another detector, so a run
+// can be traced and checked simultaneously.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"haccrg/internal/core"
+	"haccrg/internal/gpu"
+)
+
+// Kind labels a recorded event.
+type Kind string
+
+// Event kinds.
+const (
+	KindKernelStart Kind = "kernel-start"
+	KindKernelEnd   Kind = "kernel-end"
+	KindBarrier     Kind = "barrier"
+	KindMemSample   Kind = "mem-sample"
+	KindRace        Kind = "race"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq    int    `json:"seq"`
+	Kind   Kind   `json:"kind"`
+	Cycle  int64  `json:"cycle,omitempty"`
+	Kernel string `json:"kernel,omitempty"`
+	SM     int    `json:"sm,omitempty"`
+	Block  int    `json:"block,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder implements gpu.Detector, logging events and optionally
+// forwarding everything to an inner detector (e.g. HAccRG).
+type Recorder struct {
+	inner gpu.Detector
+
+	// SampleEvery records one mem-sample event per N warp memory
+	// instructions (0 disables sampling).
+	SampleEvery int
+
+	events  []Event
+	seq     int
+	counter int
+	kernel  string
+
+	raceBase int // inner race count at last check
+}
+
+// New builds a Recorder wrapping inner (nil for trace-only runs).
+func New(inner gpu.Detector) *Recorder {
+	if inner == nil {
+		inner = gpu.NopDetector{}
+	}
+	return &Recorder{inner: inner, SampleEvery: 0}
+}
+
+// Inner returns the wrapped detector.
+func (r *Recorder) Inner() gpu.Detector { return r.inner }
+
+// Events returns the recorded log in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+func (r *Recorder) add(e Event) {
+	r.seq++
+	e.Seq = r.seq
+	r.events = append(r.events, e)
+}
+
+// Name implements gpu.Detector.
+func (r *Recorder) Name() string { return "trace(" + r.inner.Name() + ")" }
+
+// KernelStart implements gpu.Detector.
+func (r *Recorder) KernelStart(env gpu.Env, kernel string) {
+	r.kernel = kernel
+	r.add(Event{Kind: KindKernelStart, Kernel: kernel})
+	r.inner.KernelStart(env, kernel)
+}
+
+// KernelEnd implements gpu.Detector.
+func (r *Recorder) KernelEnd() {
+	r.add(Event{Kind: KindKernelEnd, Kernel: r.kernel})
+	r.inner.KernelEnd()
+}
+
+// BlockStart implements gpu.Detector.
+func (r *Recorder) BlockStart(sm, base, size int) {
+	r.inner.BlockStart(sm, base, size)
+}
+
+// WarpMem implements gpu.Detector.
+func (r *Recorder) WarpMem(ev *gpu.WarpMemEvent) int64 {
+	r.counter++
+	if r.SampleEvery > 0 && r.counter%r.SampleEvery == 0 {
+		r.add(Event{
+			Kind: KindMemSample, Cycle: ev.Cycle, Kernel: r.kernel,
+			SM: ev.SM, Block: ev.Block,
+			Detail: fmt.Sprintf("%s %s pc=%d lanes=%d", ev.Space, rw(ev), ev.PC, len(ev.Lanes)),
+		})
+	}
+	stall := r.inner.WarpMem(ev)
+	r.recordNewRaces(ev.Cycle)
+	return stall
+}
+
+func rw(ev *gpu.WarpMemEvent) string {
+	switch {
+	case ev.Atomic:
+		return "atomic"
+	case ev.Write:
+		return "write"
+	default:
+		return "read"
+	}
+}
+
+// Barrier implements gpu.Detector.
+func (r *Recorder) Barrier(sm, block, base, size int, cycle int64) int64 {
+	r.add(Event{Kind: KindBarrier, Cycle: cycle, Kernel: r.kernel, SM: sm, Block: block})
+	return r.inner.Barrier(sm, block, base, size, cycle)
+}
+
+// recordNewRaces mirrors the inner HAccRG detector's new race records
+// into the event log, when the inner detector is one.
+func (r *Recorder) recordNewRaces(cycle int64) {
+	det, ok := r.inner.(*core.Detector)
+	if !ok {
+		return
+	}
+	races := det.Races()
+	for ; r.raceBase < len(races); r.raceBase++ {
+		rc := races[r.raceBase]
+		r.add(Event{
+			Kind: KindRace, Cycle: cycle, Kernel: rc.Kernel,
+			Block:  rc.SecondBlock,
+			Detail: rc.String(),
+		})
+	}
+}
+
+// WriteJSONL streams the log as JSON lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.events {
+		if err := enc.Encode(&r.events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timeline renders a compact text view: one line per event, indented
+// by kernel, with race events highlighted.
+func (r *Recorder) Timeline() string {
+	var sb strings.Builder
+	for i := range r.events {
+		e := &r.events[i]
+		marker := "  "
+		if e.Kind == KindRace {
+			marker = "!!"
+		}
+		fmt.Fprintf(&sb, "%s %6d %-13s %s", marker, e.Cycle, e.Kind, e.Kernel)
+		if e.Detail != "" {
+			fmt.Fprintf(&sb, "  %s", e.Detail)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Summary tallies events by kind.
+func (r *Recorder) Summary() map[Kind]int {
+	m := map[Kind]int{}
+	for i := range r.events {
+		m[r.events[i].Kind]++
+	}
+	return m
+}
+
+// KindsSeen returns the event kinds present, sorted, for reports.
+func (r *Recorder) KindsSeen() []Kind {
+	m := r.Summary()
+	out := make([]Kind, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"haccrg/internal/core"
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// racyKernel: two warps collide on shared memory with no barrier.
+func racyKernel() *gpu.Kernel {
+	b := isa.NewBuilder("traced")
+	b.Sreg(1, isa.SregTid)
+	b.Remi(2, 1, 32)
+	b.Muli(2, 2, 4)
+	b.St(isa.SpaceShared, 2, 0, 1, 4)
+	b.Bar()
+	b.Ld(3, isa.SpaceShared, 2, 0, 4)
+	b.Exit()
+	return &gpu.Kernel{Name: "traced", Prog: b.MustBuild(), GridDim: 1, BlockDim: 64, SharedBytes: 256}
+}
+
+func runTraced(t *testing.T, rec *Recorder) {
+	t.Helper()
+	dev, err := gpu.NewDevice(gpu.TestConfig(), 1<<14, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch(racyKernel()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newHaccrg(t *testing.T) *core.Detector {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.Global = false
+	opt.DetectStaleL1 = false
+	opt.SharedGranularity = 4
+	return core.MustNew(opt)
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	rec := New(nil)
+	runTraced(t, rec)
+	sum := rec.Summary()
+	if sum[KindKernelStart] != 1 || sum[KindKernelEnd] != 1 {
+		t.Fatalf("kernel lifecycle events missing: %v", sum)
+	}
+	if sum[KindBarrier] != 1 {
+		t.Fatalf("barrier events = %d, want 1", sum[KindBarrier])
+	}
+	if sum[KindRace] != 0 {
+		t.Fatalf("trace-only recorder produced race events: %v", sum)
+	}
+}
+
+func TestRecorderWrapsDetector(t *testing.T) {
+	det := newHaccrg(t)
+	rec := New(det)
+	runTraced(t, rec)
+	// The kernel's first phase writes warp-interleaved; the WAW from
+	// the two warps' stores appears before the barrier.
+	if len(det.Races()) == 0 {
+		t.Fatal("wrapped detector lost its events")
+	}
+	if rec.Summary()[KindRace] != len(det.Races()) {
+		t.Fatalf("race events %d, detector races %d", rec.Summary()[KindRace], len(det.Races()))
+	}
+	if !strings.Contains(rec.Timeline(), "!!") {
+		t.Fatal("timeline does not highlight races")
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	rec := New(nil)
+	rec.SampleEvery = 2
+	runTraced(t, rec)
+	if rec.Summary()[KindMemSample] == 0 {
+		t.Fatal("sampling enabled but no samples recorded")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rec := New(newHaccrg(t))
+	runTraced(t, rec)
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	n := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", n, err)
+		}
+		n++
+	}
+	if n != len(rec.Events()) {
+		t.Fatalf("JSONL emitted %d lines for %d events", n, len(rec.Events()))
+	}
+}
+
+func TestEventsOrderedBySeq(t *testing.T) {
+	rec := New(newHaccrg(t))
+	runTraced(t, rec)
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("event sequence numbers not increasing")
+		}
+	}
+	if len(rec.KindsSeen()) < 3 {
+		t.Fatalf("expected several event kinds, got %v", rec.KindsSeen())
+	}
+}
