@@ -17,17 +17,40 @@ import (
 	"os"
 
 	"haccrg"
+	"haccrg/internal/harness"
 )
+
+// fatalf reports an error and exits non-zero; CLI failures are error
+// messages, never panics.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "haccrg-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
 		all      = flag.Bool("all", false, "run every experiment")
 		tableNum = flag.Int("table", 0, "regenerate one table (1-4)")
 		figNum   = flag.Int("fig", 0, "regenerate one figure (7-9)")
-		exp      = flag.String("exp", "", "named experiment: races, injected, bloom, ids, hw, tlb, regroup, bloom-e2e, syncid, sched")
+		exp      = flag.String("exp", "", "named experiment: races, injected, bloom, ids, hw, tlb, regroup, bloom-e2e, syncid, sched, faults")
 		scale    = flag.Int("scale", 2, "input scale factor for timed experiments")
+
+		faultPlan   = flag.String("fault-plan", "", "fault plan merged into every sweep run (e.g. queue:cap=16,drain=1)")
+		faultSeed   = flag.Int64("seed", 0, "fault-injection PRNG seed")
+		degradation = flag.String("degradation", "", "corrupt-granule policy: quarantine or reinit")
+		timeout     = flag.Duration("timeout", 0, "wall-clock watchdog per sweep run (0 = none)")
+		maxCycles   = flag.Int64("max-cycles", 0, "simulated-cycle budget per sweep run (0 = unlimited)")
+		healthCSV   = flag.String("health-csv", "", "write the fault study's health columns to this CSV file")
 	)
 	flag.Parse()
+
+	haccrg.SetSweepDefaults(haccrg.SweepDefaults{
+		FaultPlan:   *faultPlan,
+		FaultSeed:   *faultSeed,
+		Degradation: *degradation,
+		MaxCycles:   *maxCycles,
+		Timeout:     *timeout,
+	})
 
 	ran := false
 	run := func(title string, f func() (string, error)) {
@@ -35,8 +58,7 @@ func main() {
 		fmt.Printf("==== %s ====\n", title)
 		txt, err := f()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "haccrg-bench:", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		fmt.Println(txt)
 	}
@@ -134,6 +156,26 @@ func main() {
 	if *all || *exp == "syncid" {
 		run("Section IV-B: sync-ID increment gating ablation (extension)", func() (string, error) {
 			return e.SyncIDGating(1)
+		})
+	}
+	if *all || *exp == "faults" {
+		run("Fault injection: RDU degradation study (extension)", func() (string, error) {
+			rows, txt, err := e.FaultStudy(1, *faultSeed)
+			if err != nil {
+				return "", err
+			}
+			if *healthCSV != "" {
+				f, err := os.Create(*healthCSV)
+				if err != nil {
+					return "", err
+				}
+				defer f.Close()
+				if err := harness.WriteFaultStudyCSV(f, rows); err != nil {
+					return "", err
+				}
+				txt += fmt.Sprintf("\nhealth columns written to %s\n", *healthCSV)
+			}
+			return txt, nil
 		})
 	}
 

@@ -32,10 +32,12 @@ func main() {
 	}
 	bm := haccrg.GetBenchmark(*bench)
 	if bm == nil {
-		fmt.Fprintf(os.Stderr, "haccrg-disasm: unknown benchmark %q\n", *bench)
-		os.Exit(2)
+		fatalf("unknown benchmark %q", *bench)
 	}
-	dev := haccrg.MustNewDevice(haccrg.SmallGPU(), bm.GlobalBytes(1), nil)
+	dev, err := haccrg.NewDevice(haccrg.SmallGPU(), bm.GlobalBytes(1), nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	p := haccrg.BenchParams{Scale: 1, SingleBlock: *single}
 	if *inject != "" {
 		p.Inject = map[string]bool{}
@@ -45,12 +47,18 @@ func main() {
 	}
 	plan, err := bm.Build(dev, p)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "haccrg-disasm:", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	for _, k := range plan.Kernels {
 		fmt.Printf("kernel %s  <<<grid %d x block %d, %dB shared, %d params>>>\n",
 			k.Name, k.GridDim, k.BlockDim, k.SharedBytes, len(k.Params))
 		fmt.Println(k.Prog.Disassemble())
 	}
+}
+
+// fatalf reports an error and exits non-zero; CLI failures are error
+// messages, never panics.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "haccrg-disasm: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,13 @@ import (
 
 	"haccrg"
 )
+
+// fatalf reports an error and exits non-zero; CLI failures are error
+// messages, never panics.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "haccrg: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -36,6 +44,12 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit a machine-readable JSON race report")
 		traceOut    = flag.Bool("trace", false, "print an event timeline after the run")
 		maxRaces    = flag.Int("max-races", 20, "maximum distinct races to print")
+
+		faultPlan   = flag.String("fault-plan", "", "fault-injection plan, e.g. queue:cap=16,drain=1;flip:rate=1e-5,ecc")
+		faultSeed   = flag.Int64("seed", 0, "fault-injection PRNG seed (same plan+seed = same run)")
+		degradation = flag.String("degradation", "quarantine", "corrupt-granule policy: quarantine or reinit")
+		timeout     = flag.Duration("timeout", 0, "wall-clock watchdog for the run (0 = none), e.g. 30s")
+		maxCycles   = flag.Int64("max-cycles", 0, "simulated-cycle budget for the run (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -56,6 +70,11 @@ func main() {
 		SingleBlock: *singleBlock,
 		Verify:      *verify,
 		Trace:       *traceOut,
+		FaultPlan:   *faultPlan,
+		FaultSeed:   *faultSeed,
+		Degradation: *degradation,
+		MaxCycles:   *maxCycles,
+		Timeout:     *timeout,
 	}
 	if *small {
 		cfg := haccrg.SmallGPU()
@@ -84,8 +103,16 @@ func main() {
 
 	res, err := haccrg.RunBenchmark(*bench, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "haccrg:", err)
-		os.Exit(1)
+		var hang *haccrg.HangError
+		if errors.As(err, &hang) && res != nil {
+			// Guard-rail trip: structured diagnostics plus the partial
+			// stats the aborted run still produced.
+			fmt.Fprint(os.Stderr, hang.Diagnose())
+			fmt.Fprintf(os.Stderr, "haccrg: partial run: %d cycles, %d blocks retired\n",
+				res.Stats.Cycles, res.Stats.BlocksRetired)
+			os.Exit(4)
+		}
+		fatalf("%v", err)
 	}
 
 	if *jsonOut {
@@ -112,6 +139,9 @@ func main() {
 	fmt.Printf("barriers       %d  fences %d  divergences %d\n", st.Barriers, st.Fences, st.Divergences)
 	fmt.Printf("L1 hit rate    %.1f%%   L2 hit rate %.1f%%\n", 100*st.L1.HitRate(), 100*st.L2.HitRate())
 	fmt.Printf("DRAM util      %.1f%%   shadow txs %d\n", 100*st.DRAMUtil, st.ShadowTx)
+	if res.Health != nil {
+		fmt.Println(res.Health)
+	}
 
 	if opts.Detection == nil {
 		return

@@ -16,9 +16,12 @@
 package haccrg
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"haccrg/internal/core"
+	"haccrg/internal/fault"
 	"haccrg/internal/gpu"
 	"haccrg/internal/harness"
 	"haccrg/internal/isa"
@@ -51,7 +54,24 @@ type (
 	BenchParams = kernels.Params
 	// ProgramBuilder assembles kernels in the simulator's ISA.
 	ProgramBuilder = isa.Builder
+	// HangError is the structured abort report of a launch that
+	// deadlocked, exhausted its cycle budget, or was canceled; it
+	// carries per-block barrier-wait diagnostics (see Diagnose).
+	HangError = gpu.HangError
+	// LaunchLimits bounds a kernel launch (simulated-cycle budget).
+	LaunchLimits = gpu.LaunchLimits
+	// DetectorHealth is the detector's graceful-degradation report:
+	// dropped checks, applied corruption, quarantines, and an estimate
+	// of the resulting false-negative exposure.
+	DetectorHealth = gpu.DetectorHealth
+	// FaultPlan is a deterministic fault-injection plan for the RDU
+	// pipeline and shadow memory.
+	FaultPlan = fault.Plan
 )
+
+// ParseFaultPlan parses a fault-plan spec such as
+// "queue:cap=16,drain=1;flip:rate=1e-5,ecc;spike:extra=400,period=64".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
 
 // Race kind and category constants, re-exported.
 const (
@@ -126,6 +146,22 @@ type RunOptions struct {
 	// Trace records an event timeline (kernel lifecycle, barriers,
 	// races) alongside the run.
 	Trace bool
+
+	// FaultPlan is a fault-injection spec (see ParseFaultPlan); empty
+	// runs fault-free. Requires Detection.
+	FaultPlan string
+	// FaultSeed seeds the fault injector; the same plan and seed
+	// reproduce the same faults byte for byte.
+	FaultSeed int64
+	// Degradation is the corrupt-granule policy: "quarantine"
+	// (default) or "reinit".
+	Degradation string
+	// MaxCycles aborts the run once the simulated clock passes this
+	// budget (0 = unlimited); the error is a *HangError with partial
+	// stats still returned.
+	MaxCycles int64
+	// Timeout is a wall-clock watchdog over the whole run (0 = none).
+	Timeout time.Duration
 }
 
 // RunResult is RunBenchmark's outcome.
@@ -137,6 +173,9 @@ type RunResult struct {
 	Report *core.Report
 	// Trace is the recorded event log (nil unless RunOptions.Trace).
 	Trace *trace.Recorder
+	// Health is the detector's degradation report (nil when detection
+	// is off).
+	Health *DetectorHealth
 }
 
 // RunBenchmark builds, runs and optionally verifies one benchmark.
@@ -151,11 +190,30 @@ func RunBenchmark(name string, opts RunOptions) (*RunResult, error) {
 	var det gpu.Detector = gpu.NopDetector{}
 	var coreDet *core.Detector
 	if opts.Detection != nil {
-		d, err := core.New(*opts.Detection)
+		dopt := *opts.Detection
+		if opts.FaultPlan != "" {
+			p, err := fault.Parse(opts.FaultPlan)
+			if err != nil {
+				return nil, err
+			}
+			dopt.Fault = p
+			dopt.FaultSeed = opts.FaultSeed
+		}
+		switch opts.Degradation {
+		case "", "quarantine":
+			dopt.Degradation = core.DegradeQuarantine
+		case "reinit":
+			dopt.Degradation = core.DegradeReinit
+		default:
+			return nil, fmt.Errorf("haccrg: unknown degradation policy %q (want quarantine or reinit)", opts.Degradation)
+		}
+		d, err := core.New(dopt)
 		if err != nil {
 			return nil, err
 		}
 		det, coreDet = d, d
+	} else if opts.FaultPlan != "" {
+		return nil, fmt.Errorf("haccrg: FaultPlan requires Detection (there is no RDU pipeline to fault)")
 	}
 	var rec *trace.Recorder
 	if opts.Trace {
@@ -181,21 +239,29 @@ func RunBenchmark(name string, opts RunOptions) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats, err := plan.Run(dev)
-	if err != nil {
-		return nil, err
+	ctx := context.Background()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
 	}
-	if opts.Verify && plan.Verify != nil {
+	stats, runErr := plan.RunContext(ctx, dev, gpu.LaunchLimits{MaxCycles: opts.MaxCycles})
+	if stats == nil {
+		return nil, runErr
+	}
+	if runErr == nil && opts.Verify && plan.Verify != nil {
 		if err := plan.Verify(dev); err != nil {
 			return nil, err
 		}
 	}
-	res := &RunResult{Stats: stats, Trace: rec}
+	// On an aborted run (a *HangError) the result is returned alongside
+	// the error: partial stats, the races found so far, and health.
+	res := &RunResult{Stats: stats, Trace: rec, Health: stats.Health}
 	if coreDet != nil {
 		res.Races = coreDet.SortedRaces()
 		res.Report = coreDet.Report()
 	}
-	return res, nil
+	return res, runErr
 }
 
 func tlbDefaultConfig() tlb.Config { return tlb.DefaultConfig }
@@ -229,6 +295,7 @@ var Experiments = struct {
 	BloomEndToEnd    func() (string, error)
 	SyncIDGating     func(scale int) (string, error)
 	SchedulerStudy   func(scale int) (string, error)
+	FaultStudy       func(scale int, seed int64) ([]harness.FaultStudyRow, string, error)
 }{
 	Table1:       harness.Table1,
 	Table2:       harness.Table2,
@@ -252,4 +319,14 @@ var Experiments = struct {
 	BloomEndToEnd:  harness.BloomEndToEnd,
 	SyncIDGating:   harness.SyncIDGatingStudy,
 	SchedulerStudy: harness.SchedulerStudy,
+	FaultStudy:     harness.FaultStudy,
 }
+
+// SweepDefaults mirrors harness.SweepDefaults for CLI use.
+type SweepDefaults = harness.SweepDefaults
+
+// SetSweepDefaults installs process-wide fault/guard-rail defaults
+// merged into every experiment sweep run (how the CLIs thread
+// -fault-plan/-seed/-timeout/-max-cycles through the experiment
+// drivers).
+func SetSweepDefaults(d SweepDefaults) { harness.SetSweepDefaults(d) }

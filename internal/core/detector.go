@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"haccrg/internal/bloom"
+	"haccrg/internal/fault"
 	"haccrg/internal/gpu"
 	"haccrg/internal/isa"
 )
@@ -53,6 +54,17 @@ type Detector struct {
 	sites map[siteKey]struct{}
 
 	stats Stats
+
+	// Fault-injection state (see health.go). inj is non-nil only when
+	// Options.Fault holds a non-empty plan; all fault hooks are gated
+	// on it so the fault-free path stays byte-identical to a build
+	// without the subsystem.
+	inj        *fault.Injector
+	health     gpu.DetectorHealth
+	quarShared map[uint64]struct{} // quarantined shared cells, (sm<<40 | granule)
+	quarGlobal map[uint64]struct{} // quarantined global granules
+	fillSum    float64             // summed lockset-signature fill ratios
+	fillN      int64               // observations behind fillSum
 }
 
 // New builds a detector; options must validate.
@@ -65,6 +77,7 @@ func New(opt Options) (*Detector, error) {
 		globalShadow: make(map[uint64]*globalEntry),
 		seen:         make(map[raceKey]*Race),
 		sites:        make(map[siteKey]struct{}),
+		inj:          fault.New(opt.Fault, opt.FaultSeed),
 	}, nil
 }
 
@@ -141,6 +154,7 @@ func (d *Detector) Reset() {
 	d.globalShadow = make(map[uint64]*globalEntry)
 	d.sharedShadow = nil
 	d.stats = Stats{}
+	d.resetFaultState()
 }
 
 // KernelStart implements gpu.Detector: kernel launch is an implicit
@@ -162,6 +176,12 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 		resetShared(d.sharedShadow[i])
 	}
 	d.globalShadow = make(map[uint64]*globalEntry)
+	if d.inj != nil {
+		// The launch's cycle clock restarts at zero, so queue and spike
+		// phase state restart with it; the PRNG stream and the
+		// quarantine set persist (stuck cells are physical).
+		d.inj.Reset()
+	}
 }
 
 // KernelEnd implements gpu.Detector.
@@ -221,7 +241,11 @@ func (d *Detector) Barrier(sm, blockID int, sharedBase, sharedSize int, cycle in
 		span := entries * entryBytes
 		var done int64 = cycle
 		for off := int64(0); off < span; off += lineBytes {
-			t := d.env.InstrTx(sm, cycle, base+uint64(off), true)
+			start := cycle
+			if d.inj != nil {
+				start = d.spiked(start)
+			}
+			t := d.env.InstrTx(sm, start, base+uint64(off), true)
 			if t > done {
 				done = t
 			}

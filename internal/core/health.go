@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math/bits"
+
+	"haccrg/internal/bloom"
+	"haccrg/internal/fault"
+	"haccrg/internal/gpu"
+)
+
+// This file is the detector side of the fault-injection subsystem: it
+// applies an internal/fault plan to the RDU pipeline (queue admission,
+// shadow-cell corruption, signature saturation, fetch-latency spikes)
+// and keeps the DetectorHealth accounting that makes the degradation
+// visible instead of silent.
+//
+// Invariant relied on by the harness property test: every code path
+// that can perturb detection results increments at least one health
+// counter, so findings can only diverge from a fault-free run when
+// Health().Degraded is true. ECC-corrected flips are the one
+// non-perturbing event and are counted separately.
+
+// Shadow-entry bit widths for corruption purposes: the paper's 12-bit
+// shared entry (M, S, 10-bit tid) and the 52-bit global entry base
+// (M, S, 10-bit tid, 12-bit bid, 5-bit sid, 10-bit sync ID, 10-bit
+// fence ID, low atomic-ID bits).
+const (
+	sharedEntryBits = 12
+	globalEntryBits = 52
+)
+
+// Health implements gpu.HealthReporter. Counters accumulate across the
+// detector's launches until Reset.
+func (d *Detector) Health() *gpu.DetectorHealth {
+	h := d.health
+	// Dropped checks never reached the RDU, so they are not in the
+	// check counters; the exposure denominator is demand, not service.
+	h.TotalChecks = d.stats.SharedChecks + d.stats.GlobalChecks + h.DroppedChecks
+	if d.fillN > 0 {
+		h.BloomFillPct = 100 * d.fillSum / float64(d.fillN)
+	}
+	h.Degraded = h.DroppedChecks|h.InjectedFlips|h.StuckReads|
+		h.QuarantinedGranules|h.QuarantineSkips|h.ReinitGranules|
+		h.SaturatedSigs|h.LatencySpikes != 0
+	return &h
+}
+
+// resetFaultState restores the injector and health accounting to a
+// just-constructed detector's (used by Reset for reproducible reruns).
+func (d *Detector) resetFaultState() {
+	d.inj = fault.New(d.opt.Fault, d.opt.FaultSeed)
+	d.health = gpu.DetectorHealth{}
+	d.fillSum, d.fillN = 0, 0
+	d.quarShared = nil
+	d.quarGlobal = nil
+}
+
+// admit runs one lane check through the RDU check queue; false means
+// the queue overflowed and the check is dropped (and counted).
+func (d *Detector) admit(unit fault.Unit, id int, cycle int64) bool {
+	if d.inj.Admit(unit, id, cycle, 1) == 1 {
+		return true
+	}
+	d.health.DroppedChecks++
+	return false
+}
+
+// spiked returns cycle plus any injected shadow-fetch latency spike.
+func (d *Detector) spiked(cycle int64) int64 {
+	if extra := d.inj.SpikeDelay(); extra > 0 {
+		d.health.LatencySpikes++
+		return cycle + extra
+	}
+	return cycle
+}
+
+// saturate applies the injected Bloom pre-fill to a lane's atomic-ID
+// signature (saturated filters stop distinguishing locksets, the
+// paper's missed-race mechanism under aliasing).
+func (d *Detector) saturate(la *gpu.LaneAccess) {
+	if !la.InCrit {
+		return
+	}
+	if sat, changed := d.inj.Saturate(uint64(la.AtomicSig), uint64(d.opt.Bloom.Mask())); changed {
+		la.AtomicSig = bloom.Sig(sat)
+		d.health.SaturatedSigs++
+	}
+}
+
+// observeFill tracks the occupancy of in-use lockset signatures so the
+// health report can surface filter saturation (injected or organic).
+func (d *Detector) observeFill(sigs ...bloom.Sig) {
+	size := float64(d.opt.Bloom.SizeBits)
+	for _, s := range sigs {
+		if s == 0 {
+			continue // null set: the signature is not in use
+		}
+		d.fillSum += float64(bits.OnesCount64(uint64(s))) / size
+		d.fillN++
+	}
+}
+
+// faultGlobal applies shadow-cell faults to global granule g before its
+// check runs. It returns true when the check must be skipped (the
+// granule is quarantined).
+func (d *Detector) faultGlobal(g uint64) (skip bool) {
+	if _, q := d.quarGlobal[g]; q {
+		d.health.QuarantineSkips++
+		return true
+	}
+	if pat, stuck := d.inj.Stuck(fault.UnitGlobal, g); stuck {
+		if d.inj.ECC() {
+			// The scrub flags the cell; degrade per policy. Reinit
+			// re-fires on every access to the granule — the cell stays
+			// physically stuck — so the counter measures exposure, not
+			// distinct cells.
+			if d.opt.Degradation == DegradeReinit {
+				delete(d.globalShadow, g)
+				d.health.ReinitGranules++
+				return false
+			}
+			d.quarantineGlobal(g)
+			return true
+		}
+		// No ECC: reads of the shadow word silently return the stuck
+		// pattern. Without a materialized entry there is nothing to
+		// serve yet; the first claim will be overwritten on next read.
+		if e, ok := d.globalShadow[g]; ok {
+			stuckGlobalEntry(e, pat)
+			d.health.StuckReads++
+		}
+		return false
+	}
+	if e, ok := d.globalShadow[g]; ok {
+		if bit, hit := d.inj.FlipBit(globalEntryBits); hit {
+			if d.inj.ECC() {
+				d.health.CorrectedFlips++
+			} else {
+				flipGlobalEntry(e, bit)
+				d.health.InjectedFlips++
+			}
+		}
+	}
+	return false
+}
+
+func (d *Detector) quarantineGlobal(g uint64) {
+	if d.quarGlobal == nil {
+		d.quarGlobal = make(map[uint64]struct{})
+	}
+	d.quarGlobal[g] = struct{}{}
+	d.health.QuarantinedGranules++
+	d.health.QuarantineSkips++
+}
+
+// faultShared is faultGlobal's shared-memory counterpart; quarantine is
+// per physical cell, keyed by (SM, granule index).
+func (d *Detector) faultShared(sm int, g uint64, e *sharedEntry) (skip bool) {
+	key := uint64(sm)<<40 | g
+	if _, q := d.quarShared[key]; q {
+		d.health.QuarantineSkips++
+		return true
+	}
+	if pat, stuck := d.inj.Stuck(fault.UnitShared, key); stuck {
+		if d.inj.ECC() {
+			if d.opt.Degradation == DegradeReinit {
+				*e = sharedEntry{fresh: true, modified: true, shared: true}
+				d.health.ReinitGranules++
+				return false
+			}
+			if d.quarShared == nil {
+				d.quarShared = make(map[uint64]struct{})
+			}
+			d.quarShared[key] = struct{}{}
+			d.health.QuarantinedGranules++
+			d.health.QuarantineSkips++
+			return true
+		}
+		stuckSharedEntry(e, pat)
+		d.health.StuckReads++
+		return false
+	}
+	if bit, hit := d.inj.FlipBit(sharedEntryBits); hit {
+		if d.inj.ECC() {
+			d.health.CorrectedFlips++
+		} else {
+			flipSharedEntry(e, bit)
+			d.health.InjectedFlips++
+		}
+	}
+	return false
+}
+
+// flipGlobalEntry flips one bit of the architectural 52-bit entry
+// layout: [0]=M, [1]=S, [2..11]=tid, [12..23]=bid, [24..28]=sid,
+// [29..38]=sync ID, [39..48]=fence ID, [49..51]=atomic-ID low bits.
+func flipGlobalEntry(e *globalEntry, bit int) {
+	switch {
+	case bit == 0:
+		e.modified = !e.modified
+	case bit == 1:
+		e.shared = !e.shared
+	case bit < 12:
+		e.tid ^= 1 << (bit - 2)
+	case bit < 24:
+		e.bid ^= 1 << (bit - 12)
+	case bit < 29:
+		e.sid ^= 1 << (bit - 24)
+	case bit < 39:
+		e.syncID ^= 1 << (bit - 29)
+	case bit < 49:
+		e.fenceID ^= 1 << (bit - 39)
+	default:
+		e.sig ^= 1 << (bit - 49)
+	}
+}
+
+// stuckGlobalEntry overwrites the entry's architectural fields with the
+// cell's stuck-at pattern (the lockset signature and the simulator-side
+// wcycle bookkeeping are outside the modeled 52-bit word).
+func stuckGlobalEntry(e *globalEntry, pat uint64) {
+	e.modified = pat&1 != 0
+	e.shared = pat&2 != 0
+	e.tid = uint16(pat>>2) & 1023
+	e.bid = uint32(pat>>12) & 4095
+	e.sid = uint16(pat>>24) & 31
+	e.syncID = uint32(pat>>29) & 1023
+	e.fenceID = uint32(pat>>39) & 1023
+}
+
+// flipSharedEntry flips one bit of the 12-bit shared entry layout:
+// [0]=M, [1]=S, [2..11]=tid. fresh is the M=S=1 encoding, recomputed
+// so the corrupted entry stays in a representable state.
+func flipSharedEntry(e *sharedEntry, bit int) {
+	switch {
+	case bit == 0:
+		e.modified = !e.modified
+	case bit == 1:
+		e.shared = !e.shared
+	default:
+		e.tid ^= 1 << (bit - 2)
+	}
+	e.fresh = e.modified && e.shared
+}
+
+// stuckSharedEntry overwrites the entry from the stuck-at pattern.
+func stuckSharedEntry(e *sharedEntry, pat uint64) {
+	e.modified = pat&1 != 0
+	e.shared = pat&2 != 0
+	e.tid = uint16(pat>>2) & 1023
+	e.fresh = e.modified && e.shared
+}

@@ -4,7 +4,32 @@ import (
 	"fmt"
 
 	"haccrg/internal/bloom"
+	"haccrg/internal/fault"
 )
+
+// DegradationPolicy selects what the detector does with shadow
+// granules the modeled ECC scrub flags as corrupt (stuck-at cells).
+type DegradationPolicy uint8
+
+// Degradation policies.
+const (
+	// DegradeQuarantine removes flagged granules from tracking; later
+	// checks on them are skipped and counted as false-negative
+	// exposure in DetectorHealth.
+	DegradeQuarantine DegradationPolicy = iota
+	// DegradeReinit conservatively re-initializes flagged entries to
+	// the no-access state, keeping the granule tracked at the cost of
+	// forgetting its access history (possible missed races, never
+	// spurious ones).
+	DegradeReinit
+)
+
+func (p DegradationPolicy) String() string {
+	if p == DegradeReinit {
+		return "reinit"
+	}
+	return "quarantine"
+}
 
 // Options configures HAccRG detection.
 type Options struct {
@@ -47,6 +72,17 @@ type Options struct {
 	// MaxRaces caps distinct recorded races (0 = unlimited); detection
 	// continues counting but stops materializing new records.
 	MaxRaces int
+
+	// Fault optionally attaches a deterministic fault-injection plan
+	// to the RDUs and shadow memory (nil or empty = fault-free, the
+	// paper's idealized hardware). See internal/fault.
+	Fault *fault.Plan
+	// FaultSeed seeds the injector's PRNG: the same (Fault, FaultSeed)
+	// pair reproduces the same fault sequence byte for byte.
+	FaultSeed int64
+	// Degradation selects the corrupt-granule policy (quarantine by
+	// default).
+	Degradation DegradationPolicy
 }
 
 // DefaultOptions returns the configuration evaluated in the paper:
@@ -84,6 +120,11 @@ func (o *Options) Validate() error {
 	}
 	if o.DetectStaleL1 && !o.Global {
 		return fmt.Errorf("core: DetectStaleL1 requires Global")
+	}
+	if o.Fault != nil {
+		if err := o.Fault.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

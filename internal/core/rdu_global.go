@@ -1,9 +1,23 @@
 package core
 
 import (
+	"sort"
+
+	"haccrg/internal/fault"
 	"haccrg/internal/gpu"
 	"haccrg/internal/isa"
 )
+
+// sortedKeys returns a map's keys in ascending order, for
+// deterministic iteration over per-line shadow traffic.
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
 
 // globalRDU runs the global-memory Race Detection Units for one warp
 // instruction. Detection happens at the memory partitions where the
@@ -22,33 +36,47 @@ func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 	// covering its granule entries, plus one write for the updates.
 	if d.opt.ModelTraffic {
 		seg := uint64(d.env.Config().SegmentBytes)
-		type lineInfo struct{ arrival int64 }
-		lines := make(map[uint64]lineInfo, 2)
+		arrivals := make(map[uint64]int64, 2)
 		for i := range ev.Lanes {
 			la := &ev.Lanes[i]
 			line := la.Addr &^ (seg - 1)
-			if li, ok := lines[line]; !ok || la.Arrival > li.arrival {
-				lines[line] = lineInfo{arrival: la.Arrival}
+			if arr, ok := arrivals[line]; !ok || la.Arrival > arr {
+				arrivals[line] = la.Arrival
 			}
 		}
 		const entryBytes = 8 // 52-bit entries padded to a power of two
-		for line, li := range lines {
+		// Partition port/L2 state makes transaction order matter, so the
+		// lines are visited in sorted address order — map iteration order
+		// would perturb cycle counts from run to run.
+		for _, line := range sortedKeys(arrivals) {
+			arrival := arrivals[line]
 			part := d.env.PartitionFor(line)
+			if d.inj != nil {
+				arrival = d.spiked(arrival)
+			}
 			// Entries for one demand line span this many shadow lines.
 			granules := seg / gran
 			span := granules * entryBytes
 			shadowAddr := d.env.ShadowBase() + (line/gran)*entryBytes
 			for off := uint64(0); off < span; off += seg {
-				d.env.ShadowTx(part, li.arrival, shadowAddr+off, false)
+				d.env.ShadowTx(part, arrival, shadowAddr+off, false)
 				d.stats.ShadowReads++
 			}
-			d.env.ShadowTx(part, li.arrival+1, shadowAddr, true)
+			d.env.ShadowTx(part, arrival+1, shadowAddr, true)
 			d.stats.ShadowWrites++
 		}
 	}
 
 	for i := range ev.Lanes {
 		la := &ev.Lanes[i]
+		if d.inj != nil {
+			// Each lane check queues at the partition its address maps
+			// to; burst overflow drops the check, never the access.
+			if !d.admit(fault.UnitGlobal, d.env.PartitionFor(la.Addr), la.Arrival) {
+				continue
+			}
+			d.saturate(la)
+		}
 		d.stats.GlobalChecks++
 		if ev.Atomic {
 			continue // atomic operations are synchronization accesses
@@ -64,6 +92,10 @@ func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 func (d *Detector) globalCheck(ev *gpu.WarpMemEvent, la *gpu.LaneAccess, gran uint64) {
 	g := la.Addr / gran
 	write := ev.Write
+
+	if d.inj != nil && d.faultGlobal(g) {
+		return // granule quarantined by the degradation policy
+	}
 
 	e, ok := d.globalShadow[g]
 	if !ok {
@@ -213,6 +245,7 @@ func (d *Detector) locksetCheck(e *globalEntry, ev *gpu.WarpMemEvent, la *gpu.La
 	g uint64, write, sameThread, sameWarp bool) {
 	racy := e.modified || write
 	entryProtected := e.sig != 0
+	d.observeFill(e.sig, la.AtomicSig)
 
 	if sameThread {
 		// Same thread: refresh.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"haccrg/internal/fault"
 	"haccrg/internal/gpu"
 	"haccrg/internal/isa"
 )
@@ -30,6 +31,9 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 
 	for i := range ev.Lanes {
 		la := &ev.Lanes[i]
+		if d.inj != nil && !d.admit(fault.UnitShared, ev.SM, ev.Cycle) {
+			continue // check-queue overflow: dropped, counted, access unaffected
+		}
 		d.stats.SharedChecks++
 		g := la.Addr / gran
 		if g >= uint64(len(shadow)) {
@@ -42,6 +46,9 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 		if ev.Atomic {
 			continue // atomics are synchronization operations
 		}
+		if d.inj != nil && d.faultShared(ev.SM, g, &shadow[g]) {
+			continue // cell quarantined by the degradation policy
+		}
 		d.sharedCheck(shadow, g, ev, la)
 	}
 
@@ -51,10 +58,15 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 	// Figure 8 mode: fetch every distinct shadow line through the
 	// demand path before the check can run — the warp waits on the
 	// reads, while the updates write through without blocking (GPU
-	// stores are fire-and-forget).
+	// stores are fire-and-forget). Sorted order keeps the L1/partition
+	// state — and hence cycle counts — deterministic.
 	var done int64 = ev.Cycle
-	for line := range shadowLines {
-		t := d.env.InstrTx(ev.SM, ev.Cycle, line, false)
+	for _, line := range sortedKeys(shadowLines) {
+		start := ev.Cycle
+		if d.inj != nil {
+			start = d.spiked(start)
+		}
+		t := d.env.InstrTx(ev.SM, start, line, false)
 		d.stats.ShadowReads++
 		d.env.InstrTx(ev.SM, t, line, true)
 		d.stats.ShadowWrites++

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"haccrg/internal/gpu"
 	"haccrg/internal/isa"
 )
 
@@ -14,7 +15,11 @@ type Report struct {
 	Detector string       `json:"detector"`
 	Options  ReportOpts   `json:"options"`
 	Summary  ReportTotals `json:"summary"`
-	Races    []ReportRace `json:"races"`
+	// Health is the degradation report; present only when the run was
+	// degraded (dropped checks, injected faults, quarantines), so
+	// fault-free reports stay byte-identical to earlier versions.
+	Health *gpu.DetectorHealth `json:"health,omitempty"`
+	Races  []ReportRace        `json:"races"`
 }
 
 // ReportOpts records the detection configuration of the run.
@@ -83,6 +88,9 @@ func (d *Detector) Report() *Report {
 				"global": st.GlobalChecks,
 			},
 		},
+	}
+	if h := d.Health(); h.Degraded {
+		rep.Health = h
 	}
 	for _, r := range d.SortedRaces() {
 		rep.Summary.ByKind[r.Kind.String()]++

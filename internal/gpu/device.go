@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -98,10 +99,32 @@ func (d *Device) MustMalloc(size int) uint64 {
 // ResetAllocator releases all device allocations (workload teardown).
 func (d *Device) ResetAllocator() { d.allocPtr = 0 }
 
-// Launch runs a kernel to completion and returns its statistics.
+// Launch runs a kernel to completion and returns its statistics. It is
+// LaunchContext with no cancellation and no limits.
 func (d *Device) Launch(k *Kernel) (*LaunchStats, error) {
+	return d.LaunchContext(context.Background(), k, LaunchLimits{})
+}
+
+// watchdogStride is how many scheduler iterations pass between context
+// checks — cheap enough to leave always-on, tight enough that a
+// wall-clock deadline aborts a runaway simulation promptly.
+const watchdogStride = 1024
+
+// LaunchContext runs a kernel under the given context and limits.
+//
+// If the kernel deadlocks, exhausts the cycle budget, or the context is
+// canceled (the wall-clock watchdog), the returned error is a
+// *HangError carrying per-block barrier-wait diagnostics — and the
+// returned stats are non-nil, holding the partial run (cycles executed,
+// blocks retired, cache/DRAM counters), so aborted runs stay
+// analyzable. Execution faults (bad memory accesses) likewise return
+// partial stats alongside the error.
+func (d *Device) LaunchContext(ctx context.Context, k *Kernel, lim LaunchLimits) (*LaunchStats, error) {
 	if err := k.Validate(&d.cfg); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gpu: kernel %q not launched: %w", k.Name, err)
 	}
 	if d.cfg.LocalBytesPerThread > 0 {
 		need := k.GridDim * k.BlockDim * d.cfg.LocalBytesPerThread
@@ -151,7 +174,14 @@ func (d *Device) Launch(k *Kernel) (*LaunchStats, error) {
 		}
 	}
 
+	var iter int64
 	for d.blocksLeft > 0 {
+		iter++
+		if iter%watchdogStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return d.finalize(st, k), d.hangError(k, HangCanceled, err)
+			}
+		}
 		next := int64(math.MaxInt64)
 		for _, s := range d.sms {
 			if t := s.earliestReady(); t < next {
@@ -159,8 +189,10 @@ func (d *Device) Launch(k *Kernel) (*LaunchStats, error) {
 			}
 		}
 		if next == math.MaxInt64 {
-			return nil, fmt.Errorf("gpu: kernel %q deadlocked at cycle %d (%d blocks unfinished)",
-				k.Name, d.now, d.blocksLeft)
+			return d.finalize(st, k), d.hangError(k, HangDeadlock, nil)
+		}
+		if lim.MaxCycles > 0 && next > lim.MaxCycles {
+			return d.finalize(st, k), d.hangError(k, HangCycleBudget, nil)
 		}
 		d.now = next
 		for _, s := range d.sms {
@@ -169,14 +201,21 @@ func (d *Device) Launch(k *Kernel) (*LaunchStats, error) {
 			}
 			s.issue(next, k, st)
 			if s.pendingErr != nil {
-				return nil, s.pendingErr
+				return d.finalize(st, k), s.pendingErr
 			}
 		}
 	}
 
 	d.detector.KernelEnd()
+	return d.finalize(st, k), nil
+}
 
+// finalize folds the device-side counters into the launch stats; it is
+// shared by the success path and every abort path, so partial runs
+// carry real cache/DRAM/detector numbers.
+func (d *Device) finalize(st *LaunchStats, k *Kernel) *LaunchStats {
 	st.Cycles = d.now
+	st.BlocksRetired = int64(k.GridDim - d.blocksLeft)
 	st.MaxSyncID = d.maxSync
 	st.MaxFenceID = d.maxFence
 	for _, s := range d.sms {
@@ -195,9 +234,14 @@ func (d *Device) Launch(k *Kernel) (*LaunchStats, error) {
 		st.ShadowTx += p.ShadowAccess
 		util += p.DRAM.Utilization(st.Cycles)
 	}
-	st.DRAMUtil = util / float64(len(d.parts))
+	if st.Cycles > 0 {
+		st.DRAMUtil = util / float64(len(d.parts))
+	}
 	st.NoCFlits = d.net.FlitCount
-	return st, nil
+	if hr, ok := d.detector.(HealthReporter); ok {
+		st.Health = hr.Health()
+	}
+	return st
 }
 
 // placeNext installs the next pending block on SM s at the given slot.

@@ -1,0 +1,173 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"haccrg/internal/isa"
+)
+
+// spinKernel loops forever: rI stays 0, rN stays 1, so the loop
+// predicate never falsifies. Every warp is permanently runnable, which
+// exercises the cycle-budget and cancellation guard rails (but not the
+// deadlock path — a spinning warp keeps the scheduler live).
+func spinKernel(grid, blockDim int) *Kernel {
+	b := isa.NewBuilder("spin")
+	b.Movi(rI, 0)
+	b.Movi(rN, 1)
+	b.Setp(0, isa.CmpLT, rI, rN)
+	b.While(0)
+	b.Addi(rVal, rVal, 1)
+	b.Setp(0, isa.CmpLT, rI, rN)
+	b.EndWhile()
+	b.Exit()
+	return &Kernel{Name: "spin", Prog: b.MustBuild(), GridDim: grid, BlockDim: blockDim}
+}
+
+// barrierHangKernel: the first warp (tid < warp size) arrives at a
+// barrier the second warp never reaches, because the second warp spins
+// forever. The block can never finish, yet a warp is always runnable,
+// so only the cycle budget can stop it — and the diagnostics must show
+// the first warp parked at-barrier.
+func barrierHangKernel() *Kernel {
+	b := isa.NewBuilder("barhang")
+	b.Sreg(rTid, isa.SregTid)
+	b.Setpi(0, isa.CmpLT, rTid, 32)
+	b.If(0)
+	b.Bar() // warp 0 parks here forever
+	b.EndIf()
+	b.Setpi(1, isa.CmpGE, rTid, 32)
+	b.While(1)
+	b.Addi(rVal, rVal, 1)
+	b.Setpi(1, isa.CmpGE, rTid, 32)
+	b.EndWhile()
+	b.Exit()
+	return &Kernel{Name: "barhang", Prog: b.MustBuild(), GridDim: 1, BlockDim: 64}
+}
+
+func TestCycleBudgetAbort(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	st, err := d.LaunchContext(context.Background(), spinKernel(2, 64), LaunchLimits{MaxCycles: 5000})
+	if err == nil {
+		t.Fatal("spin kernel finished under a 5000-cycle budget")
+	}
+	var hang *HangError
+	if !errors.As(err, &hang) {
+		t.Fatalf("error %T is not *HangError: %v", err, err)
+	}
+	if hang.Reason != HangCycleBudget {
+		t.Errorf("reason = %q, want %q", hang.Reason, HangCycleBudget)
+	}
+	if hang.Kernel != "spin" {
+		t.Errorf("kernel = %q, want spin", hang.Kernel)
+	}
+	if hang.BlocksLeft != 2 {
+		t.Errorf("blocks left = %d, want 2", hang.BlocksLeft)
+	}
+	if st == nil {
+		t.Fatal("no partial stats alongside the hang error")
+	}
+	if st.Cycles <= 0 || st.Cycles > 5000 {
+		t.Errorf("partial cycles = %d, want in (0, 5000]", st.Cycles)
+	}
+	if st.BlocksRetired != 0 {
+		t.Errorf("blocks retired = %d, want 0", st.BlocksRetired)
+	}
+	if st.WarpInstrs == 0 {
+		t.Error("partial stats lost the instruction counters")
+	}
+}
+
+func TestCycleBudgetNotTrippedByFastKernel(t *testing.T) {
+	d := testDevice(t, 1<<20)
+	n := 2 * 64
+	in := d.MustMalloc(n * 4)
+	out := d.MustMalloc(n * 4)
+	st, err := d.LaunchContext(context.Background(), vecAddKernel(2, 64, in, out),
+		LaunchLimits{MaxCycles: 1 << 40})
+	if err != nil {
+		t.Fatalf("generous budget aborted a normal kernel: %v", err)
+	}
+	if st.BlocksRetired != 2 {
+		t.Errorf("blocks retired = %d, want 2", st.BlocksRetired)
+	}
+}
+
+func TestLaunchContextPreCanceled(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := d.LaunchContext(ctx, spinKernel(1, 64), LaunchLimits{})
+	if err == nil {
+		t.Fatal("pre-canceled context launched anyway")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if st != nil {
+		t.Errorf("pre-canceled launch returned stats %+v, want nil", st)
+	}
+}
+
+func TestCancelMidLaunch(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	st, err := d.LaunchContext(ctx, spinKernel(1, 64), LaunchLimits{})
+	var hang *HangError
+	if !errors.As(err, &hang) {
+		t.Fatalf("error %T is not *HangError: %v", err, err)
+	}
+	if hang.Reason != HangCanceled {
+		t.Errorf("reason = %q, want %q", hang.Reason, HangCanceled)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("hang error does not unwrap to context.Canceled: %v", err)
+	}
+	if st == nil || st.Cycles <= 0 {
+		t.Errorf("mid-launch cancel should return partial stats, got %+v", st)
+	}
+}
+
+func TestHangDiagnosticsShowBarrierWait(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	_, err := d.LaunchContext(context.Background(), barrierHangKernel(), LaunchLimits{MaxCycles: 20000})
+	var hang *HangError
+	if !errors.As(err, &hang) {
+		t.Fatalf("error %T is not *HangError: %v", err, err)
+	}
+	if len(hang.Blocks) != 1 {
+		t.Fatalf("diagnostics cover %d blocks, want 1", len(hang.Blocks))
+	}
+	bd := hang.Blocks[0]
+	if bd.LiveWarps != 2 {
+		t.Errorf("live warps = %d, want 2", bd.LiveWarps)
+	}
+	if bd.ArrivedAt != 1 {
+		t.Errorf("warps at barrier = %d, want 1", bd.ArrivedAt)
+	}
+	var parked, ready int
+	for _, w := range bd.Warps {
+		switch w.State {
+		case "at-barrier":
+			parked++
+		case "ready":
+			ready++
+		}
+	}
+	if parked != 1 || ready != 1 {
+		t.Errorf("warp states parked=%d ready=%d, want 1/1 (diag: %s)", parked, ready, hang.Diagnose())
+	}
+	txt := hang.Diagnose()
+	for _, want := range []string{"at-barrier", "block 0 on SM", "1/2 warps at barrier"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Diagnose() missing %q:\n%s", want, txt)
+		}
+	}
+}

@@ -7,6 +7,11 @@ type LaunchStats struct {
 	Kernel string
 	Cycles int64
 
+	// BlocksRetired counts thread-blocks that ran to completion. On a
+	// full run it equals the grid size; on an aborted launch (see
+	// HangError) it shows how far the run got.
+	BlocksRetired int64
+
 	WarpInstrs   int64 // issued warp instructions
 	ThreadInstrs int64 // lane-level instructions (active lanes summed)
 
@@ -40,6 +45,10 @@ type LaunchStats struct {
 	NoCFlits int64
 
 	ShadowTx int64 // RDU-injected transactions at the partitions
+
+	// Health is the attached detector's degradation report (nil when
+	// the detector does not implement HealthReporter, e.g. NopDetector).
+	Health *DetectorHealth
 }
 
 // SharedReadPct returns shared-memory reads as a percentage of all
@@ -76,6 +85,12 @@ func (s *LaunchStats) IssueUtilization() float64 {
 // Add accumulates another launch's statistics (multi-kernel workloads).
 func (s *LaunchStats) Add(o *LaunchStats) {
 	s.Cycles += o.Cycles
+	s.BlocksRetired += o.BlocksRetired
+	// Detectors report health cumulatively across a device's launches;
+	// keep the latest report rather than double-counting.
+	if o.Health != nil {
+		s.Health = o.Health
+	}
 	s.WarpInstrs += o.WarpInstrs
 	s.ThreadInstrs += o.ThreadInstrs
 	s.SharedReads += o.SharedReads

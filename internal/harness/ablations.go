@@ -156,13 +156,13 @@ func BloomEndToEnd() (string, error) {
 func SyncIDGatingStudy(scale int) (string, error) {
 	var rows [][]string
 	for _, bench := range []string{"scan", "sortnw", "fwalsh", "reduce"} {
-		gated, err := Run(RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale})
+		gated, err := sweepRun(RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale})
 		if err != nil {
 			return "", err
 		}
 		cfg := gpu.DefaultConfig()
 		cfg.AlwaysBumpSyncID = true
-		ungated, err := Run(RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale, GPU: &cfg})
+		ungated, err := sweepRun(RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale, GPU: &cfg})
 		if err != nil {
 			return "", err
 		}
@@ -181,13 +181,13 @@ func SyncIDGatingStudy(scale int) (string, error) {
 func SchedulerStudy(scale int) (string, error) {
 	var rows [][]string
 	for _, bench := range []string{"mcarlo", "fwalsh", "hist", "sortnw", "reduce", "psum"} {
-		rr, err := Run(RunConfig{Bench: bench, Detector: DetOff, Scale: scale})
+		rr, err := sweepRun(RunConfig{Bench: bench, Detector: DetOff, Scale: scale})
 		if err != nil {
 			return "", err
 		}
 		cfg := gpu.DefaultConfig()
 		cfg.Scheduler = gpu.SchedGTO
-		gto, err := Run(RunConfig{Bench: bench, Detector: DetOff, Scale: scale, GPU: &cfg})
+		gto, err := sweepRun(RunConfig{Bench: bench, Detector: DetOff, Scale: scale, GPU: &cfg})
 		if err != nil {
 			return "", err
 		}

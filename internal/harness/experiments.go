@@ -71,7 +71,7 @@ func Table2(scale int) ([]Table2Row, string, error) {
 	var rows []Table2Row
 	var txt [][]string
 	for _, bm := range kernels.All() {
-		r, err := Run(RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale})
+		r, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale})
 		if err != nil {
 			return nil, "", err
 		}
@@ -114,7 +114,7 @@ func Table3(scale int) (shared, global []Table3Row, text string, err error) {
 		gr := Table3Row{Bench: bm.Name, False: map[int]int{}, Reports: map[int]int64{}}
 		baselineGlobal := -1
 		for _, g := range Table3Granularities {
-			r, err := Run(RunConfig{
+			r, err := sweepRun(RunConfig{
 				Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale,
 				SharedGranularity: g, GlobalGranularity: g,
 			})
@@ -209,7 +209,7 @@ func Fig7(scale int) ([]Fig7Row, string, error) {
 	var rows []Fig7Row
 	var txt [][]string
 	for _, bm := range kernels.All() {
-		base, err := Run(RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale})
+		base, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale})
 		if err != nil {
 			return nil, "", err
 		}
@@ -223,7 +223,7 @@ func Fig7(scale int) ([]Fig7Row, string, error) {
 			{DetSoftware, &row.Software},
 			{DetGRace, &row.GRace},
 		} {
-			r, err := Run(RunConfig{Bench: bm.Name, Detector: cfg.kind, Scale: scale})
+			r, err := sweepRun(RunConfig{Bench: bm.Name, Detector: cfg.kind, Scale: scale})
 			if err != nil {
 				return nil, "", err
 			}
@@ -264,15 +264,15 @@ func Fig8(scale int) ([]Fig8Row, string, error) {
 	var rows []Fig8Row
 	var txt [][]string
 	for _, bm := range kernels.All() {
-		base, err := Run(RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale})
+		base, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale})
 		if err != nil {
 			return nil, "", err
 		}
-		hw, err := Run(RunConfig{Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale})
+		hw, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale})
 		if err != nil {
 			return nil, "", err
 		}
-		sw, err := Run(RunConfig{Bench: bm.Name, Detector: DetFig8, Scale: scale})
+		sw, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetFig8, Scale: scale})
 		if err != nil {
 			return nil, "", err
 		}
@@ -310,7 +310,7 @@ func Fig9(scale int) ([]Fig9Row, string, error) {
 			{DetShared, &row.Shared},
 			{DetSharedGlobal, &row.SharedGlobal},
 		} {
-			r, err := Run(RunConfig{Bench: bm.Name, Detector: cfg.kind, Scale: scale})
+			r, err := sweepRun(RunConfig{Bench: bm.Name, Detector: cfg.kind, Scale: scale})
 			if err != nil {
 				return nil, "", err
 			}
@@ -338,7 +338,7 @@ func RealRaces(scale int) ([]RealRaceReport, string, error) {
 	var reps []RealRaceReport
 	var txt [][]string
 	for _, bm := range kernels.All() {
-		r, err := Run(RunConfig{
+		r, err := sweepRun(RunConfig{
 			Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale,
 			SharedGranularity: 4, GlobalGranularity: 4,
 		})
@@ -397,7 +397,7 @@ func Injected(scale int) ([]InjectedResult, string, error) {
 	}
 	baselines := map[string]base{}
 	for _, bm := range kernels.All() {
-		r, err := Run(clean(bm.Name))
+		r, err := sweepRun(clean(bm.Name))
 		if err != nil {
 			return nil, "", err
 		}
@@ -410,7 +410,7 @@ func Injected(scale int) ([]InjectedResult, string, error) {
 		for _, site := range bm.Sites {
 			rc := clean(bm.Name)
 			rc.Inject = []string{site.ID}
-			r, err := Run(rc)
+			r, err := sweepRun(rc)
 			if err != nil {
 				return nil, "", err
 			}
@@ -459,7 +459,7 @@ func BloomStress() string {
 func IDUsage(scale int) (string, error) {
 	var rows [][]string
 	for _, bm := range kernels.All() {
-		r, err := Run(RunConfig{Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale})
+		r, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale})
 		if err != nil {
 			return "", err
 		}

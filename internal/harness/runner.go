@@ -6,9 +6,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"haccrg/internal/core"
+	"haccrg/internal/fault"
 	"haccrg/internal/gpu"
 	"haccrg/internal/grace"
 	"haccrg/internal/isa"
@@ -46,6 +49,22 @@ type RunConfig struct {
 
 	// GPU overrides the device configuration (nil = paper's Table I).
 	GPU *gpu.Config
+
+	// FaultPlan is an internal/fault plan spec (e.g.
+	// "queue:cap=16,drain=1;flip:rate=1e-5,ecc"); empty = fault-free.
+	FaultPlan string
+	// FaultSeed seeds the fault injector: the same plan and seed
+	// reproduce the same run byte for byte.
+	FaultSeed int64
+	// Degradation is the corrupt-granule policy: "quarantine" (default)
+	// or "reinit".
+	Degradation string
+
+	// MaxCycles bounds each run's simulated cycles (0 = unlimited);
+	// exceeding it aborts with a *gpu.HangError.
+	MaxCycles int64
+	// Timeout is the wall-clock watchdog per run (0 = none).
+	Timeout time.Duration
 }
 
 // RunResult captures one run's outcome.
@@ -62,6 +81,13 @@ type RunResult struct {
 	// Software-detector extras (zero for hardware runs).
 	InstrStall int64
 	LogBytes   int64
+
+	// Health is the detector's degradation report (nil when the
+	// detector does not track health, e.g. detection off).
+	Health *gpu.DetectorHealth
+	// Attempts is how many tries the sweep runner needed (1 for a
+	// first-try success; only fault-injected runs are retried).
+	Attempts int
 }
 
 // detectorFor builds the run's detector; the second return value
@@ -73,6 +99,22 @@ func detectorFor(rc RunConfig) (gpu.Detector, *core.Detector, *swdetect.Detector
 	}
 	if rc.GlobalGranularity > 0 {
 		opt.GlobalGranularity = rc.GlobalGranularity
+	}
+	if rc.FaultPlan != "" {
+		p, err := fault.Parse(rc.FaultPlan)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		opt.Fault = p
+		opt.FaultSeed = rc.FaultSeed
+	}
+	switch rc.Degradation {
+	case "", "quarantine":
+		opt.Degradation = core.DegradeQuarantine
+	case "reinit":
+		opt.Degradation = core.DegradeReinit
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("harness: unknown degradation policy %q (want quarantine or reinit)", rc.Degradation)
 	}
 	switch rc.Detector {
 	case DetOff, "":
@@ -108,8 +150,26 @@ func detectorFor(rc RunConfig) (gpu.Detector, *core.Detector, *swdetect.Detector
 	return d, d, nil, nil, nil
 }
 
-// Run executes one configuration to completion.
+// Run executes one configuration to completion. It is RunContext with
+// no external cancellation (the config's own Timeout still applies).
 func Run(rc RunConfig) (*RunResult, error) {
+	return RunContext(context.Background(), rc)
+}
+
+// RunContext executes one configuration under a context. The config's
+// Timeout (wall clock) and MaxCycles (simulated) guard rails turn
+// runaway simulations into structured *gpu.HangError returns; a panic
+// anywhere in the pipeline is recovered into an error so one bad run
+// cannot take down a whole sweep. On an aborted launch the returned
+// RunResult is non-nil alongside the error, carrying the partial stats
+// and whatever races were found before the abort.
+func RunContext(ctx context.Context, rc RunConfig) (res *RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("harness: run %s/%s panicked: %v", rc.Bench, rc.Detector, r)
+		}
+	}()
 	bm := kernels.Get(rc.Bench)
 	if bm == nil {
 		return nil, fmt.Errorf("harness: unknown benchmark %q", rc.Bench)
@@ -145,11 +205,16 @@ func Run(rc RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats, err := plan.Run(dev)
-	if err != nil {
-		return nil, err
+	if rc.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.Timeout)
+		defer cancel()
 	}
-	res := &RunResult{Config: rc, Stats: stats}
+	stats, runErr := plan.RunContext(ctx, dev, gpu.LaunchLimits{MaxCycles: rc.MaxCycles})
+	if stats == nil {
+		return nil, runErr
+	}
+	res = &RunResult{Config: rc, Stats: stats, Health: stats.Health, Attempts: 1}
 	if coreDet != nil {
 		res.Races = coreDet.SortedRaces()
 		res.SharedSites = coreDet.SiteCount(isa.SpaceShared)
@@ -165,17 +230,82 @@ func Run(rc RunConfig) (*RunResult, error) {
 		res.LogBytes = grDet.LogBytes
 		res.Races = grDet.Races()
 	}
-	return res, nil
+	return res, runErr
 }
 
-// MustRun is Run panicking on error (for benchmark harness code paths
-// whose configurations are static).
+// MustRun is Run panicking on error (kept for static test setups; the
+// CLIs report errors through exit codes instead).
 func MustRun(rc RunConfig) *RunResult {
 	r, err := Run(rc)
 	if err != nil {
 		panic(err)
 	}
 	return r
+}
+
+// SweepDefaults are fault/guard-rail settings merged into every
+// experiment sweep run whose own config leaves them unset — how the
+// CLIs thread -fault-plan/-seed/-timeout/-max-cycles through the
+// prebuilt experiment drivers.
+type SweepDefaults struct {
+	FaultPlan   string
+	FaultSeed   int64
+	Degradation string
+	MaxCycles   int64
+	Timeout     time.Duration
+}
+
+var sweepDefaults SweepDefaults
+
+// SetSweepDefaults installs the process-wide sweep defaults.
+func SetSweepDefaults(d SweepDefaults) { sweepDefaults = d }
+
+func applySweepDefaults(rc RunConfig) RunConfig {
+	if rc.FaultPlan == "" {
+		rc.FaultPlan = sweepDefaults.FaultPlan
+		if rc.FaultSeed == 0 {
+			rc.FaultSeed = sweepDefaults.FaultSeed
+		}
+	}
+	if rc.Degradation == "" {
+		rc.Degradation = sweepDefaults.Degradation
+	}
+	if rc.MaxCycles == 0 {
+		rc.MaxCycles = sweepDefaults.MaxCycles
+	}
+	if rc.Timeout == 0 {
+		rc.Timeout = sweepDefaults.Timeout
+	}
+	return rc
+}
+
+// sweepRetries bounds sweepRun's attempts per configuration.
+const sweepRetries = 3
+
+// sweepRun is the experiment drivers' Run: it merges the process-wide
+// sweep defaults and retries failed fault-injected runs with backoff
+// under a salted seed (a different fault sequence each attempt). A
+// fault-free simulation is deterministic, so its failures are not
+// retried — they would fail identically.
+func sweepRun(rc RunConfig) (*RunResult, error) {
+	rc = applySweepDefaults(rc)
+	var lastErr error
+	for attempt := 1; attempt <= sweepRetries; attempt++ {
+		if attempt > 1 {
+			rc.FaultSeed += 1_000_003 // salt: explore a different sequence
+			time.Sleep(time.Duration(attempt-1) * 50 * time.Millisecond)
+		}
+		res, err := RunContext(context.Background(), rc)
+		if err == nil {
+			res.Attempts = attempt
+			return res, nil
+		}
+		lastErr = err
+		if rc.FaultPlan == "" {
+			break
+		}
+	}
+	return nil, lastErr
 }
 
 // Verify runs a benchmark without detection and checks its output

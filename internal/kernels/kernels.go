@@ -9,6 +9,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -112,18 +113,42 @@ type Plan struct {
 	Verify func(d *gpu.Device) error
 }
 
-// Run launches the plan's kernels in order, accumulating stats.
+// Run launches the plan's kernels in order, accumulating stats. It is
+// RunContext with no cancellation or cycle budget.
 func (p *Plan) Run(d *gpu.Device) (*gpu.LaunchStats, error) {
+	return p.RunContext(context.Background(), d, gpu.LaunchLimits{})
+}
+
+// RunContext launches the plan's kernels in order under a context and
+// a cumulative cycle budget (lim.MaxCycles spans the whole plan, not
+// each kernel). On an aborted launch the accumulated stats so far —
+// including the aborted kernel's partial stats — are returned
+// alongside the error, which is a *gpu.HangError for guard-rail trips.
+func (p *Plan) RunContext(ctx context.Context, d *gpu.Device, lim gpu.LaunchLimits) (*gpu.LaunchStats, error) {
 	if len(p.Kernels) == 0 {
 		return nil, fmt.Errorf("kernels: empty plan")
 	}
 	total := &gpu.LaunchStats{Kernel: p.Kernels[0].Name}
+	remaining := lim.MaxCycles
 	for _, k := range p.Kernels {
-		st, err := d.Launch(k)
-		if err != nil {
-			return nil, err
+		var kl gpu.LaunchLimits
+		if lim.MaxCycles > 0 {
+			if remaining < 1 {
+				// Budget already spent: a 1-cycle allowance makes the
+				// next launch trip the guard rail with full diagnostics
+				// instead of silently running unbounded.
+				remaining = 1
+			}
+			kl.MaxCycles = remaining
 		}
-		total.Add(st)
+		st, err := d.LaunchContext(ctx, k, kl)
+		if st != nil {
+			total.Add(st)
+			remaining -= st.Cycles
+		}
+		if err != nil {
+			return total, err
+		}
 	}
 	return total, nil
 }

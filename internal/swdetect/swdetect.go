@@ -72,6 +72,9 @@ func (d *Detector) Name() string { return "sw-haccrg" }
 // Inner exposes the underlying detection engine (races, stats).
 func (d *Detector) Inner() *core.Detector { return d.inner }
 
+// Health implements gpu.HealthReporter via the core engine.
+func (d *Detector) Health() *gpu.DetectorHealth { return d.inner.Health() }
+
 // Races returns the detected races.
 func (d *Detector) Races() []*core.Race { return d.inner.Races() }
 

@@ -68,6 +68,16 @@ func New(inner gpu.Detector) *Recorder {
 // Inner returns the wrapped detector.
 func (r *Recorder) Inner() gpu.Detector { return r.inner }
 
+// Health implements gpu.HealthReporter by forwarding to the inner
+// detector, so wrapping a detector in a Recorder does not hide its
+// degradation report from LaunchStats.
+func (r *Recorder) Health() *gpu.DetectorHealth {
+	if hr, ok := r.inner.(gpu.HealthReporter); ok {
+		return hr.Health()
+	}
+	return nil
+}
+
 // Events returns the recorded log in order.
 func (r *Recorder) Events() []Event { return r.events }
 
