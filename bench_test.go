@@ -9,7 +9,9 @@ package haccrg
 
 import (
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"haccrg/internal/harness"
 )
@@ -187,6 +189,38 @@ func BenchmarkSWComparison(b *testing.B) {
 }
 
 func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// BenchmarkParallelSweep measures the sweep engine's wall-clock win:
+// the Figure 7 sweep serially and again at full parallelism. On a
+// multi-core runner serial-s/parallel-s approaches min(NumCPU, sweep
+// width); on one core the two collapse (and the engine must not be
+// slower than the serial loop it replaced).
+func BenchmarkParallelSweep(b *testing.B) {
+	measure := func(b *testing.B, workers int) float64 {
+		SetParallelism(workers)
+		defer SetParallelism(0)
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := harness.Fig7(benchScale); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start).Seconds() / float64(b.N)
+	}
+	var serial float64
+	b.Run("serial", func(b *testing.B) {
+		serial = measure(b, 1)
+		b.ReportMetric(serial, "serial-s")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		par := measure(b, 0) // GOMAXPROCS workers
+		b.ReportMetric(par, "parallel-s")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+		if serial > 0 && par > 0 {
+			b.ReportMetric(serial/par, "speedup")
+		}
+	})
+}
 
 // --- extension ablations beyond the paper's evaluation ---
 

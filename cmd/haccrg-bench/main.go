@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"haccrg"
 	"haccrg/internal/harness"
@@ -41,6 +43,10 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "wall-clock watchdog per sweep run (0 = none)")
 		maxCycles   = flag.Int64("max-cycles", 0, "simulated-cycle budget per sweep run (0 = unlimited)")
 		healthCSV   = flag.String("health-csv", "", "write the fault study's health columns to this CSV file")
+
+		parallel   = flag.Int("parallel", 0, "concurrent sweep runs (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -51,6 +57,31 @@ func main() {
 		MaxCycles:   *maxCycles,
 		Timeout:     *timeout,
 	})
+	haccrg.SetParallelism(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	ran := false
 	run := func(title string, f func() (string, error)) {

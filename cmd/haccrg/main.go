@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"haccrg"
 )
@@ -50,6 +51,7 @@ func main() {
 		degradation = flag.String("degradation", "quarantine", "corrupt-granule policy: quarantine or reinit")
 		timeout     = flag.Duration("timeout", 0, "wall-clock watchdog for the run (0 = none), e.g. 30s")
 		maxCycles   = flag.Int64("max-cycles", 0, "simulated-cycle budget for the run (0 = unlimited)")
+		parallel    = flag.Int("parallel", 0, "concurrent benchmark runs in -all-benches mode (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,7 @@ func main() {
 		return
 	}
 	if *allBenches {
+		haccrg.SetParallelism(*parallel)
 		os.Exit(runSuite(*scale, *small))
 	}
 	if *bench == "" {
@@ -166,7 +169,10 @@ func main() {
 
 // runSuite runs every benchmark under full detection and prints one
 // summary line each; the exit code is 3 if any benchmark raced,
-// mirroring single-benchmark behaviour.
+// mirroring single-benchmark behaviour. Benchmarks run concurrently up
+// to the configured parallelism; output stays in suite order (each run
+// owns its simulated device, so results do not depend on the worker
+// count).
 func runSuite(scale int, small bool) int {
 	opts := haccrg.RunOptions{Scale: scale}
 	if small {
@@ -176,14 +182,39 @@ func runSuite(scale int, small bool) int {
 	det := haccrg.DefaultDetection()
 	det.SharedGranularity = 4
 	opts.Detection = &det
+
+	benches := haccrg.Benchmarks()
+	results := make([]*haccrg.RunResult, len(benches))
+	errs := make([]error, len(benches))
+	workers := haccrg.Parallelism()
+	if workers > len(benches) {
+		workers = len(benches)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = haccrg.RunBenchmark(benches[i].Name, opts)
+			}
+		}()
+	}
+	for i := range benches {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
 	raced := false
 	fmt.Printf("%-8s %10s %8s %8s  %s\n", "bench", "cycles", "races", "reports", "categories")
-	for _, bm := range haccrg.Benchmarks() {
-		res, err := haccrg.RunBenchmark(bm.Name, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "haccrg: %s: %v\n", bm.Name, err)
+	for i, bm := range benches {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "haccrg: %s: %v\n", bm.Name, errs[i])
 			return 1
 		}
+		res := results[i]
 		cats := map[string]int{}
 		var reports int64
 		for _, r := range res.Races {

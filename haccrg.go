@@ -330,3 +330,13 @@ type SweepDefaults = harness.SweepDefaults
 // -fault-plan/-seed/-timeout/-max-cycles through the experiment
 // drivers).
 func SetSweepDefaults(d SweepDefaults) { harness.SetSweepDefaults(d) }
+
+// SetParallelism sets how many simulations the experiment sweeps run
+// concurrently: n <= 0 restores the default (GOMAXPROCS), n == 1
+// forces serial sweeps. Each run owns its device and detector, and
+// results are assembled in input order, so sweep output is
+// byte-identical at any setting.
+func SetParallelism(n int) { harness.SetParallelism(n) }
+
+// Parallelism returns the resolved sweep worker count (always >= 1).
+func Parallelism() int { return harness.Parallelism() }

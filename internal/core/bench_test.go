@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// benchEnv is a minimal gpu.Env: fixed-latency memory, no queueing.
+// The RDU micro-benchmarks isolate the detector's own per-access cost
+// (shadow lookup, state machine, scratch management) from the timing
+// model, so allocs/op here is exactly the hot-path churn the paged
+// shadow and scratch buffers are meant to eliminate.
+type benchEnv struct{ cfg *gpu.Config }
+
+func (e *benchEnv) Config() *gpu.Config { return e.cfg }
+func (e *benchEnv) PartitionFor(addr uint64) int {
+	return int(addr>>8) % e.cfg.NumPartitions
+}
+func (e *benchEnv) ShadowTx(part int, cycle int64, addr uint64, write bool) int64 {
+	return cycle + 40
+}
+func (e *benchEnv) InstrTx(sm int, cycle int64, addr uint64, write bool) int64 {
+	return cycle + 100
+}
+func (e *benchEnv) InstrAtomicTx(sm int, cycle int64, addr uint64) int64 {
+	return cycle + 120
+}
+func (e *benchEnv) ShadowBase() uint64                { return 1 << 26 }
+func (e *benchEnv) CurrentFenceID(block, w int) uint32 { return 1 }
+func (e *benchEnv) GlobalMemSize() uint64             { return 1 << 26 }
+
+// benchDetector builds a detector attached to the stub env.
+func benchDetector(b *testing.B, opt Options) *Detector {
+	b.Helper()
+	d, err := New(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gpu.TestConfig()
+	d.KernelStart(&benchEnv{cfg: &cfg}, "bench")
+	return d
+}
+
+// warpEvent builds a race-free full-warp access: each lane stays on
+// its own granule, so the detector exercises claim/refresh without
+// materializing race records (which would dominate allocs).
+func warpEvent(space isa.Space, write bool, lanes int, base uint64, stride uint64) *gpu.WarpMemEvent {
+	ev := &gpu.WarpMemEvent{
+		Space: space, Write: write,
+		PC: 4, SM: 0, Block: 0, Kernel: "bench",
+		SyncID: 1, FenceID: 1, Cycle: 100,
+		Lanes: make([]gpu.LaneAccess, lanes),
+	}
+	for l := 0; l < lanes; l++ {
+		ev.Lanes[l] = gpu.LaneAccess{
+			Lane: l, Tid: l, GTid: l,
+			Addr: base + uint64(l)*stride, Size: 4,
+			Arrival: 100,
+		}
+	}
+	return ev
+}
+
+// BenchmarkRDUHotPath measures the per-warp-instruction detector cost
+// on the global and shared RDU paths. The interesting number is
+// allocs/op: the steady state must not allocate.
+func BenchmarkRDUHotPath(b *testing.B) {
+	const lanes = 32
+	b.Run("global-write", func(b *testing.B) {
+		d := benchDetector(b, DefaultOptions())
+		ev := warpEvent(isa.SpaceGlobal, true, lanes, 0, 4)
+		// Warm-up claims the working set (first touch allocates shadow
+		// pages); the timed loop is the steady-state refresh path.
+		const workingSet = 1 << 16
+		for base := uint64(0); base < workingSet; base += lanes * 4 {
+			for l := range ev.Lanes {
+				ev.Lanes[l].Addr = base + uint64(l)*4
+			}
+			d.WarpMem(ev)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base := uint64(i*lanes*4) % workingSet
+			for l := range ev.Lanes {
+				ev.Lanes[l].Addr = base + uint64(l)*4
+			}
+			d.WarpMem(ev)
+		}
+	})
+	b.Run("global-read", func(b *testing.B) {
+		d := benchDetector(b, DefaultOptions())
+		ev := warpEvent(isa.SpaceGlobal, false, lanes, 0, 4)
+		const workingSet = 1 << 16
+		for base := uint64(0); base < workingSet; base += lanes * 4 {
+			for l := range ev.Lanes {
+				ev.Lanes[l].Addr = base + uint64(l)*4
+			}
+			d.WarpMem(ev)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base := uint64(i*lanes*4) % workingSet
+			for l := range ev.Lanes {
+				ev.Lanes[l].Addr = base + uint64(l)*4
+			}
+			d.WarpMem(ev)
+		}
+	})
+	b.Run("shared-write", func(b *testing.B) {
+		d := benchDetector(b, DefaultOptions())
+		ev := warpEvent(isa.SpaceShared, true, lanes, 0, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base := uint64(i*lanes*4) % (1 << 12)
+			for l := range ev.Lanes {
+				ev.Lanes[l].Addr = base + uint64(l)*4
+			}
+			d.WarpMem(ev)
+		}
+	})
+}
+
+// BenchmarkGlobalShadow measures the shadow structure itself:
+// steady-state lookup/claim over a fixed working set, plus the
+// per-kernel wipe. The paged flat array must be allocation-free once
+// its pages exist.
+func BenchmarkGlobalShadow(b *testing.B) {
+	b.Run("lookup-claim", func(b *testing.B) {
+		var s pagedShadow
+		const granules = 1 << 16
+		for g := uint64(0); g < granules; g++ {
+			e := s.entry(g)
+			e.present = true
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A deterministic stride that wanders the whole set.
+			g := uint64(i*2654435761) % granules
+			e := s.lookup(g)
+			if e == nil {
+				b.Fatal("present entry not found")
+			}
+			e.tid = uint16(i)
+		}
+	})
+	b.Run("kernel-reset", func(b *testing.B) {
+		var s pagedShadow
+		const granules = 1 << 16
+		for g := uint64(0); g < granules; g++ {
+			s.entry(g).present = true
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.reset()
+		}
+	})
+	b.Run("first-touch", func(b *testing.B) {
+		// Cold claims: page allocation amortized over a page of claims.
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var s pagedShadow
+			for g := uint64(0); g < shadowPageLen; g++ {
+				s.entry(g).present = true
+			}
+		}
+	})
+}

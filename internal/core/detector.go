@@ -22,13 +22,16 @@ type sharedEntry struct {
 
 // globalEntry is one global-memory shadow entry: modified, shared,
 // tid, bid, sid, sync ID, fence ID and the atomic-ID lockset signature
-// (Section IV-B).
+// (Section IV-B). present is the simulator-side "this granule has been
+// claimed" marker — the flat-array shadow's replacement for map
+// membership; it is not part of the architectural 52-bit word.
 type globalEntry struct {
 	tid      uint16
 	bid      uint32
 	sid      uint16
 	modified bool
 	shared   bool
+	present  bool
 	syncID   uint32
 	fenceID  uint32
 	sig      bloom.Sig
@@ -47,13 +50,25 @@ type Detector struct {
 
 	// sharedShadow[sm][granule]; covers each SM's full shared tile.
 	sharedShadow [][]sharedEntry
-	globalShadow map[uint64]*globalEntry
+	globalShadow pagedShadow
 
 	races []*Race
 	seen  map[raceKey]*Race
 	sites map[siteKey]struct{}
 
 	stats Stats
+
+	// scratch holds small per-event buffers reused across WarpMem
+	// calls. A warp instruction touches at most WarpSize lanes, so
+	// insertion-sorted slices replace the per-event maps the hot path
+	// used to allocate; each buffer is dead once WarpMem returns, and
+	// one Detector serves one device on one goroutine, so reuse is
+	// race-free.
+	scratch struct {
+		arrivals []lineArrival // distinct demand lines, sorted by line
+		lines    []uint64      // distinct shadow lines, sorted (Fig. 8 mode)
+		seen     []laneAddr    // intra-warp WAW dedup, insertion order
+	}
 
 	// Fault-injection state (see health.go). inj is non-nil only when
 	// Options.Fault holds a non-empty plan; all fault hooks are gated
@@ -73,11 +88,10 @@ func New(opt Options) (*Detector, error) {
 		return nil, err
 	}
 	return &Detector{
-		opt:          opt,
-		globalShadow: make(map[uint64]*globalEntry),
-		seen:         make(map[raceKey]*Race),
-		sites:        make(map[siteKey]struct{}),
-		inj:          fault.New(opt.Fault, opt.FaultSeed),
+		opt:   opt,
+		seen:  make(map[raceKey]*Race),
+		sites: make(map[siteKey]struct{}),
+		inj:   fault.New(opt.Fault, opt.FaultSeed),
 	}, nil
 }
 
@@ -151,7 +165,7 @@ func (d *Detector) Reset() {
 	d.races = nil
 	d.seen = make(map[raceKey]*Race)
 	d.sites = make(map[siteKey]struct{})
-	d.globalShadow = make(map[uint64]*globalEntry)
+	d.globalShadow.drop()
 	d.sharedShadow = nil
 	d.stats = Stats{}
 	d.resetFaultState()
@@ -175,7 +189,7 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 	for i := range d.sharedShadow {
 		resetShared(d.sharedShadow[i])
 	}
-	d.globalShadow = make(map[uint64]*globalEntry)
+	d.globalShadow.reset()
 	if d.inj != nil {
 		// The launch's cycle clock restarts at zero, so queue and spike
 		// phase state restart with it; the PRNG stream and the

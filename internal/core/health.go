@@ -115,7 +115,7 @@ func (d *Detector) faultGlobal(g uint64) (skip bool) {
 			// physically stuck — so the counter measures exposure, not
 			// distinct cells.
 			if d.opt.Degradation == DegradeReinit {
-				delete(d.globalShadow, g)
+				d.globalShadow.clear(g)
 				d.health.ReinitGranules++
 				return false
 			}
@@ -125,13 +125,13 @@ func (d *Detector) faultGlobal(g uint64) (skip bool) {
 		// No ECC: reads of the shadow word silently return the stuck
 		// pattern. Without a materialized entry there is nothing to
 		// serve yet; the first claim will be overwritten on next read.
-		if e, ok := d.globalShadow[g]; ok {
+		if e := d.globalShadow.lookup(g); e != nil {
 			stuckGlobalEntry(e, pat)
 			d.health.StuckReads++
 		}
 		return false
 	}
-	if e, ok := d.globalShadow[g]; ok {
+	if e := d.globalShadow.lookup(g); e != nil {
 		if bit, hit := d.inj.FlipBit(globalEntryBits); hit {
 			if d.inj.ECC() {
 				d.health.CorrectedFlips++

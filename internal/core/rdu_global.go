@@ -1,22 +1,67 @@
 package core
 
 import (
-	"sort"
-
 	"haccrg/internal/fault"
 	"haccrg/internal/gpu"
 	"haccrg/internal/isa"
 )
 
-// sortedKeys returns a map's keys in ascending order, for
-// deterministic iteration over per-line shadow traffic.
-func sortedKeys[V any](m map[uint64]V) []uint64 {
-	ks := make([]uint64, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
+// lineArrival pairs one distinct demand line with the latest lane
+// arrival targeting it.
+type lineArrival struct {
+	line    uint64
+	arrival int64
+}
+
+// laneAddr pairs one distinct lane byte address with the first lane
+// (tid) that touched it within a warp instruction.
+type laneAddr struct {
+	addr uint64
+	tid  int
+}
+
+// insertArrival records a lane's (line, arrival) in a slice kept
+// sorted by line, retaining the maximum arrival per line. A warp has
+// at most WarpSize lanes, so insertion sort into a reused buffer beats
+// the map-plus-key-sort the hot path used to allocate per event —
+// while visiting lines in the same ascending address order, which
+// partition port and L2 state require for deterministic cycle counts.
+func insertArrival(s []lineArrival, line uint64, arrival int64) []lineArrival {
+	i := 0
+	for ; i < len(s); i++ {
+		if s[i].line == line {
+			if arrival > s[i].arrival {
+				s[i].arrival = arrival
+			}
+			return s
+		}
+		if s[i].line > line {
+			break
+		}
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-	return ks
+	s = append(s, lineArrival{})
+	copy(s[i+1:], s[i:])
+	s[i] = lineArrival{line: line, arrival: arrival}
+	return s
+}
+
+// insertLine records a distinct value in an ascending-sorted slice
+// (the Figure 8 shadow-line working set; same determinism argument as
+// insertArrival).
+func insertLine(s []uint64, v uint64) []uint64 {
+	i := 0
+	for ; i < len(s); i++ {
+		if s[i] == v {
+			return s
+		}
+		if s[i] > v {
+			break
+		}
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
 }
 
 // globalRDU runs the global-memory Race Detection Units for one warp
@@ -36,20 +81,18 @@ func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 	// covering its granule entries, plus one write for the updates.
 	if d.opt.ModelTraffic {
 		seg := uint64(d.env.Config().SegmentBytes)
-		arrivals := make(map[uint64]int64, 2)
+		arrivals := d.scratch.arrivals[:0]
 		for i := range ev.Lanes {
 			la := &ev.Lanes[i]
-			line := la.Addr &^ (seg - 1)
-			if arr, ok := arrivals[line]; !ok || la.Arrival > arr {
-				arrivals[line] = la.Arrival
-			}
+			arrivals = insertArrival(arrivals, la.Addr&^(seg-1), la.Arrival)
 		}
+		d.scratch.arrivals = arrivals
 		const entryBytes = 8 // 52-bit entries padded to a power of two
 		// Partition port/L2 state makes transaction order matter, so the
-		// lines are visited in sorted address order — map iteration order
-		// would perturb cycle counts from run to run.
-		for _, line := range sortedKeys(arrivals) {
-			arrival := arrivals[line]
+		// lines are visited in sorted address order — arbitrary iteration
+		// order would perturb cycle counts from run to run.
+		for _, lr := range arrivals {
+			line, arrival := lr.line, lr.arrival
 			part := d.env.PartitionFor(line)
 			if d.inj != nil {
 				arrival = d.spiked(arrival)
@@ -97,13 +140,14 @@ func (d *Detector) globalCheck(ev *gpu.WarpMemEvent, la *gpu.LaneAccess, gran ui
 		return // granule quarantined by the degradation policy
 	}
 
-	e, ok := d.globalShadow[g]
-	if !ok {
+	e := d.globalShadow.lookup(g)
+	if e == nil {
 		// State 1: first access claims the entry; a protected access
 		// stores its lockset, an unprotected one stores the null set.
-		e = &globalEntry{
+		e = d.globalShadow.entry(g)
+		*e = globalEntry{
 			tid: uint16(la.Tid), bid: uint32(ev.Block), sid: uint16(ev.SM),
-			modified: write, shared: false,
+			modified: write, shared: false, present: true,
 			syncID: ev.SyncID, fenceID: ev.FenceID,
 		}
 		if write {
@@ -112,7 +156,6 @@ func (d *Detector) globalCheck(ev *gpu.WarpMemEvent, la *gpu.LaneAccess, gran ui
 		if la.InCrit {
 			e.sig = la.AtomicSig
 		}
-		d.globalShadow[g] = e
 		return
 	}
 

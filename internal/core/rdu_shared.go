@@ -24,10 +24,8 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 		d.intraWarpWAW(ev, isa.SpaceShared, gran)
 	}
 
-	var shadowLines map[uint64]struct{}
-	if d.opt.SharedShadowInGlobal {
-		shadowLines = make(map[uint64]struct{}, 2)
-	}
+	inGlobal := d.opt.SharedShadowInGlobal
+	shadowLines := d.scratch.lines[:0]
 
 	for i := range ev.Lanes {
 		la := &ev.Lanes[i]
@@ -39,9 +37,9 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 		if g >= uint64(len(shadow)) {
 			continue // engine bounds-checks; stay safe
 		}
-		if shadowLines != nil {
+		if inGlobal {
 			entryAddr := d.sharedShadowBase(ev.SM) + g*2
-			shadowLines[entryAddr&^uint64(d.env.Config().SegmentBytes-1)] = struct{}{}
+			shadowLines = insertLine(shadowLines, entryAddr&^uint64(d.env.Config().SegmentBytes-1))
 		}
 		if ev.Atomic {
 			continue // atomics are synchronization operations
@@ -52,7 +50,8 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 		d.sharedCheck(shadow, g, ev, la)
 	}
 
-	if shadowLines == nil {
+	d.scratch.lines = shadowLines
+	if !inGlobal {
 		return 0
 	}
 	// Figure 8 mode: fetch every distinct shadow line through the
@@ -61,7 +60,7 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 	// stores are fire-and-forget). Sorted order keeps the L1/partition
 	// state — and hence cycle counts — deterministic.
 	var done int64 = ev.Cycle
-	for _, line := range sortedKeys(shadowLines) {
+	for _, line := range shadowLines {
 		start := ev.Cycle
 		if d.inj != nil {
 			start = d.spiked(start)
@@ -152,10 +151,19 @@ func (d *Detector) intraWarpWAW(ev *gpu.WarpMemEvent, space isa.Space, gran uint
 	if len(ev.Lanes) < 2 {
 		return
 	}
-	seen := make(map[uint64]int, len(ev.Lanes))
+	// At most WarpSize lanes per instruction: a linear scan over a
+	// reused buffer replaces the per-event map allocation.
+	seen := d.scratch.seen[:0]
 	for i := range ev.Lanes {
 		la := &ev.Lanes[i]
-		if first, dup := seen[la.Addr]; dup {
+		first, dup := 0, false
+		for j := range seen {
+			if seen[j].addr == la.Addr {
+				first, dup = seen[j].tid, true
+				break
+			}
+		}
+		if dup {
 			if ev.Atomic {
 				continue // atomics to the same address serialize
 			}
@@ -163,6 +171,7 @@ func (d *Detector) intraWarpWAW(ev *gpu.WarpMemEvent, space isa.Space, gran uint
 				first, ev.Block, la.Tid, ev.Block, ev.Cycle)
 			continue
 		}
-		seen[la.Addr] = la.Tid
+		seen = append(seen, laneAddr{addr: la.Addr, tid: la.Tid})
 	}
+	d.scratch.seen = seen
 }

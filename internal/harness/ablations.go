@@ -154,18 +154,24 @@ func BloomEndToEnd() (string, error) {
 // barrier: without the gate, shared-memory-heavy kernels burn through
 // the 8-bit counters far faster.
 func SyncIDGatingStudy(scale int) (string, error) {
+	benches := []string{"scan", "sortnw", "fwalsh", "reduce"}
+	bumpCfg := gpu.DefaultConfig()
+	bumpCfg.AlwaysBumpSyncID = true
+	cfgs := make([]RunConfig, 0, 2*len(benches))
+	for _, bench := range benches {
+		cfgs = append(cfgs,
+			RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale},
+			// RunContext copies the shared config, so the pointer is safe
+			// to reuse across concurrent runs.
+			RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale, GPU: &bumpCfg})
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return "", err
+	}
 	var rows [][]string
-	for _, bench := range []string{"scan", "sortnw", "fwalsh", "reduce"} {
-		gated, err := sweepRun(RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale})
-		if err != nil {
-			return "", err
-		}
-		cfg := gpu.DefaultConfig()
-		cfg.AlwaysBumpSyncID = true
-		ungated, err := sweepRun(RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale, GPU: &cfg})
-		if err != nil {
-			return "", err
-		}
+	for i, bench := range benches {
+		gated, ungated := results[2*i], results[2*i+1]
 		rows = append(rows, []string{bench,
 			fmt.Sprint(gated.Stats.MaxSyncID),
 			fmt.Sprint(ungated.Stats.MaxSyncID),
@@ -179,18 +185,22 @@ func SyncIDGatingStudy(scale int) (string, error) {
 // a simulator-credibility ablation showing the engine reacts to
 // scheduling policy, with functional results unchanged.
 func SchedulerStudy(scale int) (string, error) {
+	benches := []string{"mcarlo", "fwalsh", "hist", "sortnw", "reduce", "psum"}
+	gtoCfg := gpu.DefaultConfig()
+	gtoCfg.Scheduler = gpu.SchedGTO
+	cfgs := make([]RunConfig, 0, 2*len(benches))
+	for _, bench := range benches {
+		cfgs = append(cfgs,
+			RunConfig{Bench: bench, Detector: DetOff, Scale: scale},
+			RunConfig{Bench: bench, Detector: DetOff, Scale: scale, GPU: &gtoCfg})
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return "", err
+	}
 	var rows [][]string
-	for _, bench := range []string{"mcarlo", "fwalsh", "hist", "sortnw", "reduce", "psum"} {
-		rr, err := sweepRun(RunConfig{Bench: bench, Detector: DetOff, Scale: scale})
-		if err != nil {
-			return "", err
-		}
-		cfg := gpu.DefaultConfig()
-		cfg.Scheduler = gpu.SchedGTO
-		gto, err := sweepRun(RunConfig{Bench: bench, Detector: DetOff, Scale: scale, GPU: &cfg})
-		if err != nil {
-			return "", err
-		}
+	for i, bench := range benches {
+		rr, gto := results[2*i], results[2*i+1]
 		if rr.Stats.ThreadInstrs != gto.Stats.ThreadInstrs {
 			return "", fmt.Errorf("harness: scheduler changed executed work on %s", bench)
 		}

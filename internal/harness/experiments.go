@@ -68,13 +68,19 @@ type Table2Row struct {
 // Table2 runs every benchmark with detection off and reports the
 // instruction mix (paper Table II's shared/global read percentages).
 func Table2(scale int) ([]Table2Row, string, error) {
+	bms := kernels.All()
+	cfgs := make([]RunConfig, len(bms))
+	for i, bm := range bms {
+		cfgs[i] = RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale}
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return nil, "", err
+	}
 	var rows []Table2Row
 	var txt [][]string
-	for _, bm := range kernels.All() {
-		r, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale})
-		if err != nil {
-			return nil, "", err
-		}
+	for i, bm := range bms {
+		r := results[i]
 		row := Table2Row{
 			Bench: bm.Name, Input: bm.Input,
 			SharedReadPc: r.Stats.SharedReadPct(),
@@ -108,19 +114,28 @@ var Table3Granularities = []int{4, 8, 16, 32, 64}
 // shared race); for the global space the 4-byte run is the truth
 // baseline, as in the paper.
 func Table3(scale int) (shared, global []Table3Row, text string, err error) {
-	var sharedTxt, globalTxt [][]string
-	for _, bm := range kernels.All() {
-		sr := Table3Row{Bench: bm.Name, False: map[int]int{}, Reports: map[int]int64{}}
-		gr := Table3Row{Bench: bm.Name, False: map[int]int{}, Reports: map[int]int64{}}
-		baselineGlobal := -1
+	bms := kernels.All()
+	ng := len(Table3Granularities)
+	cfgs := make([]RunConfig, 0, len(bms)*ng)
+	for _, bm := range bms {
 		for _, g := range Table3Granularities {
-			r, err := sweepRun(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale,
 				SharedGranularity: g, GlobalGranularity: g,
 			})
-			if err != nil {
-				return nil, nil, "", err
-			}
+		}
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var sharedTxt, globalTxt [][]string
+	for i, bm := range bms {
+		sr := Table3Row{Bench: bm.Name, False: map[int]int{}, Reports: map[int]int64{}}
+		gr := Table3Row{Bench: bm.Name, False: map[int]int{}, Reports: map[int]int64{}}
+		baselineGlobal := -1
+		for j, g := range Table3Granularities {
+			r := results[i*ng+j]
 			sr.False[g] = r.SharedSites
 			sr.Reports[g] = r.DetectorStats.SharedReports
 			if baselineGlobal < 0 {
@@ -206,28 +221,26 @@ type Fig7Row struct {
 // Fig7 measures the performance impact of every detector configuration
 // (paper Figure 7 plus the Section VI-B software comparison).
 func Fig7(scale int) ([]Fig7Row, string, error) {
+	bms := kernels.All()
+	kinds := []DetectorKind{DetOff, DetShared, DetSharedGlobal, DetSoftware, DetGRace}
+	cfgs := make([]RunConfig, 0, len(bms)*len(kinds))
+	for _, bm := range bms {
+		for _, kind := range kinds {
+			cfgs = append(cfgs, RunConfig{Bench: bm.Name, Detector: kind, Scale: scale})
+		}
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return nil, "", err
+	}
 	var rows []Fig7Row
 	var txt [][]string
-	for _, bm := range kernels.All() {
-		base, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale})
-		if err != nil {
-			return nil, "", err
-		}
+	for i, bm := range bms {
+		base := results[i*len(kinds)]
 		row := Fig7Row{Bench: bm.Name, BaseCycles: base.Stats.Cycles}
-		for _, cfg := range []struct {
-			kind DetectorKind
-			dst  *float64
-		}{
-			{DetShared, &row.Shared},
-			{DetSharedGlobal, &row.SharedGlobal},
-			{DetSoftware, &row.Software},
-			{DetGRace, &row.GRace},
-		} {
-			r, err := sweepRun(RunConfig{Bench: bm.Name, Detector: cfg.kind, Scale: scale})
-			if err != nil {
-				return nil, "", err
-			}
-			*cfg.dst = float64(r.Stats.Cycles) / float64(base.Stats.Cycles)
+		for j, dst := range []*float64{&row.Shared, &row.SharedGlobal, &row.Software, &row.GRace} {
+			r := results[i*len(kinds)+1+j]
+			*dst = float64(r.Stats.Cycles) / float64(base.Stats.Cycles)
 		}
 		rows = append(rows, row)
 		txt = append(txt, []string{bm.Name,
@@ -261,21 +274,22 @@ type Fig8Row struct {
 
 // Fig8 runs the shared-shadow placement experiment.
 func Fig8(scale int) ([]Fig8Row, string, error) {
+	bms := kernels.All()
+	kinds := []DetectorKind{DetOff, DetSharedGlobal, DetFig8}
+	cfgs := make([]RunConfig, 0, len(bms)*len(kinds))
+	for _, bm := range bms {
+		for _, kind := range kinds {
+			cfgs = append(cfgs, RunConfig{Bench: bm.Name, Detector: kind, Scale: scale})
+		}
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return nil, "", err
+	}
 	var rows []Fig8Row
 	var txt [][]string
-	for _, bm := range kernels.All() {
-		base, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetOff, Scale: scale})
-		if err != nil {
-			return nil, "", err
-		}
-		hw, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale})
-		if err != nil {
-			return nil, "", err
-		}
-		sw, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetFig8, Scale: scale})
-		if err != nil {
-			return nil, "", err
-		}
+	for i, bm := range bms {
+		base, hw, sw := results[i*3], results[i*3+1], results[i*3+2]
 		row := Fig8Row{
 			Bench:    bm.Name,
 			Hardware: float64(hw.Stats.Cycles) / float64(base.Stats.Cycles),
@@ -298,23 +312,24 @@ type Fig9Row struct {
 
 // Fig9 measures average DRAM bandwidth utilization (paper Figure 9).
 func Fig9(scale int) ([]Fig9Row, string, error) {
+	bms := kernels.All()
+	kinds := []DetectorKind{DetOff, DetShared, DetSharedGlobal}
+	cfgs := make([]RunConfig, 0, len(bms)*len(kinds))
+	for _, bm := range bms {
+		for _, kind := range kinds {
+			cfgs = append(cfgs, RunConfig{Bench: bm.Name, Detector: kind, Scale: scale})
+		}
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return nil, "", err
+	}
 	var rows []Fig9Row
 	var txt [][]string
-	for _, bm := range kernels.All() {
+	for i, bm := range bms {
 		row := Fig9Row{Bench: bm.Name}
-		for _, cfg := range []struct {
-			kind DetectorKind
-			dst  *float64
-		}{
-			{DetOff, &row.Off},
-			{DetShared, &row.Shared},
-			{DetSharedGlobal, &row.SharedGlobal},
-		} {
-			r, err := sweepRun(RunConfig{Bench: bm.Name, Detector: cfg.kind, Scale: scale})
-			if err != nil {
-				return nil, "", err
-			}
-			*cfg.dst = r.Stats.DRAMUtil
+		for j, dst := range []*float64{&row.Off, &row.Shared, &row.SharedGlobal} {
+			*dst = results[i*len(kinds)+j].Stats.DRAMUtil
 		}
 		rows = append(rows, row)
 		txt = append(txt, []string{bm.Name,
@@ -335,16 +350,22 @@ type RealRaceReport struct {
 
 // RealRaces runs the effectiveness evaluation at word granularity.
 func RealRaces(scale int) ([]RealRaceReport, string, error) {
-	var reps []RealRaceReport
-	var txt [][]string
-	for _, bm := range kernels.All() {
-		r, err := sweepRun(RunConfig{
+	bms := kernels.All()
+	cfgs := make([]RunConfig, len(bms))
+	for i, bm := range bms {
+		cfgs[i] = RunConfig{
 			Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale,
 			SharedGranularity: 4, GlobalGranularity: 4,
-		})
-		if err != nil {
-			return nil, "", err
 		}
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return nil, "", err
+	}
+	var reps []RealRaceReport
+	var txt [][]string
+	for i, bm := range bms {
+		r := results[i]
 		rep := RealRaceReport{
 			Bench: bm.Name, SharedSites: r.SharedSites,
 			GlobalSites: r.GlobalSites, Categories: r.Groups,
@@ -391,46 +412,60 @@ func Injected(scale int) ([]InjectedResult, string, error) {
 		}
 		return rc
 	}
+	// One combined sweep: the per-benchmark baselines first, then every
+	// injection run — 10 + 41 configurations fanned out together.
+	bms := kernels.All()
+	cfgs := make([]RunConfig, 0, len(bms))
+	for _, bm := range bms {
+		cfgs = append(cfgs, clean(bm.Name))
+	}
+	type siteRef struct {
+		bench string
+		site  kernels.Site
+	}
+	var refs []siteRef
+	for _, bm := range bms {
+		for _, site := range bm.Sites {
+			rc := clean(bm.Name)
+			rc.Inject = []string{site.ID}
+			cfgs = append(cfgs, rc)
+			refs = append(refs, siteRef{bench: bm.Name, site: site})
+		}
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return nil, "", err
+	}
 	type base struct {
 		sites  int
 		groups map[string]int
 	}
 	baselines := map[string]base{}
-	for _, bm := range kernels.All() {
-		r, err := sweepRun(clean(bm.Name))
-		if err != nil {
-			return nil, "", err
-		}
+	for i, bm := range bms {
+		r := results[i]
 		baselines[bm.Name] = base{sites: r.SharedSites + r.GlobalSites, groups: r.Groups}
 	}
 	var out []InjectedResult
 	var txt [][]string
 	detected := 0
-	for _, bm := range kernels.All() {
-		for _, site := range bm.Sites {
-			rc := clean(bm.Name)
-			rc.Inject = []string{site.ID}
-			r, err := sweepRun(rc)
-			if err != nil {
-				return nil, "", err
+	for k, ref := range refs {
+		r := results[len(bms)+k]
+		b := baselines[ref.bench]
+		hit := r.SharedSites+r.GlobalSites > b.sites
+		for g := range r.Groups {
+			if b.groups[g] == 0 {
+				hit = true
 			}
-			b := baselines[bm.Name]
-			hit := r.SharedSites+r.GlobalSites > b.sites
-			for g := range r.Groups {
-				if b.groups[g] == 0 {
-					hit = true
-				}
-			}
-			if hit {
-				detected++
-			}
-			out = append(out, InjectedResult{Site: site, Detected: hit})
-			mark := "MISSED"
-			if hit {
-				mark = "detected"
-			}
-			txt = append(txt, []string{site.ID, site.Kind.String(), mark})
 		}
+		if hit {
+			detected++
+		}
+		out = append(out, InjectedResult{Site: ref.site, Detected: hit})
+		mark := "MISSED"
+		if hit {
+			mark = "detected"
+		}
+		txt = append(txt, []string{ref.site.ID, ref.site.Kind.String(), mark})
 	}
 	summary := fmt.Sprintf("\n%d of %d injected races detected\n", detected, len(out))
 	return out, table([]string{"site", "kind", "result"}, txt) + summary, nil
@@ -457,12 +492,18 @@ func BloomStress() string {
 // IDUsage reports the observed logical-clock maxima (Section VI-A2's
 // sync/fence-ID sizing argument).
 func IDUsage(scale int) (string, error) {
+	bms := kernels.All()
+	cfgs := make([]RunConfig, len(bms))
+	for i, bm := range bms {
+		cfgs[i] = RunConfig{Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale}
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return "", err
+	}
 	var rows [][]string
-	for _, bm := range kernels.All() {
-		r, err := sweepRun(RunConfig{Bench: bm.Name, Detector: DetSharedGlobal, Scale: scale})
-		if err != nil {
-			return "", err
-		}
+	for i, bm := range bms {
+		r := results[i]
 		rows = append(rows, []string{bm.Name,
 			fmt.Sprint(r.Stats.MaxSyncID), fmt.Sprint(r.Stats.MaxFenceID)})
 	}

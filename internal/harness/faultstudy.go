@@ -47,21 +47,27 @@ type FaultStudyRow struct {
 // enforces — is that a run whose findings diverge from baseline always
 // reports Degraded health, never a silent divergence.
 func FaultStudy(scale int, seed int64) ([]FaultStudyRow, string, error) {
-	var rows []FaultStudyRow
-	var txt [][]string
+	stride := 1 + len(FaultStudyPlans) // baseline + one run per plan
+	cfgs := make([]RunConfig, 0, len(faultStudyBenches)*stride)
 	for _, bench := range faultStudyBenches {
-		base, err := sweepRun(RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale})
-		if err != nil {
-			return nil, "", err
-		}
+		cfgs = append(cfgs, RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale})
 		for _, fp := range FaultStudyPlans {
-			r, err := sweepRun(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Bench: bench, Detector: DetSharedGlobal, Scale: scale,
 				FaultPlan: fp.Plan, FaultSeed: seed,
 			})
-			if err != nil {
-				return nil, "", err
-			}
+		}
+	}
+	results, err := sweepAll(cfgs)
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []FaultStudyRow
+	var txt [][]string
+	for i, bench := range faultStudyBenches {
+		base := results[i*stride]
+		for j, fp := range FaultStudyPlans {
+			r := results[i*stride+1+j]
 			row := FaultStudyRow{
 				Bench: bench, Label: fp.Label, Plan: fp.Plan,
 				BaseRaces: len(base.Races), Races: len(r.Races), Result: r,

@@ -288,22 +288,36 @@ const sweepRetries = 3
 // fault-free simulation is deterministic, so its failures are not
 // retried — they would fail identically.
 func sweepRun(rc RunConfig) (*RunResult, error) {
+	return sweepRunCtx(context.Background(), rc)
+}
+
+// sweepRunCtx is sweepRun under a context: cancellation cuts both the
+// in-flight simulation (through RunContext) and the retry backoff, so
+// a failed sweep winds down promptly instead of finishing doomed runs.
+func sweepRunCtx(ctx context.Context, rc RunConfig) (*RunResult, error) {
 	rc = applySweepDefaults(rc)
 	var lastErr error
 	for attempt := 1; attempt <= sweepRetries; attempt++ {
 		if attempt > 1 {
 			rc.FaultSeed += 1_000_003 // salt: explore a different sequence
-			time.Sleep(time.Duration(attempt-1) * 50 * time.Millisecond)
+			select {
+			case <-ctx.Done():
+				return nil, lastErr
+			case <-time.After(time.Duration(attempt-1) * 50 * time.Millisecond):
+			}
 		}
-		res, err := RunContext(context.Background(), rc)
+		res, err := RunContext(ctx, rc)
 		if err == nil {
 			res.Attempts = attempt
 			return res, nil
 		}
 		lastErr = err
-		if rc.FaultPlan == "" {
+		if ctx.Err() != nil || rc.FaultPlan == "" {
 			break
 		}
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
 	}
 	return nil, lastErr
 }

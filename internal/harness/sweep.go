@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// The sweep engine: every experiment driver enumerates its RunConfigs
+// up front and hands them to sweepAll, which fans them across a
+// bounded worker pool. Each run owns its Device and Detector, so runs
+// share no mutable state; results are assembled in input order, which
+// keeps every table and figure byte-identical to a serial sweep — the
+// determinism invariant the harness tests enforce.
+
+var (
+	parallelismMu sync.RWMutex
+	parallelismN  int // 0 = resolve to GOMAXPROCS at sweep time
+)
+
+// SetParallelism sets the process-wide sweep worker count. n <= 0
+// restores the default (GOMAXPROCS); n == 1 forces serial sweeps.
+func SetParallelism(n int) {
+	parallelismMu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	parallelismN = n
+	parallelismMu.Unlock()
+}
+
+// Parallelism returns the resolved sweep worker count (always >= 1).
+func Parallelism() int {
+	parallelismMu.RLock()
+	n := parallelismN
+	parallelismMu.RUnlock()
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// sweepAll runs every configuration through sweepRun across the worker
+// pool and returns the results in input order. The first failure
+// cancels the remaining runs; among the failures of a cancelled sweep
+// the lowest-index real error (not a cancellation casualty) is
+// returned, so the reported error does not depend on goroutine timing.
+//
+// Caveat: when several configurations would fail even serially, the
+// serial engine reports the first and never starts the rest, while the
+// pool may have several in flight; the returned error is then the
+// lowest-index one among those that actually ran. Success paths are
+// byte-identical to serial by construction.
+func sweepAll(cfgs []RunConfig) ([]*RunResult, error) {
+	return sweepAllCtx(context.Background(), cfgs)
+}
+
+func sweepAllCtx(ctx context.Context, cfgs []RunConfig) ([]*RunResult, error) {
+	n := len(cfgs)
+	results := make([]*RunResult, n)
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range cfgs {
+			r, err := sweepRunCtx(ctx, cfgs[i])
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := sweepRunCtx(ctx, cfgs[i])
+				if err != nil {
+					errs[i] = err
+					cancel() // first failure stops the sweep
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	// Prefer the lowest-index genuine failure; cancellation errors are
+	// secondary casualties of it.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The caller's context was cancelled before any run could fail on
+	// its own: surface that instead of a result slice with holes.
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,56 @@
+package kernels
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"haccrg/internal/isa"
+)
+
+// Program cache: kernel assembly is a pure function of the program
+// name and the build Params — device addresses reach the program
+// through param slots (Ldp), never as embedded immediates — and an
+// assembled isa.Program is read-only during execution. Each distinct
+// (name, Scale, SingleBlock, active injections) tuple is therefore
+// assembled once and shared by every subsequent build, including
+// concurrent builds on the sweep engine's worker pool.
+var progCache sync.Map // string -> *isa.Program
+
+// progCacheKey canonicalizes a parameterization; injection IDs are
+// sorted so map iteration order cannot split cache entries.
+func progCacheKey(name string, p *Params) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('|')
+	sb.WriteString(strconv.Itoa(p.scale()))
+	if p.SingleBlock {
+		sb.WriteString("|1block")
+	}
+	if len(p.Inject) > 0 {
+		ids := make([]string, 0, len(p.Inject))
+		for id, on := range p.Inject {
+			if on {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			sb.WriteByte('|')
+			sb.WriteString(id)
+		}
+	}
+	return sb.String()
+}
+
+// memoProgram returns the assembled program for (name, p), invoking
+// build only the first time a parameterization is seen.
+func memoProgram(name string, p *Params, build func() *isa.Program) *isa.Program {
+	key := progCacheKey(name, p)
+	if v, ok := progCache.Load(key); ok {
+		return v.(*isa.Program)
+	}
+	prog, _ := progCache.LoadOrStore(key, build())
+	return prog.(*isa.Program)
+}

@@ -1,0 +1,88 @@
+package kernels
+
+import (
+	"testing"
+
+	"haccrg/internal/gpu"
+)
+
+// buildPlan builds one benchmark plan on a fresh device without
+// running it.
+func buildPlan(t *testing.T, name string, p Params) *Plan {
+	t.Helper()
+	bm := Get(name)
+	if bm == nil {
+		t.Fatalf("benchmark %s not registered", name)
+	}
+	dev, err := gpu.NewDevice(gpu.TestConfig(), bm.GlobalBytes(p.Scale), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := bm.Build(dev, p)
+	if err != nil {
+		t.Fatalf("%s build: %v", name, err)
+	}
+	return plan
+}
+
+// TestProgramCacheHit: rebuilding a benchmark with identical Params
+// must reuse the assembled programs (pointer-equal), across devices.
+func TestProgramCacheHit(t *testing.T) {
+	for _, bm := range All() {
+		p := Params{Scale: 1}
+		a := buildPlan(t, bm.Name, p)
+		b := buildPlan(t, bm.Name, p)
+		if len(a.Kernels) != len(b.Kernels) {
+			t.Fatalf("%s: kernel count changed between builds", bm.Name)
+		}
+		for i := range a.Kernels {
+			if a.Kernels[i].Prog != b.Kernels[i].Prog {
+				t.Errorf("%s kernel %d: identical params rebuilt the program", bm.Name, i)
+			}
+			if a.Kernels[i].Params != nil && len(a.Kernels[i].Params) > 0 &&
+				&a.Kernels[i].Params[0] == &b.Kernels[i].Params[0] {
+				t.Errorf("%s kernel %d: param slots shared across builds", bm.Name, i)
+			}
+		}
+	}
+}
+
+// TestProgramCacheMiss: any Params field that shapes emission must
+// split the cache entry.
+func TestProgramCacheMiss(t *testing.T) {
+	base := buildPlan(t, "reduce", Params{Scale: 1})
+	scaled := buildPlan(t, "reduce", Params{Scale: 2})
+	if base.Kernels[0].Prog == scaled.Kernels[0].Prog {
+		t.Error("scale change reused the program (loop bounds are scale-dependent)")
+	}
+	injected := buildPlan(t, "reduce", Params{Scale: 1, Inject: map[string]bool{"reduce.fence0": true}})
+	if base.Kernels[0].Prog == injected.Kernels[0].Prog {
+		t.Error("injection reused the fault-free program")
+	}
+	// An inactive injection entry is not part of the parameterization.
+	off := buildPlan(t, "reduce", Params{Scale: 1, Inject: map[string]bool{"reduce.fence0": false}})
+	if base.Kernels[0].Prog != off.Kernels[0].Prog {
+		t.Error("inactive injection split the cache entry")
+	}
+
+	single := buildPlan(t, "scan", Params{Scale: 1, SingleBlock: true})
+	multi := buildPlan(t, "scan", Params{Scale: 1})
+	if single.Kernels[0].GridDim == multi.Kernels[0].GridDim {
+		t.Fatal("SingleBlock did not change the launch shape")
+	}
+}
+
+// TestProgramCacheKey pins the canonicalization: injection-ID order
+// must not matter, and every emission-relevant field must appear.
+func TestProgramCacheKey(t *testing.T) {
+	a := progCacheKey("hash", &Params{Scale: 2, Inject: map[string]bool{"x": true, "y": true}})
+	b := progCacheKey("hash", &Params{Scale: 2, Inject: map[string]bool{"y": true, "x": true}})
+	if a != b {
+		t.Errorf("key depends on injection map order: %q vs %q", a, b)
+	}
+	c := progCacheKey("hash", &Params{Scale: 2, SingleBlock: true, Inject: map[string]bool{"x": true}})
+	d := progCacheKey("hash", &Params{Scale: 2, Inject: map[string]bool{"x": true}})
+	if c == d {
+		t.Error("SingleBlock missing from the cache key")
+	}
+}

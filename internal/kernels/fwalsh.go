@@ -55,85 +55,89 @@ func buildFwalsh(d *gpu.Device, p Params) (*Plan, error) {
 
 	// Global-stage kernel: one butterfly per thread at stride given by
 	// param 1. pos = (i/stride)*2*stride + i%stride.
-	gb := isa.NewBuilder("fwalsh-global")
-	preamble(gb)
-	gb.Ldp(rA, 0) // data
-	gb.Ldp(rB, 1) // stride (elements)
-	gb.Div(rC, rGtid, rB)
-	gb.Muli(rC, rC, 2)
-	gb.Mul(rC, rC, rB)
-	gb.Rem(rD, rGtid, rB)
-	gb.Add(rC, rC, rD) // pos
-	gb.Muli(rD, rC, 4)
-	gb.Add(rD, rA, rD) // &data[pos]
-	gb.Muli(rE, rB, 4)
-	gb.Add(rE, rD, rE) // &data[pos+stride]
-	gb.Ld(rF, isa.SpaceGlobal, rD, 0, 4)
-	gb.Ld(rG, isa.SpaceGlobal, rE, 0, 4)
-	gb.Add(rH, rF, rG)
-	gb.Sub(rI, rF, rG)
-	gb.St(isa.SpaceGlobal, rD, 0, rH, 4)
-	gb.St(isa.SpaceGlobal, rE, 0, rI, 4)
-	dummyCross(gb, &p, "fwalsh.dummy0", 2)
-	gb.Exit()
-	globalProg := gb.MustBuild()
+	globalProg := memoProgram("fwalsh-global", &p, func() *isa.Program {
+		gb := isa.NewBuilder("fwalsh-global")
+		preamble(gb)
+		gb.Ldp(rA, 0) // data
+		gb.Ldp(rB, 1) // stride (elements)
+		gb.Div(rC, rGtid, rB)
+		gb.Muli(rC, rC, 2)
+		gb.Mul(rC, rC, rB)
+		gb.Rem(rD, rGtid, rB)
+		gb.Add(rC, rC, rD) // pos
+		gb.Muli(rD, rC, 4)
+		gb.Add(rD, rA, rD) // &data[pos]
+		gb.Muli(rE, rB, 4)
+		gb.Add(rE, rD, rE) // &data[pos+stride]
+		gb.Ld(rF, isa.SpaceGlobal, rD, 0, 4)
+		gb.Ld(rG, isa.SpaceGlobal, rE, 0, 4)
+		gb.Add(rH, rF, rG)
+		gb.Sub(rI, rF, rG)
+		gb.St(isa.SpaceGlobal, rD, 0, rH, 4)
+		gb.St(isa.SpaceGlobal, rE, 0, rI, 4)
+		dummyCross(gb, &p, "fwalsh.dummy0", 2)
+		gb.Exit()
+		return gb.MustBuild()
+	})
 
 	// Shared-stage kernel: each block loads a tile of 2*blockDim
 	// elements and runs the remaining stages with barriers.
-	sb := isa.NewBuilder("fwalsh-shared")
-	preamble(sb)
-	sb.Ldp(rA, 0)
-	sb.Muli(rB, rBid, int64(tile*4))
-	sb.Add(rA, rA, rB) // tile base in global
-	// Load two consecutive elements per thread (2*tid, 2*tid+1); the
-	// first butterfly stage reads (tid, tid+blockDim), so the barrier
-	// after the load orders cross-warp producer/consumer pairs.
-	sb.Muli(rC, rTid, 8)
-	for _, off := range []int64{0, 4} {
-		sb.Add(rE, rA, rC)
-		sb.Ld(rF, isa.SpaceGlobal, rE, off, 4)
-		sb.St(isa.SpaceShared, rC, off, rF, 4)
-	}
-	bar(sb, &p, "fwalsh.bar0")
-	// Stages: stride = tile/2 down to 1.
-	sb.Movi(rI, int64(tile/2))
-	sb.Setpi(0, isa.CmpGE, rI, 1)
-	sb.While(0)
-	// One butterfly per thread: i = tid.
-	sb.Div(rC, rTid, rI)
-	sb.Muli(rC, rC, 2)
-	sb.Mul(rC, rC, rI)
-	sb.Rem(rD, rTid, rI)
-	sb.Add(rC, rC, rD)
-	sb.Muli(rD, rC, 4) // pos*4
-	sb.Muli(rE, rI, 4)
-	sb.Add(rE, rD, rE) // (pos+stride)*4
-	sb.Ld(rF, isa.SpaceShared, rD, 0, 4)
-	sb.Ld(rG, isa.SpaceShared, rE, 0, 4)
-	sb.Add(rH, rF, rG)
-	sb.Sub(rJ, rF, rG)
-	sb.St(isa.SpaceShared, rD, 0, rH, 4)
-	sb.St(isa.SpaceShared, rE, 0, rJ, 4)
-	// Inter-stage barrier, skipped after the stride-1 stage (the
-	// pre-store barrier covers it); uniform condition.
-	sb.Setpi(1, isa.CmpGT, rI, 1)
-	sb.If(1)
-	bar(sb, &p, "fwalsh.bar1")
-	sb.EndIf()
-	sb.Shri(rI, rI, 1)
-	sb.Setpi(0, isa.CmpGE, rI, 1)
-	sb.EndWhile()
-	bar(sb, &p, "fwalsh.bar2")
-	// Store the tile back.
-	for _, off := range []int64{0, int64(fwBlockDim)} {
-		sb.Addi(rC, rTid, off)
-		sb.Muli(rD, rC, 4)
+	sharedProg := memoProgram("fwalsh-shared", &p, func() *isa.Program {
+		sb := isa.NewBuilder("fwalsh-shared")
+		preamble(sb)
+		sb.Ldp(rA, 0)
+		sb.Muli(rB, rBid, int64(tile*4))
+		sb.Add(rA, rA, rB) // tile base in global
+		// Load two consecutive elements per thread (2*tid, 2*tid+1); the
+		// first butterfly stage reads (tid, tid+blockDim), so the barrier
+		// after the load orders cross-warp producer/consumer pairs.
+		sb.Muli(rC, rTid, 8)
+		for _, off := range []int64{0, 4} {
+			sb.Add(rE, rA, rC)
+			sb.Ld(rF, isa.SpaceGlobal, rE, off, 4)
+			sb.St(isa.SpaceShared, rC, off, rF, 4)
+		}
+		bar(sb, &p, "fwalsh.bar0")
+		// Stages: stride = tile/2 down to 1.
+		sb.Movi(rI, int64(tile/2))
+		sb.Setpi(0, isa.CmpGE, rI, 1)
+		sb.While(0)
+		// One butterfly per thread: i = tid.
+		sb.Div(rC, rTid, rI)
+		sb.Muli(rC, rC, 2)
+		sb.Mul(rC, rC, rI)
+		sb.Rem(rD, rTid, rI)
+		sb.Add(rC, rC, rD)
+		sb.Muli(rD, rC, 4) // pos*4
+		sb.Muli(rE, rI, 4)
+		sb.Add(rE, rD, rE) // (pos+stride)*4
 		sb.Ld(rF, isa.SpaceShared, rD, 0, 4)
-		sb.Add(rE, rA, rD)
-		sb.St(isa.SpaceGlobal, rE, 0, rF, 4)
-	}
-	sb.Exit()
-	sharedProg := sb.MustBuild()
+		sb.Ld(rG, isa.SpaceShared, rE, 0, 4)
+		sb.Add(rH, rF, rG)
+		sb.Sub(rJ, rF, rG)
+		sb.St(isa.SpaceShared, rD, 0, rH, 4)
+		sb.St(isa.SpaceShared, rE, 0, rJ, 4)
+		// Inter-stage barrier, skipped after the stride-1 stage (the
+		// pre-store barrier covers it); uniform condition.
+		sb.Setpi(1, isa.CmpGT, rI, 1)
+		sb.If(1)
+		bar(sb, &p, "fwalsh.bar1")
+		sb.EndIf()
+		sb.Shri(rI, rI, 1)
+		sb.Setpi(0, isa.CmpGE, rI, 1)
+		sb.EndWhile()
+		bar(sb, &p, "fwalsh.bar2")
+		// Store the tile back.
+		for _, off := range []int64{0, int64(fwBlockDim)} {
+			sb.Addi(rC, rTid, off)
+			sb.Muli(rD, rC, 4)
+			sb.Ld(rF, isa.SpaceShared, rD, 0, 4)
+			sb.Add(rE, rA, rD)
+			sb.St(isa.SpaceGlobal, rE, 0, rF, 4)
+		}
+		sb.Exit()
+		return sb.MustBuild()
+	})
 
 	var launches []*gpu.Kernel
 	// Global stages first: stride from n/2 down to tile.

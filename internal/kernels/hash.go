@@ -64,85 +64,88 @@ func buildHash(d *gpu.Device, p Params) (*Plan, error) {
 	blocks := haBlocks * p.scale()
 	inserts := blocks * haBlockDim * haPerThr
 
-	b := isa.NewBuilder("hash")
-	preamble(b)
-	b.Ldp(rA, 0) // locks
-	b.Ldp(rB, 1) // counts
-	b.Ldp(rC, 2) // slots
+	prog := memoProgram("hash", &p, func() *isa.Program {
+		b := isa.NewBuilder("hash")
+		preamble(b)
+		b.Ldp(rA, 0) // locks
+		b.Ldp(rB, 1) // counts
+		b.Ldp(rC, 2) // slots
 
-	// Injected mixed-protection partners execute before the insert
-	// loop: crit0 reads the dummy word unprotected here; crit1 writes
-	// it unprotected here.
-	if p.inj("hash.crit0") {
-		b.Ldp(rInj0, 3)
-		b.Ld(rInj1, isa.SpaceGlobal, rInj0, 0, 4)
-	}
-	if p.inj("hash.crit1") {
-		b.Ldp(rInj0, 3)
-		b.St(isa.SpaceGlobal, rInj0, 4, rGtid, 4)
-	}
+		// Injected mixed-protection partners execute before the insert
+		// loop: crit0 reads the dummy word unprotected here; crit1 writes
+		// it unprotected here.
+		if p.inj("hash.crit0") {
+			b.Ldp(rInj0, 3)
+			b.Ld(rInj1, isa.SpaceGlobal, rInj0, 0, 4)
+		}
+		if p.inj("hash.crit1") {
+			b.Ldp(rInj0, 3)
+			b.St(isa.SpaceGlobal, rInj0, 4, rGtid, 4)
+		}
 
-	// Insert loop: key = hash(gtid, e); bucket = key % buckets.
-	b.Movi(rI, 0)
-	b.Setpi(0, isa.CmpLT, rI, haPerThr)
-	b.While(0)
-	// key = (gtid*2654435761 + e*40503) & 0xFFFFFF
-	b.Muli(rD, rGtid, 2654435761)
-	b.Muli(rE, rI, 40503)
-	b.Add(rD, rD, rE)
-	b.Andi(rD, rD, 0xFFFFFF) // key
-	b.Remi(rE, rD, haBuckets)
-	b.Muli(rF, rE, 4)
-	b.Add(rF, rA, rF) // &locks[bucket]
+		// Insert loop: key = hash(gtid, e); bucket = key % buckets.
+		b.Movi(rI, 0)
+		b.Setpi(0, isa.CmpLT, rI, haPerThr)
+		b.While(0)
+		// key = (gtid*2654435761 + e*40503) & 0xFFFFFF
+		b.Muli(rD, rGtid, 2654435761)
+		b.Muli(rE, rI, 40503)
+		b.Add(rD, rD, rE)
+		b.Andi(rD, rD, 0xFFFFFF) // key
+		b.Remi(rE, rD, haBuckets)
+		b.Muli(rF, rE, 4)
+		b.Add(rF, rA, rF) // &locks[bucket]
 
-	// Lock acquire (retry loop; winners run the body masked-in).
-	b.Movi(rG, 0) // done
-	b.Setpi(1, isa.CmpEQ, rG, 0)
-	b.While(1)
-	b.Movi(rH, 0)
-	b.Movi(rJ, 1)
-	b.Atom(rK, isa.AtomCAS, isa.SpaceGlobal, rF, 0, rH, rJ)
-	b.Setpi(2, isa.CmpEQ, rK, 0)
-	b.If(2)
-	b.AcqMark(rF)
-	// Critical section: n = counts[bucket]; if n < slots:
-	// slots[bucket*S+n] = key; counts[bucket] = n+1.
-	b.Muli(rL, rE, 4)
-	b.Add(rL, rB, rL) // &counts[bucket]
-	b.Note("read counts[bucket] inside the critical section")
-	b.Ld(rM, isa.SpaceGlobal, rL, 0, 4)
-	b.Setpi(3, isa.CmpLT, rM, haSlots)
-	b.If(3)
-	b.Muli(rN, rE, haSlots)
-	b.Add(rN, rN, rM)
-	b.Muli(rN, rN, 4)
-	b.Add(rN, rC, rN)
-	b.St(isa.SpaceGlobal, rN, 0, rD, 4)
-	b.EndIf()
-	b.Addi(rM, rM, 1)
-	b.St(isa.SpaceGlobal, rL, 0, rM, 4)
-	dummyCritical(b, &p, "hash.crit0", 3)
-	if p.inj("hash.crit1") {
-		b.Ldp(rInj0, 3)
-		b.Ld(rInj1, isa.SpaceGlobal, rInj0, 4, 4)
-	}
-	b.Membar() // write visibility before the release (Figure 2(b))
-	b.RelMark()
-	b.Movi(rH, 0)
-	b.Atom(rK, isa.AtomExch, isa.SpaceGlobal, rF, 0, rH, 0)
-	b.Movi(rG, 1)
-	b.EndIf()
-	b.Setpi(1, isa.CmpEQ, rG, 0)
-	b.EndWhile()
+		// Lock acquire (retry loop; winners run the body masked-in).
+		b.Movi(rG, 0) // done
+		b.Setpi(1, isa.CmpEQ, rG, 0)
+		b.While(1)
+		b.Movi(rH, 0)
+		b.Movi(rJ, 1)
+		b.Atom(rK, isa.AtomCAS, isa.SpaceGlobal, rF, 0, rH, rJ)
+		b.Setpi(2, isa.CmpEQ, rK, 0)
+		b.If(2)
+		b.AcqMark(rF)
+		// Critical section: n = counts[bucket]; if n < slots:
+		// slots[bucket*S+n] = key; counts[bucket] = n+1.
+		b.Muli(rL, rE, 4)
+		b.Add(rL, rB, rL) // &counts[bucket]
+		b.Note("read counts[bucket] inside the critical section")
+		b.Ld(rM, isa.SpaceGlobal, rL, 0, 4)
+		b.Setpi(3, isa.CmpLT, rM, haSlots)
+		b.If(3)
+		b.Muli(rN, rE, haSlots)
+		b.Add(rN, rN, rM)
+		b.Muli(rN, rN, 4)
+		b.Add(rN, rC, rN)
+		b.St(isa.SpaceGlobal, rN, 0, rD, 4)
+		b.EndIf()
+		b.Addi(rM, rM, 1)
+		b.St(isa.SpaceGlobal, rL, 0, rM, 4)
+		dummyCritical(b, &p, "hash.crit0", 3)
+		if p.inj("hash.crit1") {
+			b.Ldp(rInj0, 3)
+			b.Ld(rInj1, isa.SpaceGlobal, rInj0, 4, 4)
+		}
+		b.Membar() // write visibility before the release (Figure 2(b))
+		b.RelMark()
+		b.Movi(rH, 0)
+		b.Atom(rK, isa.AtomExch, isa.SpaceGlobal, rF, 0, rH, 0)
+		b.Movi(rG, 1)
+		b.EndIf()
+		b.Setpi(1, isa.CmpEQ, rG, 0)
+		b.EndWhile()
 
-	b.Addi(rI, rI, 1)
-	b.Setpi(0, isa.CmpLT, rI, haPerThr)
-	b.EndWhile()
-	dummyCross(b, &p, "hash.dummy0", 3)
-	b.Exit()
+		b.Addi(rI, rI, 1)
+		b.Setpi(0, isa.CmpLT, rI, haPerThr)
+		b.EndWhile()
+		dummyCross(b, &p, "hash.dummy0", 3)
+		b.Exit()
+		return b.MustBuild()
+	})
 
 	k := &gpu.Kernel{
-		Name: "hash", Prog: b.MustBuild(),
+		Name: "hash", Prog: prog,
 		GridDim: blocks, BlockDim: haBlockDim,
 		Params: []uint64{locks, counts, slots, dummy},
 	}

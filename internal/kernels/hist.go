@@ -69,86 +69,89 @@ func buildHist(d *gpu.Device, p Params) (*Plan, error) {
 	perThread := total / (blocks * histBlockDim)
 	sharedBytes := histBins * histRow // byte counters
 
-	b := isa.NewBuilder("hist")
-	preamble(b)
-	// This thread's shuffled byte column:
-	// col = (lane/8)*(warps*8) + warp*8 + lane%8.
-	b.Remi(rO, rTid, 32) // lane
-	b.Divi(rN, rTid, 32) // warp
-	b.Divi(rM, rO, histChunk)
-	b.Muli(rM, rM, (histBlockDim/32)*histChunk)
-	b.Muli(rN, rN, histChunk)
-	b.Add(rM, rM, rN)
-	b.Remi(rO, rO, histChunk)
-	b.Add(rO, rM, rO) // rO = col, live for the whole kernel
+	prog := memoProgram("hist", &p, func() *isa.Program {
+		b := isa.NewBuilder("hist")
+		preamble(b)
+		// This thread's shuffled byte column:
+		// col = (lane/8)*(warps*8) + warp*8 + lane%8.
+		b.Remi(rO, rTid, 32) // lane
+		b.Divi(rN, rTid, 32) // warp
+		b.Divi(rM, rO, histChunk)
+		b.Muli(rM, rM, (histBlockDim/32)*histChunk)
+		b.Muli(rN, rN, histChunk)
+		b.Add(rM, rM, rN)
+		b.Remi(rO, rO, histChunk)
+		b.Add(rO, rM, rO) // rO = col, live for the whole kernel
 
-	// Clear the counter array with word stores, grid-strided across
-	// the block: thread t clears words t, t+blockDim, ...
-	b.Mov(rI, rTid)
-	b.Setpi(0, isa.CmpLT, rI, histBins*histRow/4)
-	b.While(0)
-	b.Muli(rA, rI, 4)
-	b.Movi(rB, 0)
-	b.St(isa.SpaceShared, rA, 0, rB, 4)
-	b.Addi(rI, rI, histBlockDim)
-	b.Setpi(0, isa.CmpLT, rI, histBins*histRow/4)
-	b.EndWhile()
-	bar(b, &p, "hist.bar0")
+		// Clear the counter array with word stores, grid-strided across
+		// the block: thread t clears words t, t+blockDim, ...
+		b.Mov(rI, rTid)
+		b.Setpi(0, isa.CmpLT, rI, histBins*histRow/4)
+		b.While(0)
+		b.Muli(rA, rI, 4)
+		b.Movi(rB, 0)
+		b.St(isa.SpaceShared, rA, 0, rB, 4)
+		b.Addi(rI, rI, histBlockDim)
+		b.Setpi(0, isa.CmpLT, rI, histBins*histRow/4)
+		b.EndWhile()
+		bar(b, &p, "hist.bar0")
 
-	// Count: threads read the input as coalesced 32-bit words in a
-	// grid-stride pattern (as the SDK histogram does) and process the
-	// four packed byte values of each word.
-	totalThreads := blocks * histBlockDim
-	wordsPerThread := perThread / 4
-	b.Ldp(rA, 0) // input base
-	b.Movi(rI, 0)
-	b.Setpi(0, isa.CmpLT, rI, int64(wordsPerThread))
-	b.While(0)
-	b.Muli(rC, rI, int64(totalThreads))
-	b.Add(rC, rC, rGtid)
-	b.Muli(rC, rC, 4)
-	b.Add(rC, rA, rC)
-	b.Ld(rD, isa.SpaceGlobal, rC, 0, 4) // four packed bytes
-	for byteIdx := 0; byteIdx < 4; byteIdx++ {
-		b.Shri(rE, rD, int64(8*byteIdx))
-		b.Andi(rE, rE, 0xFF) // bin
-		b.Muli(rE, rE, histRow)
-		b.Add(rE, rE, rO) // s[bin*row + col]
-		b.Ld(rF, isa.SpaceShared, rE, 0, 1)
-		b.Addi(rF, rF, 1)
-		b.St(isa.SpaceShared, rE, 0, rF, 1)
-	}
-	b.Addi(rI, rI, 1)
-	b.Setpi(0, isa.CmpLT, rI, int64(wordsPerThread))
-	b.EndWhile()
-	dummyCross(b, &p, "hist.dummy0", 2)
-	bar(b, &p, "hist.bar1")
+		// Count: threads read the input as coalesced 32-bit words in a
+		// grid-stride pattern (as the SDK histogram does) and process the
+		// four packed byte values of each word.
+		totalThreads := blocks * histBlockDim
+		wordsPerThread := perThread / 4
+		b.Ldp(rA, 0) // input base
+		b.Movi(rI, 0)
+		b.Setpi(0, isa.CmpLT, rI, int64(wordsPerThread))
+		b.While(0)
+		b.Muli(rC, rI, int64(totalThreads))
+		b.Add(rC, rC, rGtid)
+		b.Muli(rC, rC, 4)
+		b.Add(rC, rA, rC)
+		b.Ld(rD, isa.SpaceGlobal, rC, 0, 4) // four packed bytes
+		for byteIdx := 0; byteIdx < 4; byteIdx++ {
+			b.Shri(rE, rD, int64(8*byteIdx))
+			b.Andi(rE, rE, 0xFF) // bin
+			b.Muli(rE, rE, histRow)
+			b.Add(rE, rE, rO) // s[bin*row + col]
+			b.Ld(rF, isa.SpaceShared, rE, 0, 1)
+			b.Addi(rF, rF, 1)
+			b.St(isa.SpaceShared, rE, 0, rF, 1)
+		}
+		b.Addi(rI, rI, 1)
+		b.Setpi(0, isa.CmpLT, rI, int64(wordsPerThread))
+		b.EndWhile()
+		dummyCross(b, &p, "hist.dummy0", 2)
+		bar(b, &p, "hist.bar1")
 
-	// Merge: threads with tid < bins sum their bin's row and atomically
-	// add into the global histogram.
-	b.Setpi(1, isa.CmpLT, rTid, histBins)
-	b.If(1)
-	b.Movi(rG, 0) // sum
-	b.Movi(rI, 0)
-	b.Setpi(2, isa.CmpLT, rI, histBlockDim)
-	b.While(2)
-	b.Muli(rA, rTid, histRow)
-	b.Add(rA, rA, rI)
-	b.Ld(rF, isa.SpaceShared, rA, 0, 1)
-	b.Add(rG, rG, rF)
-	b.Addi(rI, rI, 1)
-	b.Setpi(2, isa.CmpLT, rI, histBlockDim)
-	b.EndWhile()
-	b.Ldp(rB, 1)
-	b.Muli(rC, rTid, 4)
-	b.Add(rB, rB, rC)
-	b.Atom(rD, isa.AtomAdd, isa.SpaceGlobal, rB, 0, rG, 0)
-	b.EndIf()
-	dummyCross(b, &p, "hist.dummy1", 2)
-	b.Exit()
+		// Merge: threads with tid < bins sum their bin's row and atomically
+		// add into the global histogram.
+		b.Setpi(1, isa.CmpLT, rTid, histBins)
+		b.If(1)
+		b.Movi(rG, 0) // sum
+		b.Movi(rI, 0)
+		b.Setpi(2, isa.CmpLT, rI, histBlockDim)
+		b.While(2)
+		b.Muli(rA, rTid, histRow)
+		b.Add(rA, rA, rI)
+		b.Ld(rF, isa.SpaceShared, rA, 0, 1)
+		b.Add(rG, rG, rF)
+		b.Addi(rI, rI, 1)
+		b.Setpi(2, isa.CmpLT, rI, histBlockDim)
+		b.EndWhile()
+		b.Ldp(rB, 1)
+		b.Muli(rC, rTid, 4)
+		b.Add(rB, rB, rC)
+		b.Atom(rD, isa.AtomAdd, isa.SpaceGlobal, rB, 0, rG, 0)
+		b.EndIf()
+		dummyCross(b, &p, "hist.dummy1", 2)
+		b.Exit()
+		return b.MustBuild()
+	})
 
 	k := &gpu.Kernel{
-		Name: "hist", Prog: b.MustBuild(),
+		Name: "hist", Prog: prog,
 		GridDim: blocks, BlockDim: histBlockDim,
 		SharedBytes: sharedBytes,
 		Params:      []uint64{in, out, dummy},

@@ -92,207 +92,213 @@ func buildKmeans(d *gpu.Device, p Params) (*Plan, error) {
 	}
 
 	// --- assign kernel ---
-	ab := isa.NewBuilder("kmeans-assign")
-	preamble(ab)
-	// Stage centroids in shared: threads with tid < K*D copy one word.
-	ab.Ldp(rA, 0) // centroids
-	ab.Setpi(0, isa.CmpLT, rTid, kmClusters*kmDims)
-	ab.If(0)
-	ab.Muli(rB, rTid, 4)
-	ab.Add(rC, rA, rB)
-	ab.Ld(rD, isa.SpaceGlobal, rC, 0, 4)
-	ab.St(isa.SpaceShared, rB, 0, rD, 4)
-	ab.EndIf()
-	bar(ab, &p, "kmeans.bar0")
-	// Nearest centroid for point gtid.
-	ab.Ldp(rE, 1) // points
-	ab.Muli(rF, rGtid, kmDims*4)
-	ab.Add(rE, rE, rF) // &points[gtid][0]
-	ab.Movi(rG, 1<<40) // best distance
-	ab.Movi(rH, 0)     // best cluster
-	ab.Movi(rI, 0)     // c
-	ab.Setpi(1, isa.CmpLT, rI, kmClusters)
-	ab.While(1)
-	ab.Movi(rJ, 0) // dist
-	ab.Movi(rK, 0) // d
-	ab.Setpi(2, isa.CmpLT, rK, kmDims)
-	ab.While(2)
-	ab.Muli(rL, rK, 4)
-	ab.Add(rM, rE, rL)
-	ab.Ld(rM, isa.SpaceGlobal, rM, 0, 4) // point[d]
-	ab.Muli(rN, rI, kmDims*4)
-	ab.Add(rN, rN, rL)
-	ab.Ld(rN, isa.SpaceShared, rN, 0, 4) // centroid[c][d]
-	ab.Sub(rM, rM, rN)
-	ab.Mul(rM, rM, rM)
-	ab.Add(rJ, rJ, rM)
-	ab.Addi(rK, rK, 1)
-	ab.Setpi(2, isa.CmpLT, rK, kmDims)
-	ab.EndWhile()
-	ab.Setp(3, isa.CmpLT, rJ, rG)
-	ab.If(3)
-	ab.Mov(rG, rJ)
-	ab.Mov(rH, rI)
-	ab.EndIf()
-	ab.Addi(rI, rI, 1)
-	ab.Setpi(1, isa.CmpLT, rI, kmClusters)
-	ab.EndWhile()
-	ab.Ldp(rA, 2) // member
-	ab.Muli(rB, rGtid, 4)
-	ab.Add(rA, rA, rB)
-	ab.St(isa.SpaceGlobal, rA, 0, rH, 4)
-	dummyCross(ab, &p, "kmeans.dummy0", 6)
-	ab.Exit()
+	assignProg := memoProgram("kmeans-assign", &p, func() *isa.Program {
+		ab := isa.NewBuilder("kmeans-assign")
+		preamble(ab)
+		// Stage centroids in shared: threads with tid < K*D copy one word.
+		ab.Ldp(rA, 0) // centroids
+		ab.Setpi(0, isa.CmpLT, rTid, kmClusters*kmDims)
+		ab.If(0)
+		ab.Muli(rB, rTid, 4)
+		ab.Add(rC, rA, rB)
+		ab.Ld(rD, isa.SpaceGlobal, rC, 0, 4)
+		ab.St(isa.SpaceShared, rB, 0, rD, 4)
+		ab.EndIf()
+		bar(ab, &p, "kmeans.bar0")
+		// Nearest centroid for point gtid.
+		ab.Ldp(rE, 1) // points
+		ab.Muli(rF, rGtid, kmDims*4)
+		ab.Add(rE, rE, rF) // &points[gtid][0]
+		ab.Movi(rG, 1<<40) // best distance
+		ab.Movi(rH, 0)     // best cluster
+		ab.Movi(rI, 0)     // c
+		ab.Setpi(1, isa.CmpLT, rI, kmClusters)
+		ab.While(1)
+		ab.Movi(rJ, 0) // dist
+		ab.Movi(rK, 0) // d
+		ab.Setpi(2, isa.CmpLT, rK, kmDims)
+		ab.While(2)
+		ab.Muli(rL, rK, 4)
+		ab.Add(rM, rE, rL)
+		ab.Ld(rM, isa.SpaceGlobal, rM, 0, 4) // point[d]
+		ab.Muli(rN, rI, kmDims*4)
+		ab.Add(rN, rN, rL)
+		ab.Ld(rN, isa.SpaceShared, rN, 0, 4) // centroid[c][d]
+		ab.Sub(rM, rM, rN)
+		ab.Mul(rM, rM, rM)
+		ab.Add(rJ, rJ, rM)
+		ab.Addi(rK, rK, 1)
+		ab.Setpi(2, isa.CmpLT, rK, kmDims)
+		ab.EndWhile()
+		ab.Setp(3, isa.CmpLT, rJ, rG)
+		ab.If(3)
+		ab.Mov(rG, rJ)
+		ab.Mov(rH, rI)
+		ab.EndIf()
+		ab.Addi(rI, rI, 1)
+		ab.Setpi(1, isa.CmpLT, rI, kmClusters)
+		ab.EndWhile()
+		ab.Ldp(rA, 2) // member
+		ab.Muli(rB, rGtid, 4)
+		ab.Add(rA, rA, rB)
+		ab.St(isa.SpaceGlobal, rA, 0, rH, 4)
+		dummyCross(ab, &p, "kmeans.dummy0", 6)
+		ab.Exit()
+		return ab.MustBuild()
+	})
 
 	// --- update kernel (designed for a single block) ---
-	ub := isa.NewBuilder("kmeans-update")
-	preamble(ub)
-	// Clear accumulators. The second warp (tids 32..63) clears, while
-	// the first warp later accumulates: the barrier between them is
-	// load-bearing across warps.
-	ub.Ldp(rA, 3) // sums
-	ub.Ldp(rB, 4) // counts
-	ub.Subi(rO, rTid, 32) // index within the clearing warp
-	ub.Setpi(0, isa.CmpGE, rTid, 32)
-	ub.If(0)
-	ub.Setpi(1, isa.CmpLT, rO, kmClusters*kmDims)
-	ub.If(1)
-	ub.Muli(rC, rO, 4)
-	ub.Add(rC, rA, rC)
-	ub.Movi(rD, 0)
-	ub.St(isa.SpaceGlobal, rC, 0, rD, 4)
-	ub.EndIf()
-	ub.Setpi(1, isa.CmpLT, rO, kmClusters)
-	ub.If(1)
-	ub.Muli(rC, rO, 4)
-	ub.Add(rC, rB, rC)
-	ub.Movi(rD, 0)
-	ub.St(isa.SpaceGlobal, rC, 0, rD, 4)
-	ub.EndIf()
-	ub.EndIf()
-	bar(ub, &p, "kmeans.bar1")
-	// Accumulate: thread c < K owns cluster c; scans all points.
-	ub.Setpi(2, isa.CmpLT, rTid, kmClusters)
-	ub.If(2)
-	ub.Ldp(rE, 1) // points
-	ub.Ldp(rF, 2) // member
-	ub.Movi(rI, 0)
-	ub.Setpi(3, isa.CmpLT, rI, int64(pts))
-	ub.While(3)
-	ub.Muli(rC, rI, 4)
-	ub.Add(rC, rF, rC)
-	ub.Ld(rD, isa.SpaceGlobal, rC, 0, 4) // member[p]
-	ub.Setp(4, isa.CmpEQ, rD, rTid)
-	ub.If(4)
-	// counts[c]++ and sums[c][d] += point[p][d] — unsynchronized
-	// global RMWs, safe only when one block runs them.
-	ub.Muli(rC, rTid, 4)
-	ub.Add(rC, rB, rC)
-	ub.Note("counts[c]++: unsynchronized RMW, single-block by design")
-	ub.Ld(rD, isa.SpaceGlobal, rC, 0, 4)
-	ub.Addi(rD, rD, 1)
-	ub.St(isa.SpaceGlobal, rC, 0, rD, 4)
-	ub.Movi(rK, 0)
-	ub.Setpi(5, isa.CmpLT, rK, kmDims)
-	ub.While(5)
-	ub.Muli(rL, rI, kmDims*4)
-	ub.Muli(rM, rK, 4)
-	ub.Add(rL, rL, rM)
-	ub.Add(rL, rE, rL)
-	ub.Ld(rL, isa.SpaceGlobal, rL, 0, 4) // point[p][d]
-	ub.Muli(rN, rTid, kmDims*4)
-	ub.Add(rN, rN, rM)
-	ub.Add(rN, rA, rN)
-	ub.Ld(rM, isa.SpaceGlobal, rN, 0, 4)
-	ub.Add(rM, rM, rL)
-	ub.St(isa.SpaceGlobal, rN, 0, rM, 4)
-	ub.Addi(rK, rK, 1)
-	ub.Setpi(5, isa.CmpLT, rK, kmDims)
-	ub.EndWhile()
-	ub.EndIf()
-	ub.Addi(rI, rI, 1)
-	ub.Setpi(3, isa.CmpLT, rI, int64(pts))
-	ub.EndWhile()
-	ub.EndIf()
-	dummyCross(ub, &p, "kmeans.dummy1", 6)
-	bar(ub, &p, "kmeans.bar2")
-	// Average: the second warp writes centroid[i] = sums[i]/counts[i/D],
-	// reading the first warp's accumulation across the barrier.
-	ub.Setpi(6, isa.CmpGE, rTid, 32)
-	ub.If(6)
-	ub.Setpi(7, isa.CmpLT, rO, kmClusters*kmDims)
-	ub.If(7)
-	ub.Muli(rC, rO, 4)
-	ub.Add(rC, rA, rC)
-	ub.Ld(rD, isa.SpaceGlobal, rC, 0, 4) // sum
-	ub.Divi(rE, rO, kmDims)
-	ub.Muli(rE, rE, 4)
-	ub.Add(rE, rB, rE)
-	ub.Ld(rF, isa.SpaceGlobal, rE, 0, 4) // count
-	ub.Movi(rG, 1) // avoid division by zero: max(count, 1)
-	ub.Max(rF, rF, rG)
-	ub.Div(rD, rD, rF)
-	ub.Ldp(rH, 0) // centroids
-	ub.Muli(rC, rO, 4)
-	ub.Add(rH, rH, rC)
-	ub.St(isa.SpaceGlobal, rH, 0, rD, 4)
-	ub.EndIf()
-	ub.EndIf()
-	// Every thread fences (the centroid writers' fence clocks must
-	// advance), the averaging warp signals completion, and thread 0
-	// consumes the centroids once every block has signalled — atomic
-	// flag synchronization, not a barrier, so the fence is what makes
-	// the consumption safe (Figure 4's pattern).
-	fence(ub, &p, "kmeans.fence0")
-	ub.Setpi(0, isa.CmpGE, rTid, 32)
-	ub.If(0)
-	ub.Setpi(1, isa.CmpLT, rO, kmClusters*kmDims)
-	ub.If(1)
-	ub.Ldp(rC, 5)
-	ub.Movi(rD, 1)
-	ub.Atom(rE, isa.AtomAdd, isa.SpaceGlobal, rC, 0, rD, 0)
-	ub.EndIf()
-	ub.EndIf()
-	ub.Setpi(2, isa.CmpEQ, rTid, 0)
-	ub.If(2)
-	// Poll until all blocks' averaging warps have signalled.
-	ub.Ldp(rC, 5)
-	ub.Movi(rF, kmClusters*kmDims)
-	ub.Mul(rF, rF, rNctaid) // expected signals
-	ub.Movi(rD, 0)
-	ub.Setpi(3, isa.CmpLT, rD, 1) // enter loop
-	ub.While(3)
-	ub.Movi(rE, 0)
-	ub.Atom(rD, isa.AtomAdd, isa.SpaceGlobal, rC, 0, rE, 0)
-	ub.Setp(3, isa.CmpLT, rD, rF)
-	ub.EndWhile()
-	// Consume: checksum the centroids into done[1].
-	ub.Ldp(rH, 0)
-	ub.Movi(rG, 0)
-	ub.Movi(rI, 0)
-	ub.Setpi(4, isa.CmpLT, rI, kmClusters*kmDims)
-	ub.While(4)
-	ub.Muli(rD, rI, 4)
-	ub.Add(rD, rH, rD)
-	ub.Ld(rE, isa.SpaceGlobal, rD, 0, 4)
-	ub.Add(rG, rG, rE)
-	ub.Addi(rI, rI, 1)
-	ub.Setpi(4, isa.CmpLT, rI, kmClusters*kmDims)
-	ub.EndWhile()
-	ub.St(isa.SpaceGlobal, rC, 4, rG, 4)
-	ub.EndIf()
-	bar(ub, &p, "kmeans.bar3")
-	// Re-clear the accumulators for a following iteration: the first
-	// warp overwrites what the second warp's averaging just read, so
-	// the barrier above is load-bearing across warps.
-	ub.Setpi(5, isa.CmpLT, rTid, kmClusters*kmDims)
-	ub.If(5)
-	ub.Muli(rC, rTid, 4)
-	ub.Add(rC, rA, rC)
-	ub.Movi(rD, 0)
-	ub.St(isa.SpaceGlobal, rC, 0, rD, 4)
-	ub.EndIf()
-	ub.Exit()
+	updateProg := memoProgram("kmeans-update", &p, func() *isa.Program {
+		ub := isa.NewBuilder("kmeans-update")
+		preamble(ub)
+		// Clear accumulators. The second warp (tids 32..63) clears, while
+		// the first warp later accumulates: the barrier between them is
+		// load-bearing across warps.
+		ub.Ldp(rA, 3)         // sums
+		ub.Ldp(rB, 4)         // counts
+		ub.Subi(rO, rTid, 32) // index within the clearing warp
+		ub.Setpi(0, isa.CmpGE, rTid, 32)
+		ub.If(0)
+		ub.Setpi(1, isa.CmpLT, rO, kmClusters*kmDims)
+		ub.If(1)
+		ub.Muli(rC, rO, 4)
+		ub.Add(rC, rA, rC)
+		ub.Movi(rD, 0)
+		ub.St(isa.SpaceGlobal, rC, 0, rD, 4)
+		ub.EndIf()
+		ub.Setpi(1, isa.CmpLT, rO, kmClusters)
+		ub.If(1)
+		ub.Muli(rC, rO, 4)
+		ub.Add(rC, rB, rC)
+		ub.Movi(rD, 0)
+		ub.St(isa.SpaceGlobal, rC, 0, rD, 4)
+		ub.EndIf()
+		ub.EndIf()
+		bar(ub, &p, "kmeans.bar1")
+		// Accumulate: thread c < K owns cluster c; scans all points.
+		ub.Setpi(2, isa.CmpLT, rTid, kmClusters)
+		ub.If(2)
+		ub.Ldp(rE, 1) // points
+		ub.Ldp(rF, 2) // member
+		ub.Movi(rI, 0)
+		ub.Setpi(3, isa.CmpLT, rI, int64(pts))
+		ub.While(3)
+		ub.Muli(rC, rI, 4)
+		ub.Add(rC, rF, rC)
+		ub.Ld(rD, isa.SpaceGlobal, rC, 0, 4) // member[p]
+		ub.Setp(4, isa.CmpEQ, rD, rTid)
+		ub.If(4)
+		// counts[c]++ and sums[c][d] += point[p][d] — unsynchronized
+		// global RMWs, safe only when one block runs them.
+		ub.Muli(rC, rTid, 4)
+		ub.Add(rC, rB, rC)
+		ub.Note("counts[c]++: unsynchronized RMW, single-block by design")
+		ub.Ld(rD, isa.SpaceGlobal, rC, 0, 4)
+		ub.Addi(rD, rD, 1)
+		ub.St(isa.SpaceGlobal, rC, 0, rD, 4)
+		ub.Movi(rK, 0)
+		ub.Setpi(5, isa.CmpLT, rK, kmDims)
+		ub.While(5)
+		ub.Muli(rL, rI, kmDims*4)
+		ub.Muli(rM, rK, 4)
+		ub.Add(rL, rL, rM)
+		ub.Add(rL, rE, rL)
+		ub.Ld(rL, isa.SpaceGlobal, rL, 0, 4) // point[p][d]
+		ub.Muli(rN, rTid, kmDims*4)
+		ub.Add(rN, rN, rM)
+		ub.Add(rN, rA, rN)
+		ub.Ld(rM, isa.SpaceGlobal, rN, 0, 4)
+		ub.Add(rM, rM, rL)
+		ub.St(isa.SpaceGlobal, rN, 0, rM, 4)
+		ub.Addi(rK, rK, 1)
+		ub.Setpi(5, isa.CmpLT, rK, kmDims)
+		ub.EndWhile()
+		ub.EndIf()
+		ub.Addi(rI, rI, 1)
+		ub.Setpi(3, isa.CmpLT, rI, int64(pts))
+		ub.EndWhile()
+		ub.EndIf()
+		dummyCross(ub, &p, "kmeans.dummy1", 6)
+		bar(ub, &p, "kmeans.bar2")
+		// Average: the second warp writes centroid[i] = sums[i]/counts[i/D],
+		// reading the first warp's accumulation across the barrier.
+		ub.Setpi(6, isa.CmpGE, rTid, 32)
+		ub.If(6)
+		ub.Setpi(7, isa.CmpLT, rO, kmClusters*kmDims)
+		ub.If(7)
+		ub.Muli(rC, rO, 4)
+		ub.Add(rC, rA, rC)
+		ub.Ld(rD, isa.SpaceGlobal, rC, 0, 4) // sum
+		ub.Divi(rE, rO, kmDims)
+		ub.Muli(rE, rE, 4)
+		ub.Add(rE, rB, rE)
+		ub.Ld(rF, isa.SpaceGlobal, rE, 0, 4) // count
+		ub.Movi(rG, 1)                       // avoid division by zero: max(count, 1)
+		ub.Max(rF, rF, rG)
+		ub.Div(rD, rD, rF)
+		ub.Ldp(rH, 0) // centroids
+		ub.Muli(rC, rO, 4)
+		ub.Add(rH, rH, rC)
+		ub.St(isa.SpaceGlobal, rH, 0, rD, 4)
+		ub.EndIf()
+		ub.EndIf()
+		// Every thread fences (the centroid writers' fence clocks must
+		// advance), the averaging warp signals completion, and thread 0
+		// consumes the centroids once every block has signalled — atomic
+		// flag synchronization, not a barrier, so the fence is what makes
+		// the consumption safe (Figure 4's pattern).
+		fence(ub, &p, "kmeans.fence0")
+		ub.Setpi(0, isa.CmpGE, rTid, 32)
+		ub.If(0)
+		ub.Setpi(1, isa.CmpLT, rO, kmClusters*kmDims)
+		ub.If(1)
+		ub.Ldp(rC, 5)
+		ub.Movi(rD, 1)
+		ub.Atom(rE, isa.AtomAdd, isa.SpaceGlobal, rC, 0, rD, 0)
+		ub.EndIf()
+		ub.EndIf()
+		ub.Setpi(2, isa.CmpEQ, rTid, 0)
+		ub.If(2)
+		// Poll until all blocks' averaging warps have signalled.
+		ub.Ldp(rC, 5)
+		ub.Movi(rF, kmClusters*kmDims)
+		ub.Mul(rF, rF, rNctaid) // expected signals
+		ub.Movi(rD, 0)
+		ub.Setpi(3, isa.CmpLT, rD, 1) // enter loop
+		ub.While(3)
+		ub.Movi(rE, 0)
+		ub.Atom(rD, isa.AtomAdd, isa.SpaceGlobal, rC, 0, rE, 0)
+		ub.Setp(3, isa.CmpLT, rD, rF)
+		ub.EndWhile()
+		// Consume: checksum the centroids into done[1].
+		ub.Ldp(rH, 0)
+		ub.Movi(rG, 0)
+		ub.Movi(rI, 0)
+		ub.Setpi(4, isa.CmpLT, rI, kmClusters*kmDims)
+		ub.While(4)
+		ub.Muli(rD, rI, 4)
+		ub.Add(rD, rH, rD)
+		ub.Ld(rE, isa.SpaceGlobal, rD, 0, 4)
+		ub.Add(rG, rG, rE)
+		ub.Addi(rI, rI, 1)
+		ub.Setpi(4, isa.CmpLT, rI, kmClusters*kmDims)
+		ub.EndWhile()
+		ub.St(isa.SpaceGlobal, rC, 4, rG, 4)
+		ub.EndIf()
+		bar(ub, &p, "kmeans.bar3")
+		// Re-clear the accumulators for a following iteration: the first
+		// warp overwrites what the second warp's averaging just read, so
+		// the barrier above is load-bearing across warps.
+		ub.Setpi(5, isa.CmpLT, rTid, kmClusters*kmDims)
+		ub.If(5)
+		ub.Muli(rC, rTid, 4)
+		ub.Add(rC, rA, rC)
+		ub.Movi(rD, 0)
+		ub.St(isa.SpaceGlobal, rC, 0, rD, 4)
+		ub.EndIf()
+		ub.Exit()
+		return ub.MustBuild()
+	})
 
 	assignGrid := (pts + kmBlockDim - 1) / kmBlockDim
 	updateGrid := kmBugGrid
@@ -300,13 +306,13 @@ func buildKmeans(d *gpu.Device, p Params) (*Plan, error) {
 		updateGrid = 1
 	}
 	kAssign := &gpu.Kernel{
-		Name: "kmeans-assign", Prog: ab.MustBuild(),
+		Name: "kmeans-assign", Prog: assignProg,
 		GridDim: assignGrid, BlockDim: kmBlockDim,
 		SharedBytes: kmClusters * kmDims * 4,
 		Params:      []uint64{centroids, points, member, sums, counts, done, dummy},
 	}
 	kUpdate := &gpu.Kernel{
-		Name: "kmeans-update", Prog: ub.MustBuild(),
+		Name: "kmeans-update", Prog: updateProg,
 		GridDim: updateGrid, BlockDim: kmBlockDim,
 		Params: []uint64{centroids, points, member, sums, counts, done, dummy},
 	}

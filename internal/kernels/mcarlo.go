@@ -57,79 +57,82 @@ func buildMcarlo(d *gpu.Device, p Params) (*Plan, error) {
 		d.Global.SetU32(int(in)/4+i, uint32(90+i%40)) // spot prices
 	}
 
-	b := isa.NewBuilder("mcarlo")
-	preamble(b)
-	// Load this option's spot price.
-	b.Ldp(rA, 0) // in base
-	b.Muli(rB, rBid, 4)
-	b.Add(rA, rA, rB)
-	b.Ld(rD, isa.SpaceGlobal, rA, 0, 4) // rD = spot
+	prog := memoProgram("mcarlo", &p, func() *isa.Program {
+		b := isa.NewBuilder("mcarlo")
+		preamble(b)
+		// Load this option's spot price.
+		b.Ldp(rA, 0) // in base
+		b.Muli(rB, rBid, 4)
+		b.Add(rA, rA, rB)
+		b.Ld(rD, isa.SpaceGlobal, rA, 0, 4) // rD = spot
 
-	// LCG seed = gtid*2654435761 + 12345 (32-bit).
-	b.Muli(rE, rGtid, 2654435761)
-	b.Addi(rE, rE, 12345)
-	b.Movi(rF, 0xFFFFFFFF)
-	b.And(rE, rE, rF)
+		// LCG seed = gtid*2654435761 + 12345 (32-bit).
+		b.Muli(rE, rGtid, 2654435761)
+		b.Addi(rE, rE, 12345)
+		b.Movi(rF, 0xFFFFFFFF)
+		b.And(rE, rE, rF)
 
-	// Path loop: sum += max(spot + ((x>>16)&0xFF) - 128, 0).
-	b.Movi(rG, 0)                        // sum
-	b.Movi(rI, 0)                        // i
-	b.Movi(rJ, int64(mcPaths*p.scale())) // paths
-	b.Setp(0, isa.CmpLT, rI, rJ)
-	b.While(0)
-	b.Muli(rE, rE, 1664525)
-	b.Addi(rE, rE, 1013904223)
-	b.And(rE, rE, rF)
-	b.Shri(rH, rE, 16)
-	b.Andi(rH, rH, 0xFF)
-	b.Add(rH, rH, rD)
-	b.Subi(rH, rH, 128)
-	b.Movi(rK, 0)
-	b.Max(rH, rH, rK)
-	b.Add(rG, rG, rH)
-	b.Addi(rI, rI, 1)
-	b.Setp(0, isa.CmpLT, rI, rJ)
-	b.EndWhile()
+		// Path loop: sum += max(spot + ((x>>16)&0xFF) - 128, 0).
+		b.Movi(rG, 0)                        // sum
+		b.Movi(rI, 0)                        // i
+		b.Movi(rJ, int64(mcPaths*p.scale())) // paths
+		b.Setp(0, isa.CmpLT, rI, rJ)
+		b.While(0)
+		b.Muli(rE, rE, 1664525)
+		b.Addi(rE, rE, 1013904223)
+		b.And(rE, rE, rF)
+		b.Shri(rH, rE, 16)
+		b.Andi(rH, rH, 0xFF)
+		b.Add(rH, rH, rD)
+		b.Subi(rH, rH, 128)
+		b.Movi(rK, 0)
+		b.Max(rH, rH, rK)
+		b.Add(rG, rG, rH)
+		b.Addi(rI, rI, 1)
+		b.Setp(0, isa.CmpLT, rI, rJ)
+		b.EndWhile()
 
-	// shared[tid] = sum.
-	b.Muli(rA, rTid, 4)
-	b.St(isa.SpaceShared, rA, 0, rG, 4)
-	bar(b, &p, "mcarlo.bar0")
+		// shared[tid] = sum.
+		b.Muli(rA, rTid, 4)
+		b.St(isa.SpaceShared, rA, 0, rG, 4)
+		bar(b, &p, "mcarlo.bar0")
 
-	// Tree reduction: for s = ntid/2; s >= 1; s >>= 1.
-	b.Shri(rI, rNtid, 1)
-	b.Setpi(0, isa.CmpGE, rI, 1)
-	b.While(0)
-	b.Setp(1, isa.CmpLT, rTid, rI)
-	b.If(1)
-	b.Add(rB, rTid, rI)
-	b.Muli(rB, rB, 4)
-	b.Ld(rC, isa.SpaceShared, rB, 0, 4)
-	b.Muli(rA, rTid, 4)
-	b.Ld(rH, isa.SpaceShared, rA, 0, 4)
-	b.Add(rH, rH, rC)
-	b.St(isa.SpaceShared, rA, 0, rH, 4)
-	b.EndIf()
-	bar(b, &p, "mcarlo.bar1")
-	b.Shri(rI, rI, 1)
-	b.Setpi(0, isa.CmpGE, rI, 1)
-	b.EndWhile()
+		// Tree reduction: for s = ntid/2; s >= 1; s >>= 1.
+		b.Shri(rI, rNtid, 1)
+		b.Setpi(0, isa.CmpGE, rI, 1)
+		b.While(0)
+		b.Setp(1, isa.CmpLT, rTid, rI)
+		b.If(1)
+		b.Add(rB, rTid, rI)
+		b.Muli(rB, rB, 4)
+		b.Ld(rC, isa.SpaceShared, rB, 0, 4)
+		b.Muli(rA, rTid, 4)
+		b.Ld(rH, isa.SpaceShared, rA, 0, 4)
+		b.Add(rH, rH, rC)
+		b.St(isa.SpaceShared, rA, 0, rH, 4)
+		b.EndIf()
+		bar(b, &p, "mcarlo.bar1")
+		b.Shri(rI, rI, 1)
+		b.Setpi(0, isa.CmpGE, rI, 1)
+		b.EndWhile()
 
-	// Thread 0 stores the block result.
-	b.Setpi(2, isa.CmpEQ, rTid, 0)
-	b.If(2)
-	b.Movi(rA, 0)
-	b.Ld(rH, isa.SpaceShared, rA, 0, 4)
-	b.Ldp(rB, 1)
-	b.Muli(rC, rBid, 4)
-	b.Add(rB, rB, rC)
-	b.St(isa.SpaceGlobal, rB, 0, rH, 4)
-	b.EndIf()
-	dummyCross(b, &p, "mcarlo.dummy0", 2)
-	b.Exit()
+		// Thread 0 stores the block result.
+		b.Setpi(2, isa.CmpEQ, rTid, 0)
+		b.If(2)
+		b.Movi(rA, 0)
+		b.Ld(rH, isa.SpaceShared, rA, 0, 4)
+		b.Ldp(rB, 1)
+		b.Muli(rC, rBid, 4)
+		b.Add(rB, rB, rC)
+		b.St(isa.SpaceGlobal, rB, 0, rH, 4)
+		b.EndIf()
+		dummyCross(b, &p, "mcarlo.dummy0", 2)
+		b.Exit()
+		return b.MustBuild()
+	})
 
 	k := &gpu.Kernel{
-		Name: "mcarlo", Prog: b.MustBuild(),
+		Name: "mcarlo", Prog: prog,
 		GridDim: blocks, BlockDim: mcBlockDim,
 		SharedBytes: mcBlockDim * 4,
 		Params:      []uint64{in, out, dummy},

@@ -64,81 +64,84 @@ func buildOfft(d *gpu.Device, p Params) (*Plan, error) {
 		d.Global.SetF32(int(in)/4+i, float32(i%17)*0.25)
 	}
 
-	b := isa.NewBuilder("offt")
-	preamble(b)
-	// Stage "twiddle" values into shared with a 9-word stride: thread
-	// t writes shared[t*stride] and, after the barrier, reads its
-	// neighbour's entry shared[((t+1)%dim)*stride] — bank-conflict-free
-	// but scattered across shadow granules, which is what makes OFFT
-	// the Figure 8 outlier.
 	tileWords := int64(ofBlockDim * ofStride)
-	b.Muli(rA, rTid, ofStride)
-	b.Remi(rA, rA, tileWords)
-	b.Muli(rA, rA, 4)
-	b.ItoF(rB, rTid)
-	b.StF(isa.SpaceShared, rA, 0, rB)
-	bar(b, &p, "offt.bar0")
-	b.Addi(rO, rTid, 1)
-	b.Remi(rO, rO, ofBlockDim)
-	b.Muli(rO, rO, ofStride)
-	b.Muli(rO, rO, 4)
-	b.LdF(rC, isa.SpaceShared, rO, 0) // neighbour's staged value
-	b.Bar() // the second pass overwrites slots other threads just read
-	// Second staging pass: accumulate the neighbour value into this
-	// thread's slot, then read the next neighbour after a barrier.
-	b.StF(isa.SpaceShared, rA, 0, rC)
-	bar(b, &p, "offt.bar1")
-	b.Addi(rO, rTid, 17)
-	b.Remi(rO, rO, ofBlockDim)
-	b.Muli(rO, rO, ofStride)
-	b.Muli(rO, rO, 4)
-	b.LdF(rP, isa.SpaceShared, rO, 0)
-	b.FAdd(rC, rC, rP)
+	prog := memoProgram("offt", &p, func() *isa.Program {
+		b := isa.NewBuilder("offt")
+		preamble(b)
+		// Stage "twiddle" values into shared with a 9-word stride: thread
+		// t writes shared[t*stride] and, after the barrier, reads its
+		// neighbour's entry shared[((t+1)%dim)*stride] — bank-conflict-free
+		// but scattered across shadow granules, which is what makes OFFT
+		// the Figure 8 outlier.
+		b.Muli(rA, rTid, ofStride)
+		b.Remi(rA, rA, tileWords)
+		b.Muli(rA, rA, 4)
+		b.ItoF(rB, rTid)
+		b.StF(isa.SpaceShared, rA, 0, rB)
+		bar(b, &p, "offt.bar0")
+		b.Addi(rO, rTid, 1)
+		b.Remi(rO, rO, ofBlockDim)
+		b.Muli(rO, rO, ofStride)
+		b.Muli(rO, rO, 4)
+		b.LdF(rC, isa.SpaceShared, rO, 0) // neighbour's staged value
+		b.Bar()                           // the second pass overwrites slots other threads just read
+		// Second staging pass: accumulate the neighbour value into this
+		// thread's slot, then read the next neighbour after a barrier.
+		b.StF(isa.SpaceShared, rA, 0, rC)
+		bar(b, &p, "offt.bar1")
+		b.Addi(rO, rTid, 17)
+		b.Remi(rO, rO, ofBlockDim)
+		b.Muli(rO, rO, ofStride)
+		b.Muli(rO, rO, 4)
+		b.LdF(rP, isa.SpaceShared, rO, 0)
+		b.FAdd(rC, rC, rP)
 
-	// Spectrum value: v = sin(w*k) * exp(-k/64) + staged, over the
-	// wave parameter w = in[gtid].
-	b.Ldp(rD, 0)
-	b.Muli(rE, rGtid, 4)
-	b.Add(rD, rD, rE)
-	b.LdF(rF, isa.SpaceGlobal, rD, 0)
-	b.ItoF(rG, rGtid)
-	b.MovF(rH, 1.0/64.0)
-	b.FMul(rH, rG, rH)
-	b.FMul(rI, rF, rG)
-	b.FSin(rI, rI)
-	b.MovF(rJ, -1.0)
-	b.FMul(rH, rH, rJ)
-	b.FExp(rH, rH)
-	b.FMul(rI, rI, rH)
-	b.FAdd(rI, rI, rC)
-	// out[y*W + x] = v, where y*W + x == gtid.
-	b.Ldp(rK, 1)
-	b.Muli(rE, rGtid, 4)
-	b.Add(rL, rK, rE)
-	b.StF(isa.SpaceGlobal, rL, 0, rI)
-	dummyCross(b, &p, "offt.dummy0", 2)
+		// Spectrum value: v = sin(w*k) * exp(-k/64) + staged, over the
+		// wave parameter w = in[gtid].
+		b.Ldp(rD, 0)
+		b.Muli(rE, rGtid, 4)
+		b.Add(rD, rD, rE)
+		b.LdF(rF, isa.SpaceGlobal, rD, 0)
+		b.ItoF(rG, rGtid)
+		b.MovF(rH, 1.0/64.0)
+		b.FMul(rH, rG, rH)
+		b.FMul(rI, rF, rG)
+		b.FSin(rI, rI)
+		b.MovF(rJ, -1.0)
+		b.FMul(rH, rH, rJ)
+		b.FExp(rH, rH)
+		b.FMul(rI, rI, rH)
+		b.FAdd(rI, rI, rC)
+		// out[y*W + x] = v, where y*W + x == gtid.
+		b.Ldp(rK, 1)
+		b.Muli(rE, rGtid, 4)
+		b.Add(rL, rK, rE)
+		b.StF(isa.SpaceGlobal, rL, 0, rI)
+		dummyCross(b, &p, "offt.dummy0", 2)
 
-	// Wrap fill for column 0: mirror = y*W + (W - x). For x == 0 that
-	// is (y+1)*W — another thread's primary slot. The fill accumulates
-	// (read-modify-write), so the collision is a WAR then WAW.
-	b.Remi(rM, rGtid, ofMeshW) // x
-	b.Setpi(0, isa.CmpEQ, rM, 0)
-	b.If(0)
-	b.Divi(rN, rGtid, ofMeshW) // y
-	b.Muli(rN, rN, ofMeshW)
-	b.Addi(rN, rN, ofMeshW) // y*W + (W - 0)  <- the bug: not mod W
-	b.Muli(rN, rN, 4)
-	b.Add(rN, rK, rN)
-	b.Note("wrap-entry read at y*W + (W-x): miscalculated mirror index")
-	b.LdF(rE, isa.SpaceGlobal, rN, 0)
-	b.FAdd(rE, rE, rI)
-	b.Note("wrap-entry write collides with the next row's spectrum store")
-	b.StF(isa.SpaceGlobal, rN, 0, rE)
-	b.EndIf()
-	b.Exit()
+		// Wrap fill for column 0: mirror = y*W + (W - x). For x == 0 that
+		// is (y+1)*W — another thread's primary slot. The fill accumulates
+		// (read-modify-write), so the collision is a WAR then WAW.
+		b.Remi(rM, rGtid, ofMeshW) // x
+		b.Setpi(0, isa.CmpEQ, rM, 0)
+		b.If(0)
+		b.Divi(rN, rGtid, ofMeshW) // y
+		b.Muli(rN, rN, ofMeshW)
+		b.Addi(rN, rN, ofMeshW) // y*W + (W - 0)  <- the bug: not mod W
+		b.Muli(rN, rN, 4)
+		b.Add(rN, rK, rN)
+		b.Note("wrap-entry read at y*W + (W-x): miscalculated mirror index")
+		b.LdF(rE, isa.SpaceGlobal, rN, 0)
+		b.FAdd(rE, rE, rI)
+		b.Note("wrap-entry write collides with the next row's spectrum store")
+		b.StF(isa.SpaceGlobal, rN, 0, rE)
+		b.EndIf()
+		b.Exit()
+		return b.MustBuild()
+	})
 
 	k := &gpu.Kernel{
-		Name: "offt", Prog: b.MustBuild(),
+		Name: "offt", Prog: prog,
 		GridDim: n / ofBlockDim, BlockDim: ofBlockDim,
 		SharedBytes: int(tileWords) * 4,
 		Params:      []uint64{in, out, dummy},

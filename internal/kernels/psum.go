@@ -74,78 +74,81 @@ func buildPsum(d *gpu.Device, p Params) (*Plan, error) {
 	}
 	want &= 0xFFFFFFFF
 
-	b := isa.NewBuilder("psum")
-	preamble(b)
-	b.Ldp(rA, 0) // in
-	// Coalesced grid-stride slice: sum = Σ in[gtid + k*threads].
-	b.Movi(rG, 0)
-	b.Movi(rI, 0)
-	b.Setpi(0, isa.CmpLT, rI, psPerThr)
-	b.While(0)
-	b.Muli(rC, rI, int64(threads))
-	b.Add(rC, rC, rGtid)
-	b.Muli(rC, rC, 4)
-	b.Add(rC, rA, rC)
-	b.Ld(rD, isa.SpaceGlobal, rC, 0, 4)
-	b.Add(rG, rG, rD)
-	b.Addi(rI, rI, 1)
-	b.Setpi(0, isa.CmpLT, rI, psPerThr)
-	b.EndWhile()
-	// out[gtid] = sum.
-	b.Ldp(rB, 1)
-	b.Muli(rC, rGtid, 4)
-	b.Add(rB, rB, rC)
-	b.Note("store out[gtid]; must be fenced before atomicInc")
-	b.St(isa.SpaceGlobal, rB, 0, rG, 4)
-	dummyCross(b, &p, "psum.dummy0", 4)
-	// Diagnostic: thread 0 records the block's largest partial.
-	b.Muli(rC, rTid, 4)
-	b.St(isa.SpaceShared, rC, 0, rG, 4)
-	bar(b, &p, "psum.bar0")
-	b.Setpi(3, isa.CmpEQ, rTid, 0)
-	b.If(3)
-	b.Movi(rH, 0)
-	b.Movi(rI, 0)
-	b.Setpi(4, isa.CmpLT, rI, psBlockDim)
-	b.While(4)
-	b.Muli(rC, rI, 4)
-	b.Ld(rD, isa.SpaceShared, rC, 0, 4)
-	b.Max(rH, rH, rD)
-	b.Addi(rI, rI, 1)
-	b.Setpi(4, isa.CmpLT, rI, psBlockDim)
-	b.EndWhile()
-	b.Ldp(rC, 5)
-	b.Muli(rD, rBid, 4)
-	b.Add(rC, rC, rD)
-	b.St(isa.SpaceGlobal, rC, 0, rH, 4)
-	b.EndIf()
-	fence(b, &p, "psum.fence0")
-	// old = atomicInc(counter, threads); last thread finishes.
-	b.Ldp(rE, 3)
-	b.Movi(rF, int64(threads))
-	b.Atom(rK, isa.AtomInc, isa.SpaceGlobal, rE, 0, rF, 0)
-	b.Setpi(1, isa.CmpEQ, rK, int64(threads-1))
-	b.If(1)
-	b.Movi(rG, 0)
-	b.Movi(rI, 0)
-	b.Setpi(2, isa.CmpLT, rI, int64(threads))
-	b.While(2)
-	b.Ldp(rB, 1)
-	b.Muli(rC, rI, 4)
-	b.Add(rB, rB, rC)
-	b.Note("last thread consumes out[i]")
-	b.Ld(rD, isa.SpaceGlobal, rB, 0, 4)
-	b.Add(rG, rG, rD)
-	b.Addi(rI, rI, 1)
-	b.Setpi(2, isa.CmpLT, rI, int64(threads))
-	b.EndWhile()
-	b.Ldp(rB, 2)
-	b.St(isa.SpaceGlobal, rB, 0, rG, 4)
-	b.EndIf()
-	b.Exit()
+	prog := memoProgram("psum", &p, func() *isa.Program {
+		b := isa.NewBuilder("psum")
+		preamble(b)
+		b.Ldp(rA, 0) // in
+		// Coalesced grid-stride slice: sum = Σ in[gtid + k*threads].
+		b.Movi(rG, 0)
+		b.Movi(rI, 0)
+		b.Setpi(0, isa.CmpLT, rI, psPerThr)
+		b.While(0)
+		b.Muli(rC, rI, int64(threads))
+		b.Add(rC, rC, rGtid)
+		b.Muli(rC, rC, 4)
+		b.Add(rC, rA, rC)
+		b.Ld(rD, isa.SpaceGlobal, rC, 0, 4)
+		b.Add(rG, rG, rD)
+		b.Addi(rI, rI, 1)
+		b.Setpi(0, isa.CmpLT, rI, psPerThr)
+		b.EndWhile()
+		// out[gtid] = sum.
+		b.Ldp(rB, 1)
+		b.Muli(rC, rGtid, 4)
+		b.Add(rB, rB, rC)
+		b.Note("store out[gtid]; must be fenced before atomicInc")
+		b.St(isa.SpaceGlobal, rB, 0, rG, 4)
+		dummyCross(b, &p, "psum.dummy0", 4)
+		// Diagnostic: thread 0 records the block's largest partial.
+		b.Muli(rC, rTid, 4)
+		b.St(isa.SpaceShared, rC, 0, rG, 4)
+		bar(b, &p, "psum.bar0")
+		b.Setpi(3, isa.CmpEQ, rTid, 0)
+		b.If(3)
+		b.Movi(rH, 0)
+		b.Movi(rI, 0)
+		b.Setpi(4, isa.CmpLT, rI, psBlockDim)
+		b.While(4)
+		b.Muli(rC, rI, 4)
+		b.Ld(rD, isa.SpaceShared, rC, 0, 4)
+		b.Max(rH, rH, rD)
+		b.Addi(rI, rI, 1)
+		b.Setpi(4, isa.CmpLT, rI, psBlockDim)
+		b.EndWhile()
+		b.Ldp(rC, 5)
+		b.Muli(rD, rBid, 4)
+		b.Add(rC, rC, rD)
+		b.St(isa.SpaceGlobal, rC, 0, rH, 4)
+		b.EndIf()
+		fence(b, &p, "psum.fence0")
+		// old = atomicInc(counter, threads); last thread finishes.
+		b.Ldp(rE, 3)
+		b.Movi(rF, int64(threads))
+		b.Atom(rK, isa.AtomInc, isa.SpaceGlobal, rE, 0, rF, 0)
+		b.Setpi(1, isa.CmpEQ, rK, int64(threads-1))
+		b.If(1)
+		b.Movi(rG, 0)
+		b.Movi(rI, 0)
+		b.Setpi(2, isa.CmpLT, rI, int64(threads))
+		b.While(2)
+		b.Ldp(rB, 1)
+		b.Muli(rC, rI, 4)
+		b.Add(rB, rB, rC)
+		b.Note("last thread consumes out[i]")
+		b.Ld(rD, isa.SpaceGlobal, rB, 0, 4)
+		b.Add(rG, rG, rD)
+		b.Addi(rI, rI, 1)
+		b.Setpi(2, isa.CmpLT, rI, int64(threads))
+		b.EndWhile()
+		b.Ldp(rB, 2)
+		b.St(isa.SpaceGlobal, rB, 0, rG, 4)
+		b.EndIf()
+		b.Exit()
+		return b.MustBuild()
+	})
 
 	k := &gpu.Kernel{
-		Name: "psum", Prog: b.MustBuild(),
+		Name: "psum", Prog: prog,
 		GridDim: blocks, BlockDim: psBlockDim,
 		SharedBytes: psBlockDim * 4,
 		Params:      []uint64{in, out, result, counter, dummy, blockMax},

@@ -72,124 +72,127 @@ func buildReduce(d *gpu.Device, p Params) (*Plan, error) {
 	}
 	want &= 0xFFFFFFFF
 
-	b := isa.NewBuilder("reduce")
-	preamble(b)
-	// Grid-stride accumulation: sum = Σ in[gtid + k*gridSize].
-	b.Ldp(rA, 0) // in
-	b.Mul(rB, rNtid, rNctaid)
-	b.Movi(rG, 0) // sum
-	b.Mov(rC, rGtid)
-	b.Setpi(0, isa.CmpLT, rC, int64(n))
-	b.While(0)
-	b.Muli(rD, rC, 4)
-	b.Add(rD, rA, rD)
-	b.Ld(rE, isa.SpaceGlobal, rD, 0, 4)
-	b.Add(rG, rG, rE)
-	b.Add(rC, rC, rB)
-	b.Setpi(0, isa.CmpLT, rC, int64(n))
-	b.EndWhile()
-	dummyCross(b, &p, "reduce.dummy0", 4)
-	// shared[tid] = sum; tree reduce.
-	b.Muli(rD, rTid, 4)
-	b.St(isa.SpaceShared, rD, 0, rG, 4)
-	bar(b, &p, "reduce.bar0")
-	b.Shri(rI, rNtid, 1)
-	b.Setpi(0, isa.CmpGE, rI, 1)
-	b.While(0)
-	b.Setp(1, isa.CmpLT, rTid, rI)
-	b.If(1)
-	b.Add(rE, rTid, rI)
-	b.Muli(rE, rE, 4)
-	b.Ld(rF, isa.SpaceShared, rE, 0, 4)
-	b.Muli(rD, rTid, 4)
-	b.Ld(rH, isa.SpaceShared, rD, 0, 4)
-	b.Add(rH, rH, rF)
-	b.St(isa.SpaceShared, rD, 0, rH, 4)
-	b.EndIf()
-	bar(b, &p, "reduce.bar1")
-	b.Shri(rI, rI, 1)
-	b.Setpi(0, isa.CmpGE, rI, 1)
-	b.EndWhile()
+	prog := memoProgram("reduce", &p, func() *isa.Program {
+		b := isa.NewBuilder("reduce")
+		preamble(b)
+		// Grid-stride accumulation: sum = Σ in[gtid + k*gridSize].
+		b.Ldp(rA, 0) // in
+		b.Mul(rB, rNtid, rNctaid)
+		b.Movi(rG, 0) // sum
+		b.Mov(rC, rGtid)
+		b.Setpi(0, isa.CmpLT, rC, int64(n))
+		b.While(0)
+		b.Muli(rD, rC, 4)
+		b.Add(rD, rA, rD)
+		b.Ld(rE, isa.SpaceGlobal, rD, 0, 4)
+		b.Add(rG, rG, rE)
+		b.Add(rC, rC, rB)
+		b.Setpi(0, isa.CmpLT, rC, int64(n))
+		b.EndWhile()
+		dummyCross(b, &p, "reduce.dummy0", 4)
+		// shared[tid] = sum; tree reduce.
+		b.Muli(rD, rTid, 4)
+		b.St(isa.SpaceShared, rD, 0, rG, 4)
+		bar(b, &p, "reduce.bar0")
+		b.Shri(rI, rNtid, 1)
+		b.Setpi(0, isa.CmpGE, rI, 1)
+		b.While(0)
+		b.Setp(1, isa.CmpLT, rTid, rI)
+		b.If(1)
+		b.Add(rE, rTid, rI)
+		b.Muli(rE, rE, 4)
+		b.Ld(rF, isa.SpaceShared, rE, 0, 4)
+		b.Muli(rD, rTid, 4)
+		b.Ld(rH, isa.SpaceShared, rD, 0, 4)
+		b.Add(rH, rH, rF)
+		b.St(isa.SpaceShared, rD, 0, rH, 4)
+		b.EndIf()
+		bar(b, &p, "reduce.bar1")
+		b.Shri(rI, rI, 1)
+		b.Setpi(0, isa.CmpGE, rI, 1)
+		b.EndWhile()
 
-	// Thread 0: partials[bid] = shared[0]; fence; old = atomicInc.
-	// isLast broadcast through a dedicated flag word *past* the
-	// reduction array (aliasing the array would be a real WAR race
-	// against the last block's re-use of the slots).
-	b.Setpi(2, isa.CmpEQ, rTid, 0)
-	b.If(2)
-	b.Movi(rD, 0)
-	b.Ld(rH, isa.SpaceShared, rD, 0, 4)
-	b.Ldp(rB, 1) // partials
-	b.Muli(rC, rBid, 4)
-	b.Add(rB, rB, rC)
-	b.Note("store partials[bid]; must be fenced before the done counter")
-	b.St(isa.SpaceGlobal, rB, 0, rH, 4)
-	fence(b, &p, "reduce.fence0")
-	b.Ldp(rE, 3) // counter
-	b.Subi(rF, rNctaid, 0)
-	b.Atom(rK, isa.AtomInc, isa.SpaceGlobal, rE, 0, rF, 0)
-	// isLast = (old == gridDim-1); stash in shared[1].
-	b.Subi(rF, rNctaid, 1)
-	b.Setp(3, isa.CmpEQ, rK, rF)
-	b.Movi(rL, 0)
-	b.Movi(rM, 1)
-	b.Selp(rN, 3, rM, rL)
-	b.Movi(rD, rdBlockDim*4)
-	b.St(isa.SpaceShared, rD, 0, rN, 4)
-	b.EndIf()
-	b.Bar() // broadcast isLast (not an injection site: removing it
-	// would break control flow, not just ordering)
-	b.Movi(rD, rdBlockDim*4)
-	b.Ld(rN, isa.SpaceShared, rD, 0, 4)
-	b.Setpi(4, isa.CmpEQ, rN, 1)
-	b.If(4)
-	// Last block: load partials into shared and tree-reduce them.
-	b.Movi(rG, 0)
-	b.Mov(rC, rTid)
-	b.Setpi(5, isa.CmpLT, rC, int64(blocks))
-	b.While(5)
-	b.Ldp(rB, 1)
-	b.Muli(rE, rC, 4)
-	b.Add(rB, rB, rE)
-	b.Note("last block consumes partials[i]")
-	b.Ld(rF, isa.SpaceGlobal, rB, 0, 4)
-	b.Add(rG, rG, rF)
-	b.Add(rC, rC, rNtid)
-	b.Setpi(5, isa.CmpLT, rC, int64(blocks))
-	b.EndWhile()
-	dummyCross(b, &p, "reduce.dummy1", 4)
-	b.Muli(rD, rTid, 4)
-	b.St(isa.SpaceShared, rD, 0, rG, 4)
-	b.Bar() // within the guarded region; uniform per block
-	b.Shri(rI, rNtid, 1)
-	b.Setpi(5, isa.CmpGE, rI, 1)
-	b.While(5)
-	b.Setp(6, isa.CmpLT, rTid, rI)
-	b.If(6)
-	b.Add(rE, rTid, rI)
-	b.Muli(rE, rE, 4)
-	b.Ld(rF, isa.SpaceShared, rE, 0, 4)
-	b.Muli(rD, rTid, 4)
-	b.Ld(rH, isa.SpaceShared, rD, 0, 4)
-	b.Add(rH, rH, rF)
-	b.St(isa.SpaceShared, rD, 0, rH, 4)
-	b.EndIf()
-	bar(b, &p, "reduce.bar2")
-	b.Shri(rI, rI, 1)
-	b.Setpi(5, isa.CmpGE, rI, 1)
-	b.EndWhile()
-	b.Setpi(6, isa.CmpEQ, rTid, 0)
-	b.If(6)
-	b.Movi(rD, 0)
-	b.Ld(rH, isa.SpaceShared, rD, 0, 4)
-	b.Ldp(rB, 2) // result
-	b.St(isa.SpaceGlobal, rB, 0, rH, 4)
-	b.EndIf()
-	b.EndIf()
-	b.Exit()
+		// Thread 0: partials[bid] = shared[0]; fence; old = atomicInc.
+		// isLast broadcast through a dedicated flag word *past* the
+		// reduction array (aliasing the array would be a real WAR race
+		// against the last block's re-use of the slots).
+		b.Setpi(2, isa.CmpEQ, rTid, 0)
+		b.If(2)
+		b.Movi(rD, 0)
+		b.Ld(rH, isa.SpaceShared, rD, 0, 4)
+		b.Ldp(rB, 1) // partials
+		b.Muli(rC, rBid, 4)
+		b.Add(rB, rB, rC)
+		b.Note("store partials[bid]; must be fenced before the done counter")
+		b.St(isa.SpaceGlobal, rB, 0, rH, 4)
+		fence(b, &p, "reduce.fence0")
+		b.Ldp(rE, 3) // counter
+		b.Subi(rF, rNctaid, 0)
+		b.Atom(rK, isa.AtomInc, isa.SpaceGlobal, rE, 0, rF, 0)
+		// isLast = (old == gridDim-1); stash in shared[1].
+		b.Subi(rF, rNctaid, 1)
+		b.Setp(3, isa.CmpEQ, rK, rF)
+		b.Movi(rL, 0)
+		b.Movi(rM, 1)
+		b.Selp(rN, 3, rM, rL)
+		b.Movi(rD, rdBlockDim*4)
+		b.St(isa.SpaceShared, rD, 0, rN, 4)
+		b.EndIf()
+		b.Bar() // broadcast isLast (not an injection site: removing it
+		// would break control flow, not just ordering)
+		b.Movi(rD, rdBlockDim*4)
+		b.Ld(rN, isa.SpaceShared, rD, 0, 4)
+		b.Setpi(4, isa.CmpEQ, rN, 1)
+		b.If(4)
+		// Last block: load partials into shared and tree-reduce them.
+		b.Movi(rG, 0)
+		b.Mov(rC, rTid)
+		b.Setpi(5, isa.CmpLT, rC, int64(blocks))
+		b.While(5)
+		b.Ldp(rB, 1)
+		b.Muli(rE, rC, 4)
+		b.Add(rB, rB, rE)
+		b.Note("last block consumes partials[i]")
+		b.Ld(rF, isa.SpaceGlobal, rB, 0, 4)
+		b.Add(rG, rG, rF)
+		b.Add(rC, rC, rNtid)
+		b.Setpi(5, isa.CmpLT, rC, int64(blocks))
+		b.EndWhile()
+		dummyCross(b, &p, "reduce.dummy1", 4)
+		b.Muli(rD, rTid, 4)
+		b.St(isa.SpaceShared, rD, 0, rG, 4)
+		b.Bar() // within the guarded region; uniform per block
+		b.Shri(rI, rNtid, 1)
+		b.Setpi(5, isa.CmpGE, rI, 1)
+		b.While(5)
+		b.Setp(6, isa.CmpLT, rTid, rI)
+		b.If(6)
+		b.Add(rE, rTid, rI)
+		b.Muli(rE, rE, 4)
+		b.Ld(rF, isa.SpaceShared, rE, 0, 4)
+		b.Muli(rD, rTid, 4)
+		b.Ld(rH, isa.SpaceShared, rD, 0, 4)
+		b.Add(rH, rH, rF)
+		b.St(isa.SpaceShared, rD, 0, rH, 4)
+		b.EndIf()
+		bar(b, &p, "reduce.bar2")
+		b.Shri(rI, rI, 1)
+		b.Setpi(5, isa.CmpGE, rI, 1)
+		b.EndWhile()
+		b.Setpi(6, isa.CmpEQ, rTid, 0)
+		b.If(6)
+		b.Movi(rD, 0)
+		b.Ld(rH, isa.SpaceShared, rD, 0, 4)
+		b.Ldp(rB, 2) // result
+		b.St(isa.SpaceGlobal, rB, 0, rH, 4)
+		b.EndIf()
+		b.EndIf()
+		b.Exit()
+		return b.MustBuild()
+	})
 
 	k := &gpu.Kernel{
-		Name: "reduce", Prog: b.MustBuild(),
+		Name: "reduce", Prog: prog,
 		GridDim: blocks, BlockDim: rdBlockDim,
 		SharedBytes: (rdBlockDim + 1) * 4,
 		Params:      []uint64{in, partials, result, counter, dummy},

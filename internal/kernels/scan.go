@@ -53,61 +53,64 @@ func buildScan(d *gpu.Device, p Params) (*Plan, error) {
 		d.Global.SetU32(int(in)/4+i, uint32(i%7+1))
 	}
 
-	b := isa.NewBuilder("scan")
-	preamble(b)
-	// shared[tid] = in[tid]  (no bid offset: the documented bug).
-	b.Ldp(rA, 0)
-	b.Muli(rB, rTid, 4)
-	b.Add(rA, rA, rB)
-	b.Note("load in[tid] (all blocks read the same array)")
-	b.Ld(rC, isa.SpaceGlobal, rA, 0, 4)
-	b.Muli(rD, rTid, 4)
-	b.St(isa.SpaceShared, rD, 0, rC, 4)
-	bar(b, &p, "scan.bar0")
+	prog := memoProgram("scan", &p, func() *isa.Program {
+		b := isa.NewBuilder("scan")
+		preamble(b)
+		// shared[tid] = in[tid]  (no bid offset: the documented bug).
+		b.Ldp(rA, 0)
+		b.Muli(rB, rTid, 4)
+		b.Add(rA, rA, rB)
+		b.Note("load in[tid] (all blocks read the same array)")
+		b.Ld(rC, isa.SpaceGlobal, rA, 0, 4)
+		b.Muli(rD, rTid, 4)
+		b.St(isa.SpaceShared, rD, 0, rC, 4)
+		bar(b, &p, "scan.bar0")
 
-	// Hillis-Steele: for d = 1; d < n; d <<= 1.
-	b.Movi(rI, 1)
-	b.Setpi(0, isa.CmpLT, rI, int64(n))
-	b.While(0)
-	// Gather: t = tid >= d ? shared[tid-d] : 0.
-	b.Movi(rE, 0)
-	b.Setp(1, isa.CmpGE, rTid, rI)
-	b.If(1)
-	b.Sub(rF, rTid, rI)
-	b.Muli(rF, rF, 4)
-	b.Ld(rE, isa.SpaceShared, rF, 0, 4)
-	b.EndIf()
-	bar(b, &p, "scan.bar1")
-	// Scatter: shared[tid] += t (for tid >= d).
-	b.Setp(1, isa.CmpGE, rTid, rI)
-	b.If(1)
-	b.Muli(rF, rTid, 4)
-	b.Ld(rG, isa.SpaceShared, rF, 0, 4)
-	b.Add(rG, rG, rE)
-	b.St(isa.SpaceShared, rF, 0, rG, 4)
-	b.EndIf()
-	bar(b, &p, "scan.bar2")
-	b.Shli(rI, rI, 1)
-	b.Setpi(0, isa.CmpLT, rI, int64(n))
-	b.EndWhile()
+		// Hillis-Steele: for d = 1; d < n; d <<= 1.
+		b.Movi(rI, 1)
+		b.Setpi(0, isa.CmpLT, rI, int64(n))
+		b.While(0)
+		// Gather: t = tid >= d ? shared[tid-d] : 0.
+		b.Movi(rE, 0)
+		b.Setp(1, isa.CmpGE, rTid, rI)
+		b.If(1)
+		b.Sub(rF, rTid, rI)
+		b.Muli(rF, rF, 4)
+		b.Ld(rE, isa.SpaceShared, rF, 0, 4)
+		b.EndIf()
+		bar(b, &p, "scan.bar1")
+		// Scatter: shared[tid] += t (for tid >= d).
+		b.Setp(1, isa.CmpGE, rTid, rI)
+		b.If(1)
+		b.Muli(rF, rTid, 4)
+		b.Ld(rG, isa.SpaceShared, rF, 0, 4)
+		b.Add(rG, rG, rE)
+		b.St(isa.SpaceShared, rF, 0, rG, 4)
+		b.EndIf()
+		bar(b, &p, "scan.bar2")
+		b.Shli(rI, rI, 1)
+		b.Setpi(0, isa.CmpLT, rI, int64(n))
+		b.EndWhile()
 
-	// out[tid] = shared[tid]  (again no bid offset).
-	b.Muli(rD, rTid, 4)
-	b.Ld(rC, isa.SpaceShared, rD, 0, 4)
-	b.Ldp(rA, 1)
-	b.Muli(rB, rTid, 4)
-	b.Add(rA, rA, rB)
-	b.Note("store out[tid] (all blocks write the same array)")
-	b.St(isa.SpaceGlobal, rA, 0, rC, 4)
-	dummyCross(b, &p, "scan.dummy0", 2)
-	b.Exit()
+		// out[tid] = shared[tid]  (again no bid offset).
+		b.Muli(rD, rTid, 4)
+		b.Ld(rC, isa.SpaceShared, rD, 0, 4)
+		b.Ldp(rA, 1)
+		b.Muli(rB, rTid, 4)
+		b.Add(rA, rA, rB)
+		b.Note("store out[tid] (all blocks write the same array)")
+		b.St(isa.SpaceGlobal, rA, 0, rC, 4)
+		dummyCross(b, &p, "scan.dummy0", 2)
+		b.Exit()
+		return b.MustBuild()
+	})
 
 	grid := scanBugBlocks * p.scale()
 	if p.SingleBlock {
 		grid = 1
 	}
 	k := &gpu.Kernel{
-		Name: "scan", Prog: b.MustBuild(),
+		Name: "scan", Prog: prog,
 		GridDim: grid, BlockDim: scanBlockDim,
 		SharedBytes: scanBlockDim * 4,
 		Params:      []uint64{in, out, dummy},

@@ -54,84 +54,87 @@ func buildSortnw(d *gpu.Device, p Params) (*Plan, error) {
 		d.Global.SetU32(int(data)/4+i, host[i])
 	}
 
-	b := isa.NewBuilder("sortnw")
-	preamble(b)
-	b.Ldp(rA, 0)
-	b.Muli(rB, rBid, int64(snTile*4))
-	b.Add(rA, rA, rB) // tile base
-	for _, off := range []int64{0, int64(snBlockDim)} {
-		b.Addi(rC, rTid, off)
-		b.Muli(rD, rC, 4)
-		b.Add(rE, rA, rD)
-		b.Ld(rF, isa.SpaceGlobal, rE, 0, 4)
-		b.St(isa.SpaceShared, rD, 0, rF, 4)
-	}
-	bar(b, &p, "sortnw.bar0")
+	prog := memoProgram("sortnw", &p, func() *isa.Program {
+		b := isa.NewBuilder("sortnw")
+		preamble(b)
+		b.Ldp(rA, 0)
+		b.Muli(rB, rBid, int64(snTile*4))
+		b.Add(rA, rA, rB) // tile base
+		for _, off := range []int64{0, int64(snBlockDim)} {
+			b.Addi(rC, rTid, off)
+			b.Muli(rD, rC, 4)
+			b.Add(rE, rA, rD)
+			b.Ld(rF, isa.SpaceGlobal, rE, 0, 4)
+			b.St(isa.SpaceShared, rD, 0, rF, 4)
+		}
+		bar(b, &p, "sortnw.bar0")
 
-	// for size = 2; size <= tile; size <<= 1
-	//   for stride = size/2; stride >= 1; stride >>= 1
-	//     compare-exchange (one pair per thread), barrier
-	b.Movi(rI, 2) // size
-	b.Setpi(0, isa.CmpLE, rI, snTile)
-	b.While(0)
-	b.Shri(rJ, rI, 1) // stride
-	b.Setpi(1, isa.CmpGE, rJ, 1)
-	b.While(1)
-	// pos = 2*stride*(tid/stride) + tid%stride
-	b.Div(rC, rTid, rJ)
-	b.Mul(rC, rC, rJ)
-	b.Muli(rC, rC, 2)
-	b.Rem(rD, rTid, rJ)
-	b.Add(rC, rC, rD) // pos
-	// ascending = ((pos & size) == 0)
-	b.And(rE, rC, rI)
-	b.Setpi(2, isa.CmpEQ, rE, 0)
-	b.Muli(rD, rC, 4)
-	b.Muli(rE, rJ, 4)
-	b.Add(rE, rD, rE)
-	b.Ld(rF, isa.SpaceShared, rD, 0, 4) // a
-	b.Ld(rG, isa.SpaceShared, rE, 0, 4) // b
-	// keep = asc ? min : max ; other = asc ? max : min
-	b.Min(rH, rF, rG)
-	b.Max(rK, rF, rG)
-	b.Selp(rL, 2, rH, rK)
-	b.Selp(rM, 2, rK, rH)
-	b.St(isa.SpaceShared, rD, 0, rL, 4)
-	b.St(isa.SpaceShared, rE, 0, rM, 4)
-	// Inter-step barrier, skipped after the very last step of the
-	// schedule (the pre-store barrier covers that one) so that both
-	// barriers order real cross-warp dependences. The skip condition
-	// is uniform across the block.
-	b.Setpi(3, isa.CmpEQ, rI, snTile)
-	b.Setpi(4, isa.CmpEQ, rJ, 1)
-	b.Movi(rN, 0)
-	b.Movi(rO, 1)
-	b.Selp(rP, 3, rO, rN)
-	b.Selp(rN, 4, rP, rN)
-	b.Setpi(5, isa.CmpEQ, rN, 0)
-	b.If(5)
-	bar(b, &p, "sortnw.bar1")
-	b.EndIf()
-	b.Shri(rJ, rJ, 1)
-	b.Setpi(1, isa.CmpGE, rJ, 1)
-	b.EndWhile()
-	b.Shli(rI, rI, 1)
-	b.Setpi(0, isa.CmpLE, rI, snTile)
-	b.EndWhile()
-	bar(b, &p, "sortnw.bar2")
-
-	for _, off := range []int64{0, int64(snBlockDim)} {
-		b.Addi(rC, rTid, off)
+		// for size = 2; size <= tile; size <<= 1
+		//   for stride = size/2; stride >= 1; stride >>= 1
+		//     compare-exchange (one pair per thread), barrier
+		b.Movi(rI, 2) // size
+		b.Setpi(0, isa.CmpLE, rI, snTile)
+		b.While(0)
+		b.Shri(rJ, rI, 1) // stride
+		b.Setpi(1, isa.CmpGE, rJ, 1)
+		b.While(1)
+		// pos = 2*stride*(tid/stride) + tid%stride
+		b.Div(rC, rTid, rJ)
+		b.Mul(rC, rC, rJ)
+		b.Muli(rC, rC, 2)
+		b.Rem(rD, rTid, rJ)
+		b.Add(rC, rC, rD) // pos
+		// ascending = ((pos & size) == 0)
+		b.And(rE, rC, rI)
+		b.Setpi(2, isa.CmpEQ, rE, 0)
 		b.Muli(rD, rC, 4)
-		b.Ld(rF, isa.SpaceShared, rD, 0, 4)
-		b.Add(rE, rA, rD)
-		b.St(isa.SpaceGlobal, rE, 0, rF, 4)
-	}
-	dummyCross(b, &p, "sortnw.dummy0", 1)
-	b.Exit()
+		b.Muli(rE, rJ, 4)
+		b.Add(rE, rD, rE)
+		b.Ld(rF, isa.SpaceShared, rD, 0, 4) // a
+		b.Ld(rG, isa.SpaceShared, rE, 0, 4) // b
+		// keep = asc ? min : max ; other = asc ? max : min
+		b.Min(rH, rF, rG)
+		b.Max(rK, rF, rG)
+		b.Selp(rL, 2, rH, rK)
+		b.Selp(rM, 2, rK, rH)
+		b.St(isa.SpaceShared, rD, 0, rL, 4)
+		b.St(isa.SpaceShared, rE, 0, rM, 4)
+		// Inter-step barrier, skipped after the very last step of the
+		// schedule (the pre-store barrier covers that one) so that both
+		// barriers order real cross-warp dependences. The skip condition
+		// is uniform across the block.
+		b.Setpi(3, isa.CmpEQ, rI, snTile)
+		b.Setpi(4, isa.CmpEQ, rJ, 1)
+		b.Movi(rN, 0)
+		b.Movi(rO, 1)
+		b.Selp(rP, 3, rO, rN)
+		b.Selp(rN, 4, rP, rN)
+		b.Setpi(5, isa.CmpEQ, rN, 0)
+		b.If(5)
+		bar(b, &p, "sortnw.bar1")
+		b.EndIf()
+		b.Shri(rJ, rJ, 1)
+		b.Setpi(1, isa.CmpGE, rJ, 1)
+		b.EndWhile()
+		b.Shli(rI, rI, 1)
+		b.Setpi(0, isa.CmpLE, rI, snTile)
+		b.EndWhile()
+		bar(b, &p, "sortnw.bar2")
+
+		for _, off := range []int64{0, int64(snBlockDim)} {
+			b.Addi(rC, rTid, off)
+			b.Muli(rD, rC, 4)
+			b.Ld(rF, isa.SpaceShared, rD, 0, 4)
+			b.Add(rE, rA, rD)
+			b.St(isa.SpaceGlobal, rE, 0, rF, 4)
+		}
+		dummyCross(b, &p, "sortnw.dummy0", 1)
+		b.Exit()
+		return b.MustBuild()
+	})
 
 	k := &gpu.Kernel{
-		Name: "sortnw", Prog: b.MustBuild(),
+		Name: "sortnw", Prog: prog,
 		GridDim: tiles, BlockDim: snBlockDim,
 		SharedBytes: snTile * 4,
 		Params:      []uint64{data, dummy},
