@@ -12,15 +12,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"haccrg"
 	"haccrg/internal/harness"
 )
+
+// exitInterrupted is the exit code for a sweep cut short by SIGINT or
+// SIGTERM. The manifest (if any) holds every completed run; rerunning
+// with -resume picks up where the sweep stopped.
+const exitInterrupted = 5
 
 // fatalf reports an error and exits non-zero; CLI failures are error
 // messages, never panics.
@@ -44,6 +53,9 @@ func main() {
 		maxCycles   = flag.Int64("max-cycles", 0, "simulated-cycle budget per sweep run (0 = unlimited)")
 		healthCSV   = flag.String("health-csv", "", "write the fault study's health columns to this CSV file")
 
+		manifest = flag.String("manifest", "", "journal completed sweep runs to this file (crash-safe; see -resume)")
+		resume   = flag.Bool("resume", false, "with -manifest: serve already-completed runs from the manifest instead of re-simulating them")
+
 		parallel   = flag.Int("parallel", 0, "concurrent sweep runs (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -58,6 +70,35 @@ func main() {
 		Timeout:     *timeout,
 	})
 	haccrg.SetParallelism(*parallel)
+
+	if *resume && *manifest == "" {
+		fmt.Fprintln(os.Stderr, "haccrg-bench: -resume requires -manifest")
+		os.Exit(2)
+	}
+	var mf *harness.Manifest
+	if *manifest != "" {
+		m, salvage, err := harness.OpenManifest(*manifest, *resume)
+		if err != nil {
+			fatalf("manifest: %v", err)
+		}
+		mf = m
+		harness.SetManifest(mf)
+		if *resume {
+			note := ""
+			if salvage.Truncated {
+				note = fmt.Sprintf(" (torn tail dropped: %s)", salvage.Reason)
+			}
+			fmt.Fprintf(os.Stderr, "haccrg-bench: resuming: %d completed run(s) recovered from %s%s\n",
+				mf.Len(), *manifest, note)
+		}
+	}
+
+	// SIGINT/SIGTERM cancel every in-flight sweep run through the shared
+	// context; completed runs are already synced to the manifest, so the
+	// sweep exits with resumable state.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	harness.SetSweepContext(ctx)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -89,6 +130,20 @@ func main() {
 		fmt.Printf("==== %s ====\n", title)
 		txt, err := f()
 		if err != nil {
+			// Every completed run is already synced to the manifest;
+			// close it so the journal ends at a frame boundary, then
+			// report. An interrupt is resumable state, not a failure.
+			if mf != nil {
+				mf.Close()
+			}
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "haccrg-bench: interrupted during %q: %v\n", title, err)
+				if mf != nil {
+					fmt.Fprintf(os.Stderr, "haccrg-bench: %d completed run(s) saved; rerun with -manifest %s -resume\n",
+						mf.Len(), mf.Path())
+				}
+				os.Exit(exitInterrupted)
+			}
 			fatalf("%v", err)
 		}
 		fmt.Println(txt)
@@ -213,5 +268,10 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if mf != nil {
+		if err := mf.Close(); err != nil {
+			fatalf("manifest: %v", err)
+		}
 	}
 }

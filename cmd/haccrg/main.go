@@ -11,16 +11,24 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"haccrg"
 )
+
+// exitInterrupted is the exit code for a run cut short by SIGINT or
+// SIGTERM: distinct from failure (1), usage (2), races (3) and hangs
+// (4), so scripts can tell a clean cancellation from a broken run.
+const exitInterrupted = 5
 
 // fatalf reports an error and exits non-zero; CLI failures are error
 // messages, never panics.
@@ -45,6 +53,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit a machine-readable JSON race report")
 		traceOut    = flag.Bool("trace", false, "print an event timeline after the run")
 		maxRaces    = flag.Int("max-races", 20, "maximum distinct races to print")
+		record      = flag.String("record", "", "write a durable event journal of the run to this file (replay with haccrg-replay)")
 
 		faultPlan   = flag.String("fault-plan", "", "fault-injection plan, e.g. queue:cap=16,drain=1;flip:rate=1e-5,ecc")
 		faultSeed   = flag.Int64("seed", 0, "fault-injection PRNG seed (same plan+seed = same run)")
@@ -104,16 +113,48 @@ func main() {
 		opts.Detection = &d
 	}
 
-	res, err := haccrg.RunBenchmark(*bench, opts)
+	// SIGINT/SIGTERM cancel the simulation through the context; the run
+	// winds down via the launch guard rails, flushing the journal (if
+	// any) with a well-framed prefix on disk.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var journalFile *os.File
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fatalf("-record: %v", err)
+		}
+		journalFile = f
+		opts.Record = f
+	}
+
+	res, err := haccrg.RunBenchmarkContext(ctx, *bench, opts)
+	if journalFile != nil {
+		if cerr := journalFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		var hang *haccrg.HangError
 		if errors.As(err, &hang) && res != nil {
+			if ctx.Err() != nil {
+				// Interrupted, not hung: the journal prefix on disk is
+				// intact and replayable up to the cut.
+				fmt.Fprintf(os.Stderr, "haccrg: interrupted: %d cycles, %d blocks retired\n",
+					res.Stats.Cycles, res.Stats.BlocksRetired)
+				os.Exit(exitInterrupted)
+			}
 			// Guard-rail trip: structured diagnostics plus the partial
 			// stats the aborted run still produced.
 			fmt.Fprint(os.Stderr, hang.Diagnose())
 			fmt.Fprintf(os.Stderr, "haccrg: partial run: %d cycles, %d blocks retired\n",
 				res.Stats.Cycles, res.Stats.BlocksRetired)
 			os.Exit(4)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "haccrg: interrupted: %v\n", err)
+			os.Exit(exitInterrupted)
 		}
 		fatalf("%v", err)
 	}

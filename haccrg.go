@@ -18,6 +18,7 @@ package haccrg
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"haccrg/internal/core"
@@ -25,6 +26,7 @@ import (
 	"haccrg/internal/gpu"
 	"haccrg/internal/harness"
 	"haccrg/internal/isa"
+	"haccrg/internal/journal"
 	"haccrg/internal/kernels"
 	"haccrg/internal/tlb"
 	"haccrg/internal/trace"
@@ -146,6 +148,11 @@ type RunOptions struct {
 	// Trace records an event timeline (kernel lifecycle, barriers,
 	// races) alongside the run.
 	Trace bool
+	// Record writes a durable event journal of the run — every kernel
+	// launch, warp memory event, fence response and verdict, in the
+	// CRC-framed format of internal/journal — suitable for offline
+	// replay through haccrg-replay (nil = no journal).
+	Record io.Writer
 
 	// FaultPlan is a fault-injection spec (see ParseFaultPlan); empty
 	// runs fault-free. Requires Detection.
@@ -180,6 +187,39 @@ type RunResult struct {
 
 // RunBenchmark builds, runs and optionally verifies one benchmark.
 func RunBenchmark(name string, opts RunOptions) (*RunResult, error) {
+	return RunBenchmarkContext(context.Background(), name, opts)
+}
+
+// journalMeta describes a run for the journal header so replay can
+// rebuild an equivalent detector without out-of-band knowledge.
+func journalMeta(name string, opts RunOptions) *journal.Meta {
+	m := &journal.Meta{
+		Bench: name, Detector: "off",
+		Scale: opts.Scale, SingleBlock: opts.SingleBlock, Inject: opts.Inject,
+		FaultPlan: opts.FaultPlan, FaultSeed: opts.FaultSeed, Degradation: opts.Degradation,
+	}
+	if d := opts.Detection; d != nil {
+		m.SharedGranularity = d.SharedGranularity
+		m.GlobalGranularity = d.GlobalGranularity
+		switch {
+		case d.SharedShadowInGlobal:
+			m.Detector = string(harness.DetFig8)
+		case d.Shared && d.Global:
+			m.Detector = string(harness.DetSharedGlobal)
+		case d.Shared:
+			m.Detector = string(harness.DetShared)
+		case d.Global:
+			m.Detector = string(harness.DetGlobal)
+		}
+	}
+	return m
+}
+
+// RunBenchmarkContext is RunBenchmark under a context: cancellation
+// (e.g. a CLI's SIGINT handler) aborts the simulation with a
+// *HangError carrying partial stats, and — when a journal is being
+// recorded — leaves a well-framed journal prefix behind.
+func RunBenchmarkContext(ctx context.Context, name string, opts RunOptions) (*RunResult, error) {
 	bm := kernels.Get(name)
 	if bm == nil {
 		return nil, fmt.Errorf("haccrg: unknown benchmark %q (have %v)", name, benchNames())
@@ -220,6 +260,20 @@ func RunBenchmark(name string, opts RunOptions) (*RunResult, error) {
 		rec = trace.New(det)
 		det = rec
 	}
+	var jrec *journal.Recorder
+	if opts.Record != nil {
+		// Journal outermost so it sees the raw device event stream
+		// before any inner wrapper consumes it.
+		jr, err := journal.NewRecorder(opts.Record, det)
+		if err != nil {
+			return nil, err
+		}
+		if err := jr.SetMeta(journalMeta(name, opts)); err != nil {
+			return nil, err
+		}
+		jrec = jr
+		det = jr
+	}
 	cfg := gpu.DefaultConfig()
 	if opts.GPU != nil {
 		cfg = *opts.GPU
@@ -239,7 +293,6 @@ func RunBenchmark(name string, opts RunOptions) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -260,6 +313,12 @@ func RunBenchmark(name string, opts RunOptions) (*RunResult, error) {
 	if coreDet != nil {
 		res.Races = coreDet.SortedRaces()
 		res.Report = coreDet.Report()
+	}
+	// A journal write failure never aborts the simulation (the detector
+	// interface has no error path), but it must not pass silently: the
+	// run succeeded, the recording did not.
+	if runErr == nil && jrec != nil && jrec.Err() != nil {
+		return res, fmt.Errorf("haccrg: journal recording failed: %w", jrec.Err())
 	}
 	return res, runErr
 }

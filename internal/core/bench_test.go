@@ -27,9 +27,9 @@ func (e *benchEnv) InstrTx(sm int, cycle int64, addr uint64, write bool) int64 {
 func (e *benchEnv) InstrAtomicTx(sm int, cycle int64, addr uint64) int64 {
 	return cycle + 120
 }
-func (e *benchEnv) ShadowBase() uint64                { return 1 << 26 }
+func (e *benchEnv) ShadowBase() uint64                 { return 1 << 26 }
 func (e *benchEnv) CurrentFenceID(block, w int) uint32 { return 1 }
-func (e *benchEnv) GlobalMemSize() uint64             { return 1 << 26 }
+func (e *benchEnv) GlobalMemSize() uint64              { return 1 << 26 }
 
 // benchDetector builds a detector attached to the stub env.
 func benchDetector(b *testing.B, opt Options) *Detector {

@@ -7,15 +7,15 @@ import "haccrg/internal/gpu"
 // VI-C2. All byte figures are exact (fractional KB kept as bytes).
 type HardwareCost struct {
 	// Shared-memory RDU.
-	SharedEntryBits       int // 1 modified + 1 shared + tid bits
-	SharedEntries         int // per SM
+	SharedEntryBits        int // 1 modified + 1 shared + tid bits
+	SharedEntries          int // per SM
 	SharedShadowBytesPerSM int
 	SharedComparatorsPerSM int // parallel comparisons across banks
 
 	// Global-memory RDU.
-	GlobalEntryBitsBase   int // modified + shared + tid + bid + sid + sync ID
-	GlobalEntryBitsFence  int // base + fence ID
-	GlobalEntryBitsAtomic int // base + atomic ID
+	GlobalEntryBitsBase       int // modified + shared + tid + bid + sid + sync ID
+	GlobalEntryBitsFence      int // base + fence ID
+	GlobalEntryBitsAtomic     int // base + atomic ID
 	GlobalComparatorsPerSlice int
 	IDComparatorsPerSlice     int
 
@@ -56,8 +56,8 @@ func ComputeHardwareCost(cfg *gpu.Config, opt Options) HardwareCost {
 
 	const syncIDBits, fenceIDBits = 8, 8
 	atomicIDBits := opt.Bloom.SizeBits
-	bidBits := bitsFor(cfg.MaxBlocksPerSM)       // 3 for 8 blocks
-	sidBits := bitsFor(cfg.NumSMs)               // 5 for 30 SMs
+	bidBits := bitsFor(cfg.MaxBlocksPerSM) // 3 for 8 blocks
+	sidBits := bitsFor(cfg.NumSMs)         // 5 for 30 SMs
 	c.GlobalEntryBitsBase = 2 + tidBits + bidBits + sidBits + syncIDBits
 	c.GlobalEntryBitsFence = c.GlobalEntryBitsBase + fenceIDBits
 	c.GlobalEntryBitsAtomic = c.GlobalEntryBitsBase + fenceIDBits + atomicIDBits

@@ -131,13 +131,13 @@ func (o *Options) Validate() error {
 
 // Stats aggregates detection activity.
 type Stats struct {
-	SharedChecks int64 // lane-level shared-memory RDU checks
-	GlobalChecks int64 // lane-level global-memory RDU checks
-	ShadowReads  int64 // shadow transactions injected (reads)
-	ShadowWrites int64 // shadow transactions injected (writes)
+	SharedChecks  int64 // lane-level shared-memory RDU checks
+	GlobalChecks  int64 // lane-level global-memory RDU checks
+	ShadowReads   int64 // shadow transactions injected (reads)
+	ShadowWrites  int64 // shadow transactions injected (writes)
 	Reports       int64 // dynamic race reports (before dedup)
 	SharedReports int64 // dynamic reports in the shared space
 	GlobalReports int64 // dynamic reports in the global space
-	BarrierInval int64 // shared shadow invalidation episodes
-	FenceLookups int64 // race-register-file fence-ID reads
+	BarrierInval  int64 // shared shadow invalidation episodes
+	FenceLookups  int64 // race-register-file fence-ID reads
 }

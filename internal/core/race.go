@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"haccrg/internal/gpu"
 	"haccrg/internal/isa"
 )
 
@@ -109,6 +110,23 @@ func (r *Race) String() string {
 	return fmt.Sprintf("%s race (%s) in %s: %s addr %#x granule %d pc %d%s: T(b%d,t%d) vs T(b%d,t%d) x%d",
 		r.Kind, r.Category, r.Kernel, r.Space, r.Addr, r.Granule, r.PC, stmt,
 		r.FirstBlock, r.FirstTid, r.SecondBlock, r.SecondTid, r.Count)
+}
+
+// RacesOf returns the distinct races recorded by det or by any
+// detector it wraps, unwrapping recorder chains (trace, journal) until
+// it finds a race source. Detectors that track no races yield nil.
+func RacesOf(det gpu.Detector) []*Race {
+	for det != nil {
+		if src, ok := det.(interface{ Races() []*Race }); ok {
+			return src.Races()
+		}
+		unwrap, ok := det.(interface{ Inner() gpu.Detector })
+		if !ok {
+			return nil
+		}
+		det = unwrap.Inner()
+	}
+	return nil
 }
 
 type raceKey struct {

@@ -28,6 +28,42 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPlanStringIsCanonical: String() must be a fixed point of
+// Parse∘String — the property journals and manifests rely on when they
+// store a plan by its spec and rebuild it on replay. The specs here
+// mirror the fault study's plan list plus the ecc-on-stuck combos
+// whose flags String redistributes across clauses.
+func TestPlanStringIsCanonical(t *testing.T) {
+	specs := []string{
+		"",
+		"queue:cap=8,drain=1",
+		"flip:rate=2e-4",
+		"flip:rate=2e-4,ecc",
+		"stuck:perki=8",
+		"stuck:perki=8,ecc",
+		"bloom:fill=0.9",
+		"spike:extra=500,period=32",
+		"flip:rate=2e-4;queue:cap=8,drain=1",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q: not parseable: %v", spec, canon, err)
+		}
+		if *p2 != *p {
+			t.Errorf("plan %q changed across canonicalization: %+v vs %+v", spec, p, p2)
+		}
+		if again := p2.String(); again != canon {
+			t.Errorf("String not a fixed point for %q: %q then %q", spec, canon, again)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
 		"bogus:x=1",

@@ -15,6 +15,7 @@ import (
 	"haccrg/internal/gpu"
 	"haccrg/internal/grace"
 	"haccrg/internal/isa"
+	"haccrg/internal/journal"
 	"haccrg/internal/kernels"
 	"haccrg/internal/swdetect"
 )
@@ -148,6 +149,14 @@ func detectorFor(rc RunConfig) (gpu.Detector, *core.Detector, *swdetect.Detector
 		return nil, nil, nil, nil, err
 	}
 	return d, d, nil, nil, nil
+}
+
+// DetectorFor builds the detector a configuration would run under —
+// how the replay tool reconstructs a recorded run's detector (or a
+// deliberately different one) without a device attached.
+func DetectorFor(rc RunConfig) (gpu.Detector, error) {
+	det, _, _, _, err := detectorFor(rc)
+	return det, err
 }
 
 // Run executes one configuration to completion. It is RunContext with
@@ -288,14 +297,25 @@ const sweepRetries = 3
 // fault-free simulation is deterministic, so its failures are not
 // retried — they would fail identically.
 func sweepRun(rc RunConfig) (*RunResult, error) {
-	return sweepRunCtx(context.Background(), rc)
+	return sweepRunCtx(baseSweepContext(), rc)
 }
 
 // sweepRunCtx is sweepRun under a context: cancellation cuts both the
 // in-flight simulation (through RunContext) and the retry backoff, so
 // a failed sweep winds down promptly instead of finishing doomed runs.
+// When a sweep manifest is installed, configurations it already holds
+// are served from it without re-simulation, and each fresh completion
+// is appended (and synced) before being returned — the crash-safe
+// resume contract.
 func sweepRunCtx(ctx context.Context, rc RunConfig) (*RunResult, error) {
 	rc = applySweepDefaults(rc)
+	manifest := ActiveManifest()
+	if manifest != nil {
+		if res, ok := manifest.Lookup(rc); ok {
+			return res, nil
+		}
+	}
+	requested := rc // manifest key: before any retry re-seeding
 	var lastErr error
 	for attempt := 1; attempt <= sweepRetries; attempt++ {
 		if attempt > 1 {
@@ -306,13 +326,22 @@ func sweepRunCtx(ctx context.Context, rc RunConfig) (*RunResult, error) {
 			case <-time.After(time.Duration(attempt-1) * 50 * time.Millisecond):
 			}
 		}
+		sweepExecutions.Add(1)
 		res, err := RunContext(ctx, rc)
 		if err == nil {
 			res.Attempts = attempt
+			if manifest != nil {
+				// A manifest append failure is a journal I/O error:
+				// retrying the simulation cannot fix the disk, so it is
+				// returned as-is (and classified non-retryable below).
+				if aerr := manifest.Append(requested, res); aerr != nil {
+					return nil, aerr
+				}
+			}
 			return res, nil
 		}
 		lastErr = err
-		if ctx.Err() != nil || rc.FaultPlan == "" {
+		if ctx.Err() != nil || rc.FaultPlan == "" || journal.IsIO(err) {
 			break
 		}
 	}

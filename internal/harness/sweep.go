@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // The sweep engine: every experiment driver enumerates its RunConfigs
@@ -18,6 +19,56 @@ var (
 	parallelismMu sync.RWMutex
 	parallelismN  int // 0 = resolve to GOMAXPROCS at sweep time
 )
+
+var (
+	sweepStateMu  sync.RWMutex
+	sweepManifest *Manifest
+	sweepCtx      context.Context
+)
+
+// SetManifest installs the process-wide sweep manifest: completed runs
+// are appended to it, and configurations it already holds are served
+// from it instead of re-simulated — the crash-safe resume path. nil
+// disables manifest use.
+func SetManifest(m *Manifest) {
+	sweepStateMu.Lock()
+	sweepManifest = m
+	sweepStateMu.Unlock()
+}
+
+// ActiveManifest returns the installed sweep manifest (nil if none).
+func ActiveManifest() *Manifest {
+	sweepStateMu.RLock()
+	defer sweepStateMu.RUnlock()
+	return sweepManifest
+}
+
+// SetSweepContext installs the base context every sweep runs under —
+// how the CLIs thread SIGINT/SIGTERM cancellation through the prebuilt
+// experiment drivers, which take no context of their own. nil restores
+// context.Background().
+func SetSweepContext(ctx context.Context) {
+	sweepStateMu.Lock()
+	sweepCtx = ctx
+	sweepStateMu.Unlock()
+}
+
+func baseSweepContext() context.Context {
+	sweepStateMu.RLock()
+	defer sweepStateMu.RUnlock()
+	if sweepCtx != nil {
+		return sweepCtx
+	}
+	return context.Background()
+}
+
+// sweepExecutions counts actual simulations (manifest hits excluded);
+// the resume tests use it to prove completed runs are not re-run.
+var sweepExecutions atomic.Int64
+
+// SweepExecutions returns how many sweep runs were actually simulated
+// (as opposed to served from the manifest) since process start.
+func SweepExecutions() int64 { return sweepExecutions.Load() }
 
 // SetParallelism sets the process-wide sweep worker count. n <= 0
 // restores the default (GOMAXPROCS); n == 1 forces serial sweeps.
@@ -56,7 +107,7 @@ func Parallelism() int {
 // lowest-index one among those that actually ran. Success paths are
 // byte-identical to serial by construction.
 func sweepAll(cfgs []RunConfig) ([]*RunResult, error) {
-	return sweepAllCtx(context.Background(), cfgs)
+	return sweepAllCtx(baseSweepContext(), cfgs)
 }
 
 func sweepAllCtx(ctx context.Context, cfgs []RunConfig) ([]*RunResult, error) {

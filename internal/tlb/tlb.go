@@ -76,7 +76,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("tlb: page bits %d out of range", c.PageBits)
 	}
 	for _, g := range []struct {
-		name            string
+		name           string
 		entries, assoc int
 	}{{"regular", c.Entries, c.Assoc}, {"shadow", c.ShadowEntries, c.ShadowAssoc}} {
 		if g.entries <= 0 || g.assoc <= 0 || g.entries%g.assoc != 0 {

@@ -140,14 +140,13 @@ func (r *Recorder) Barrier(sm, block, base, size int, cycle int64) int64 {
 	return r.inner.Barrier(sm, block, base, size, cycle)
 }
 
-// recordNewRaces mirrors the inner HAccRG detector's new race records
-// into the event log, when the inner detector is one.
+// recordNewRaces mirrors the inner detector chain's new race records
+// into the event log. core.RacesOf unwraps recorder chains, so races
+// surface whether the Recorder wraps a hardware detector directly or
+// through another recorder (e.g. a journal.Recorder), and for the
+// software baselines too.
 func (r *Recorder) recordNewRaces(cycle int64) {
-	det, ok := r.inner.(*core.Detector)
-	if !ok {
-		return
-	}
-	races := det.Races()
+	races := core.RacesOf(r.inner)
 	for ; r.raceBase < len(races); r.raceBase++ {
 		rc := races[r.raceBase]
 		r.add(Event{
