@@ -43,8 +43,9 @@ func main() {
 		all      = flag.Bool("all", false, "run every experiment")
 		tableNum = flag.Int("table", 0, "regenerate one table (1-4)")
 		figNum   = flag.Int("fig", 0, "regenerate one figure (7-9)")
-		exp      = flag.String("exp", "", "named experiment: races, injected, bloom, ids, hw, tlb, regroup, bloom-e2e, syncid, sched, faults")
+		exp      = flag.String("exp", "", "named experiment: races, injected, bloom, ids, hw, tlb, regroup, bloom-e2e, syncid, sched, faults, shardbench")
 		scale    = flag.Int("scale", 2, "input scale factor for timed experiments")
+		jsonOut  = flag.String("json", "", "write the shardbench experiment's machine-readable results to this JSON file")
 
 		faultPlan   = flag.String("fault-plan", "", "fault plan merged into every sweep run (e.g. queue:cap=16,drain=1)")
 		faultSeed   = flag.Int64("seed", 0, "fault-injection PRNG seed")
@@ -260,6 +261,32 @@ func main() {
 					return "", err
 				}
 				txt += fmt.Sprintf("\nhealth columns written to %s\n", *healthCSV)
+			}
+			return txt, nil
+		})
+	}
+
+	if *all || *exp == "shardbench" {
+		run("Sharded per-partition RDU engine: serial vs parallel wall clock (extension)", func() (string, error) {
+			rows, txt, err := e.ShardBench(*scale)
+			if err != nil {
+				return "", err
+			}
+			for _, r := range rows {
+				if !r.Match {
+					return "", fmt.Errorf("shardbench: %s: sharded findings diverged from serial", r.Bench)
+				}
+			}
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					return "", err
+				}
+				defer f.Close()
+				if err := harness.WriteShardBenchJSON(f, *scale, rows); err != nil {
+					return "", err
+				}
+				txt += fmt.Sprintf("\nmachine-readable results written to %s\n", *jsonOut)
 			}
 			return txt, nil
 		})

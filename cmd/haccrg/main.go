@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -54,6 +55,8 @@ func main() {
 		traceOut    = flag.Bool("trace", false, "print an event timeline after the run")
 		maxRaces    = flag.Int("max-races", 20, "maximum distinct races to print")
 		record      = flag.String("record", "", "write a durable event journal of the run to this file (replay with haccrg-replay)")
+		detPar      = flag.Bool("detect-parallel", runtime.GOMAXPROCS(0) > 1,
+			"run the global-memory RDUs as per-partition engines on their own goroutines (findings are byte-identical to serial)")
 
 		faultPlan   = flag.String("fault-plan", "", "fault-injection plan, e.g. queue:cap=16,drain=1;flip:rate=1e-5,ecc")
 		faultSeed   = flag.Int64("seed", 0, "fault-injection PRNG seed (same plan+seed = same run)")
@@ -78,15 +81,16 @@ func main() {
 	}
 
 	opts := haccrg.RunOptions{
-		Scale:       *scale,
-		SingleBlock: *singleBlock,
-		Verify:      *verify,
-		Trace:       *traceOut,
-		FaultPlan:   *faultPlan,
-		FaultSeed:   *faultSeed,
-		Degradation: *degradation,
-		MaxCycles:   *maxCycles,
-		Timeout:     *timeout,
+		Scale:          *scale,
+		SingleBlock:    *singleBlock,
+		Verify:         *verify,
+		Trace:          *traceOut,
+		DetectParallel: *detPar,
+		FaultPlan:      *faultPlan,
+		FaultSeed:      *faultSeed,
+		Degradation:    *degradation,
+		MaxCycles:      *maxCycles,
+		Timeout:        *timeout,
 	}
 	if *small {
 		cfg := haccrg.SmallGPU()

@@ -154,6 +154,12 @@ type RunOptions struct {
 	// replay through haccrg-replay (nil = no journal).
 	Record io.Writer
 
+	// DetectParallel runs the global-memory RDUs as sharded
+	// per-partition engines on their own goroutines (see
+	// DetectionOptions.Parallel): findings are byte-identical to the
+	// serial engine, only wall-clock time changes. Requires Detection.
+	DetectParallel bool
+
 	// FaultPlan is a fault-injection spec (see ParseFaultPlan); empty
 	// runs fault-free. Requires Detection.
 	FaultPlan string
@@ -231,6 +237,9 @@ func RunBenchmarkContext(ctx context.Context, name string, opts RunOptions) (*Ru
 	var coreDet *core.Detector
 	if opts.Detection != nil {
 		dopt := *opts.Detection
+		if opts.DetectParallel {
+			dopt.Parallel = true
+		}
 		if opts.FaultPlan != "" {
 			p, err := fault.Parse(opts.FaultPlan)
 			if err != nil {
@@ -355,6 +364,7 @@ var Experiments = struct {
 	SyncIDGating     func(scale int) (string, error)
 	SchedulerStudy   func(scale int) (string, error)
 	FaultStudy       func(scale int, seed int64) ([]harness.FaultStudyRow, string, error)
+	ShardBench       func(scale int) ([]harness.ShardBenchRow, string, error)
 }{
 	Table1:       harness.Table1,
 	Table2:       harness.Table2,
@@ -379,6 +389,7 @@ var Experiments = struct {
 	SyncIDGating:   harness.SyncIDGatingStudy,
 	SchedulerStudy: harness.SchedulerStudy,
 	FaultStudy:     harness.FaultStudy,
+	ShardBench:     harness.ShardBench,
 }
 
 // SweepDefaults mirrors harness.SweepDefaults for CLI use.

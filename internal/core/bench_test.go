@@ -15,8 +15,11 @@ import (
 type benchEnv struct{ cfg *gpu.Config }
 
 func (e *benchEnv) Config() *gpu.Config { return e.cfg }
+
+// PartitionFor is the line-interleaved mapping the Env contract
+// requires: line index (SegmentBytes = 128) modulo partition count.
 func (e *benchEnv) PartitionFor(addr uint64) int {
-	return int(addr>>8) % e.cfg.NumPartitions
+	return int(addr>>7) % e.cfg.NumPartitions
 }
 func (e *benchEnv) ShadowTx(part int, cycle int64, addr uint64, write bool) int64 {
 	return cycle + 40
@@ -123,6 +126,59 @@ func BenchmarkRDUHotPath(b *testing.B) {
 			d.WarpMem(ev)
 		}
 	})
+}
+
+// BenchmarkShardedRDU compares the serial and sharded global-memory
+// RDU engines on a detection-bound event stream: full-warp coalesced
+// accesses sweeping a working set of lines, so consecutive events
+// rotate round-robin over the 8 partitions (the paper's Table I
+// machine). Run with -cpu 1,4,8 to see the scaling; the sharded
+// engine's enqueue path must stay allocation-free, and the reported
+// queue-peak metric is the deepest any partition's ring got (pinned at
+// ring capacity means the sim thread was backpressured).
+func BenchmarkShardedRDU(b *testing.B) {
+	const (
+		lanes = 32
+		lines = 1 << 16 // large working set: shadow footprint far past LLC
+	)
+	cfg := gpu.DefaultConfig()
+	run := func(b *testing.B, parallel bool) {
+		opt := DefaultOptions()
+		opt.Shared = false
+		opt.ModelTraffic = false
+		opt.Parallel = parallel
+		d := MustNew(opt)
+		d.KernelStart(&benchEnv{cfg: &cfg}, "bench")
+		ev := warpEvent(isa.SpaceGlobal, true, lanes, 0, 4)
+		setBase := func(i int) {
+			base := uint64(i%lines) * uint64(cfg.SegmentBytes)
+			for l := range ev.Lanes {
+				ev.Lanes[l].Addr = base + uint64(l)*4
+			}
+		}
+		// Warm-up claims the working set (first touch allocates shadow
+		// pages); the timed loop is the steady-state refresh path.
+		for i := 0; i < lines; i++ {
+			setBase(i)
+			d.WarpMem(ev)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			setBase(i)
+			d.WarpMem(ev)
+		}
+		b.StopTimer()
+		d.KernelEnd()
+		if races := d.Races(); len(races) != 0 {
+			b.Fatalf("race-free stream produced %d races", len(races))
+		}
+		if parallel {
+			b.ReportMetric(float64(d.DetectQueuePeak()), "queue-peak")
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, false) })
+	b.Run("sharded", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkGlobalShadow measures the shadow structure itself:

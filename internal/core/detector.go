@@ -1,7 +1,9 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
+	"sync"
 
 	"haccrg/internal/bloom"
 	"haccrg/internal/fault"
@@ -41,6 +43,9 @@ type globalEntry struct {
 // Detector is the HAccRG race-detection engine, implementing
 // gpu.Detector. One Detector instance models all RDUs of the device:
 // the per-SM shared-memory units and the per-partition global units.
+// With Options.Parallel the global units run as asynchronous
+// per-partition shards (see sharded.go); findings stay byte-identical
+// to the serial engine.
 type Detector struct {
 	opt Options
 	env gpu.Env
@@ -50,7 +55,38 @@ type Detector struct {
 
 	// sharedShadow[sm][granule]; covers each SM's full shared tile.
 	sharedShadow [][]sharedEntry
-	globalShadow pagedShadow
+
+	// Cached partition mapping (the line-interleaved contract
+	// documented on gpu.Env.PartitionFor): partition = (addr >>
+	// partShift) mod parts. Hoisting it out of the Env interface saves
+	// a dynamic call per lane on the global hot path.
+	partShift uint
+	parts     uint64
+	partMask  uint64 // parts-1 when parts is a power of two, else 0
+
+	// gunits are the global-memory RDU units: one serial unit, or one
+	// shard per memory partition when the parallel engine is active.
+	// Each unit owns its slice of the global shadow. gworkers are the
+	// goroutines servicing them — min(partitions, GOMAXPROCS-1), with
+	// workerOf mapping each partition to its (fixed) worker.
+	gunits   []*gshard
+	gworkers []*gworker
+	workerOf []*gworker
+	parMode  bool // the engine was built sharded for this device
+	running  bool // shard workers are live (between KernelStart and end)
+	wg       sync.WaitGroup
+
+	// Sequence-tagged report merging (sharded.go): the sim thread
+	// assigns seq in serial report order; quiescent points merge
+	// simPending with the shards' buffers by seq.
+	seq        uint64
+	simPending []raceCand
+	mergeBuf   []raceCand
+
+	// Fence mirror and replay log for the sharded engine.
+	fenceTab map[uint64]uint32
+	fenceLog []gpu.FenceRead
+	fenceBuf []fenceRead
 
 	races []*Race
 	seen  map[raceKey]*Race
@@ -62,7 +98,7 @@ type Detector struct {
 	// calls. A warp instruction touches at most WarpSize lanes, so
 	// insertion-sorted slices replace the per-event maps the hot path
 	// used to allocate; each buffer is dead once WarpMem returns, and
-	// one Detector serves one device on one goroutine, so reuse is
+	// events arrive from one simulation goroutine, so reuse is
 	// race-free.
 	scratch struct {
 		arrivals []lineArrival // distinct demand lines, sorted by line
@@ -73,13 +109,12 @@ type Detector struct {
 	// Fault-injection state (see health.go). inj is non-nil only when
 	// Options.Fault holds a non-empty plan; all fault hooks are gated
 	// on it so the fault-free path stays byte-identical to a build
-	// without the subsystem.
+	// without the subsystem. Global-side fault state lives in the
+	// gunits; this injector serves the shared-memory RDUs and the
+	// sim-thread latency spikes.
 	inj        *fault.Injector
 	health     gpu.DetectorHealth
 	quarShared map[uint64]struct{} // quarantined shared cells, (sm<<40 | granule)
-	quarGlobal map[uint64]struct{} // quarantined global granules
-	fillSum    float64             // summed lockset-signature fill ratios
-	fillN      int64               // observations behind fillSum
 }
 
 // New builds a detector; options must validate.
@@ -119,16 +154,31 @@ func (d *Detector) Name() string {
 // Options returns the active configuration.
 func (d *Detector) Options() Options { return d.opt }
 
-// Stats returns detection activity counters.
-func (d *Detector) Stats() Stats { return d.stats }
+// Stats returns detection activity counters. With the sharded engine
+// the per-unit counters are folded in after a drain, so mid-kernel
+// reads see a serial-consistent cut.
+func (d *Detector) Stats() Stats {
+	d.quiesce()
+	s := d.stats
+	for _, u := range d.gunits {
+		s.GlobalChecks += u.checks
+		s.FenceLookups += u.fenceLookups
+	}
+	return s
+}
 
 // Races returns the distinct detected races, ordered by first
-// detection.
+// detection. It deliberately does NOT drain the sharded engine —
+// wrappers (journal.Recorder, trace.Recorder) poll it per event, and
+// a drain per event would serialize the pipeline. Under the sharded
+// engine it returns the races merged as of the last quiescent point;
+// KernelEnd merges everything.
 func (d *Detector) Races() []*Race { return d.races }
 
 // SiteCount returns the number of distinct (kind, granule) race sites
 // in the given space — the unit Table III counts false races in.
 func (d *Detector) SiteCount(space isa.Space) int {
+	d.quiesce()
 	n := 0
 	for k := range d.sites {
 		if k.space == space {
@@ -143,6 +193,7 @@ func (d *Detector) SiteCount(space isa.Space) int {
 // used to tell whether an injected defect introduced a new kind of
 // race relative to a baseline run.
 func (d *Detector) RaceGroups() map[string]int {
+	d.quiesce()
 	m := make(map[string]int)
 	for _, r := range d.races {
 		m[r.Space.String()+"/"+r.Kind.String()+"/"+r.Category.String()]++
@@ -152,6 +203,7 @@ func (d *Detector) RaceGroups() map[string]int {
 
 // CategoryCounts returns distinct race counts per category.
 func (d *Detector) CategoryCounts() map[Category]int {
+	d.quiesce()
 	m := make(map[Category]int)
 	for _, r := range d.races {
 		m[r.Category]++
@@ -162,22 +214,35 @@ func (d *Detector) CategoryCounts() map[Category]int {
 // Reset drops all recorded races and shadow state (between
 // experiments; kernel boundaries reset shadow state automatically).
 func (d *Detector) Reset() {
+	d.Quiesce() // stop any live shard workers before tearing state down
 	d.races = nil
 	d.seen = make(map[raceKey]*Race)
 	d.sites = make(map[siteKey]struct{})
-	d.globalShadow.drop()
 	d.sharedShadow = nil
 	d.stats = Stats{}
+	d.seq = 0
+	d.simPending = nil
+	d.fenceLog = nil
 	d.resetFaultState()
+	d.gunits = nil // rebuilt (against the fresh injector) at next KernelStart
+	d.gworkers = nil
+	d.workerOf = nil
 }
 
 // KernelStart implements gpu.Detector: kernel launch is an implicit
 // barrier; all shadow entries reset to the no-access state (the
 // paper's cudaMemset of the global shadow at kernel boundaries).
 func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
+	d.Quiesce() // defensive: a prior kernel that skipped KernelEnd
 	d.env = env
 	d.kernel = kernelName
 	d.warpSize = env.Config().WarpSize
+	d.partShift = uint(bits.TrailingZeros64(uint64(env.Config().SegmentBytes)))
+	d.parts = uint64(env.Config().NumPartitions)
+	d.partMask = 0
+	if d.parts&(d.parts-1) == 0 {
+		d.partMask = d.parts - 1
+	}
 	nsm := env.Config().NumSMs
 	entries := env.Config().Shared.SizeBytes / d.opt.SharedGranularity
 	if d.sharedShadow == nil || len(d.sharedShadow) != nsm || len(d.sharedShadow[0]) != entries {
@@ -189,17 +254,42 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 	for i := range d.sharedShadow {
 		resetShared(d.sharedShadow[i])
 	}
-	d.globalShadow.reset()
+	par := d.parallelFeasible(env.Config())
+	want := 1
+	if par {
+		want = env.Config().NumPartitions
+	}
+	if d.gunits == nil || d.parMode != par || len(d.gunits) != want {
+		d.buildUnits(env.Config(), par)
+		d.parMode = par
+	}
+	for _, u := range d.gunits {
+		u.shadow.reset()
+		if u.inj != nil && u.inj != d.inj {
+			u.inj.Reset()
+		}
+	}
+	d.fenceLog = nil
+	for k := range d.fenceTab {
+		delete(d.fenceTab, k)
+	}
 	if d.inj != nil {
 		// The launch's cycle clock restarts at zero, so queue and spike
-		// phase state restart with it; the PRNG stream and the
-		// quarantine set persist (stuck cells are physical).
+		// phase state restart with it; the PRNG streams and the
+		// quarantine sets persist (stuck cells are physical).
 		d.inj.Reset()
+	}
+	if d.parMode {
+		d.startWorkers()
 	}
 }
 
-// KernelEnd implements gpu.Detector.
-func (d *Detector) KernelEnd() {}
+// KernelEnd implements gpu.Detector: bring the sharded engine to
+// quiescence — drain the rings, merge buffered reports in serial
+// order, collect the fence-read log — and park the workers.
+func (d *Detector) KernelEnd() {
+	d.Quiesce()
+}
 
 func resetShared(es []sharedEntry) {
 	for i := range es {
@@ -227,6 +317,10 @@ func (d *Detector) BlockStart(sm int, sharedBase, sharedSize int) {
 // entries and charge the invalidation cycles the paper simulates
 // (entries are cleared one row per bank per cycle).
 func (d *Detector) Barrier(sm, blockID int, sharedBase, sharedSize int, cycle int64) int64 {
+	// Epoch barrier: a natural quiescent point for the sharded engine —
+	// in-flight global checks drain and buffered reports merge, keeping
+	// race visibility bounded by barrier intervals.
+	d.quiesce()
 	if !d.opt.Shared || sharedSize == 0 {
 		return 0
 	}
@@ -257,7 +351,7 @@ func (d *Detector) Barrier(sm, blockID int, sharedBase, sharedSize int, cycle in
 		for off := int64(0); off < span; off += lineBytes {
 			start := cycle
 			if d.inj != nil {
-				start = d.spiked(start)
+				start = d.spiked(fault.UnitShared, sm, start)
 			}
 			t := d.env.InstrTx(sm, start, base+uint64(off), true)
 			if t > done {
@@ -296,17 +390,41 @@ func (d *Detector) WarpMem(ev *gpu.WarpMemEvent) int64 {
 	return 0
 }
 
-// report records one dynamic race occurrence.
+// report records one dynamic race occurrence from the simulation
+// thread (shared-memory RDUs and the intra-warp check). Every report —
+// applied now or buffered for a shard-merge — consumes one global
+// sequence number, so a quiescent-point merge replays the serial
+// report order exactly.
 func (d *Detector) report(space isa.Space, kind Kind, cat Category, pc int, stmt string, granule, addr uint64,
 	firstTid int, firstBlock int, secondTid, secondBlock int, cycle int64) {
+	c := raceCand{
+		seq: d.seq, kernel: d.kernel,
+		space: space, kind: kind, cat: cat, pc: pc, stmt: stmt,
+		granule: granule, addr: addr,
+		firstTid: firstTid, firstBlock: firstBlock,
+		secondTid: secondTid, secondBlock: secondBlock,
+		cycle: cycle,
+	}
+	d.seq++
+	if d.running {
+		d.simPending = append(d.simPending, c)
+		return
+	}
+	d.applyCand(&c)
+}
+
+// applyCand materializes one race report: dedup against the seen map,
+// dynamic counting, and the MaxRaces cap — the order-sensitive tail of
+// detection, always executed in serial report order.
+func (d *Detector) applyCand(c *raceCand) {
 	d.stats.Reports++
-	if space == isa.SpaceShared {
+	if c.space == isa.SpaceShared {
 		d.stats.SharedReports++
 	} else {
 		d.stats.GlobalReports++
 	}
-	d.sites[siteKey{space, kind, granule}] = struct{}{}
-	key := raceKey{d.kernel, space, kind, cat, pc, granule}
+	d.sites[siteKey{c.space, c.kind, c.granule}] = struct{}{}
+	key := raceKey{c.kernel, c.space, c.kind, c.cat, c.pc, c.granule}
 	if r, ok := d.seen[key]; ok {
 		r.Count++
 		return
@@ -315,11 +433,11 @@ func (d *Detector) report(space isa.Space, kind Kind, cat Category, pc int, stmt
 		return
 	}
 	r := &Race{
-		Kernel: d.kernel, Space: space, Kind: kind, Category: cat,
-		PC: pc, Stmt: stmt, Granule: granule, Addr: addr,
-		FirstTid: firstTid, FirstBlock: firstBlock,
-		SecondTid: secondTid, SecondBlock: secondBlock,
-		Cycle: cycle, Count: 1,
+		Kernel: c.kernel, Space: c.space, Kind: c.kind, Category: c.cat,
+		PC: c.pc, Stmt: c.stmt, Granule: c.granule, Addr: c.addr,
+		FirstTid: c.firstTid, FirstBlock: c.firstBlock,
+		SecondTid: c.secondTid, SecondBlock: c.secondBlock,
+		Cycle: c.cycle, Count: 1,
 	}
 	d.seen[key] = r
 	d.races = append(d.races, r)
@@ -328,6 +446,7 @@ func (d *Detector) report(space isa.Space, kind Kind, cat Category, pc int, stmt
 // SortedRaces returns races ordered by (kernel, pc, granule) for
 // stable reporting.
 func (d *Detector) SortedRaces() []*Race {
+	d.quiesce()
 	out := make([]*Race, len(d.races))
 	copy(out, d.races)
 	sort.Slice(out, func(i, j int) bool {

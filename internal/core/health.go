@@ -1,9 +1,6 @@
 package core
 
 import (
-	"math/bits"
-
-	"haccrg/internal/bloom"
 	"haccrg/internal/fault"
 	"haccrg/internal/gpu"
 )
@@ -30,14 +27,35 @@ const (
 )
 
 // Health implements gpu.HealthReporter. Counters accumulate across the
-// detector's launches until Reset.
+// detector's launches until Reset. Global-side fault accounting lives
+// in the per-partition units (sharded.go) and is folded in here after
+// a drain.
 func (d *Detector) Health() *gpu.DetectorHealth {
+	d.quiesce()
 	h := d.health
+	var checks, fillBits, fillN int64
+	for _, u := range d.gunits {
+		h.DroppedChecks += u.health.DroppedChecks
+		h.InjectedFlips += u.health.InjectedFlips
+		h.CorrectedFlips += u.health.CorrectedFlips
+		h.StuckReads += u.health.StuckReads
+		h.QuarantinedGranules += u.health.QuarantinedGranules
+		h.QuarantineSkips += u.health.QuarantineSkips
+		h.ReinitGranules += u.health.ReinitGranules
+		h.SaturatedSigs += u.health.SaturatedSigs
+		h.LatencySpikes += u.health.LatencySpikes
+		checks += u.checks
+		fillBits += u.fillBits
+		fillN += u.fillN
+	}
 	// Dropped checks never reached the RDU, so they are not in the
 	// check counters; the exposure denominator is demand, not service.
-	h.TotalChecks = d.stats.SharedChecks + d.stats.GlobalChecks + h.DroppedChecks
-	if d.fillN > 0 {
-		h.BloomFillPct = 100 * d.fillSum / float64(d.fillN)
+	h.TotalChecks = d.stats.SharedChecks + checks + h.DroppedChecks
+	if fillN > 0 {
+		// Summed popcounts instead of summed ratios: integer
+		// accumulation is order-independent, so the shard-partitioned
+		// engine reports the identical value as the serial one.
+		h.BloomFillPct = 100 * float64(fillBits) / (float64(d.opt.Bloom.SizeBits) * float64(fillN))
 	}
 	h.Degraded = h.DroppedChecks|h.InjectedFlips|h.StuckReads|
 		h.QuarantinedGranules|h.QuarantineSkips|h.ReinitGranules|
@@ -47,12 +65,11 @@ func (d *Detector) Health() *gpu.DetectorHealth {
 
 // resetFaultState restores the injector and health accounting to a
 // just-constructed detector's (used by Reset for reproducible reruns).
+// The global-side units are rebuilt separately (Reset drops them).
 func (d *Detector) resetFaultState() {
 	d.inj = fault.New(d.opt.Fault, d.opt.FaultSeed)
 	d.health = gpu.DetectorHealth{}
-	d.fillSum, d.fillN = 0, 0
 	d.quarShared = nil
-	d.quarGlobal = nil
 }
 
 // admit runs one lane check through the RDU check queue; false means
@@ -65,92 +82,14 @@ func (d *Detector) admit(unit fault.Unit, id int, cycle int64) bool {
 	return false
 }
 
-// spiked returns cycle plus any injected shadow-fetch latency spike.
-func (d *Detector) spiked(cycle int64) int64 {
-	if extra := d.inj.SpikeDelay(); extra > 0 {
+// spiked returns cycle plus any injected shadow-fetch latency spike at
+// the given unit (a memory partition's RDU or an SM's demand path).
+func (d *Detector) spiked(unit fault.Unit, id int, cycle int64) int64 {
+	if extra := d.inj.SpikeDelay(unit, id); extra > 0 {
 		d.health.LatencySpikes++
 		return cycle + extra
 	}
 	return cycle
-}
-
-// saturate applies the injected Bloom pre-fill to a lane's atomic-ID
-// signature (saturated filters stop distinguishing locksets, the
-// paper's missed-race mechanism under aliasing).
-func (d *Detector) saturate(la *gpu.LaneAccess) {
-	if !la.InCrit {
-		return
-	}
-	if sat, changed := d.inj.Saturate(uint64(la.AtomicSig), uint64(d.opt.Bloom.Mask())); changed {
-		la.AtomicSig = bloom.Sig(sat)
-		d.health.SaturatedSigs++
-	}
-}
-
-// observeFill tracks the occupancy of in-use lockset signatures so the
-// health report can surface filter saturation (injected or organic).
-func (d *Detector) observeFill(sigs ...bloom.Sig) {
-	size := float64(d.opt.Bloom.SizeBits)
-	for _, s := range sigs {
-		if s == 0 {
-			continue // null set: the signature is not in use
-		}
-		d.fillSum += float64(bits.OnesCount64(uint64(s))) / size
-		d.fillN++
-	}
-}
-
-// faultGlobal applies shadow-cell faults to global granule g before its
-// check runs. It returns true when the check must be skipped (the
-// granule is quarantined).
-func (d *Detector) faultGlobal(g uint64) (skip bool) {
-	if _, q := d.quarGlobal[g]; q {
-		d.health.QuarantineSkips++
-		return true
-	}
-	if pat, stuck := d.inj.Stuck(fault.UnitGlobal, g); stuck {
-		if d.inj.ECC() {
-			// The scrub flags the cell; degrade per policy. Reinit
-			// re-fires on every access to the granule — the cell stays
-			// physically stuck — so the counter measures exposure, not
-			// distinct cells.
-			if d.opt.Degradation == DegradeReinit {
-				d.globalShadow.clear(g)
-				d.health.ReinitGranules++
-				return false
-			}
-			d.quarantineGlobal(g)
-			return true
-		}
-		// No ECC: reads of the shadow word silently return the stuck
-		// pattern. Without a materialized entry there is nothing to
-		// serve yet; the first claim will be overwritten on next read.
-		if e := d.globalShadow.lookup(g); e != nil {
-			stuckGlobalEntry(e, pat)
-			d.health.StuckReads++
-		}
-		return false
-	}
-	if e := d.globalShadow.lookup(g); e != nil {
-		if bit, hit := d.inj.FlipBit(globalEntryBits); hit {
-			if d.inj.ECC() {
-				d.health.CorrectedFlips++
-			} else {
-				flipGlobalEntry(e, bit)
-				d.health.InjectedFlips++
-			}
-		}
-	}
-	return false
-}
-
-func (d *Detector) quarantineGlobal(g uint64) {
-	if d.quarGlobal == nil {
-		d.quarGlobal = make(map[uint64]struct{})
-	}
-	d.quarGlobal[g] = struct{}{}
-	d.health.QuarantinedGranules++
-	d.health.QuarantineSkips++
 }
 
 // faultShared is faultGlobal's shared-memory counterpart; quarantine is
@@ -180,7 +119,7 @@ func (d *Detector) faultShared(sm int, g uint64, e *sharedEntry) (skip bool) {
 		d.health.StuckReads++
 		return false
 	}
-	if bit, hit := d.inj.FlipBit(sharedEntryBits); hit {
+	if bit, hit := d.inj.FlipBit(fault.UnitShared, sm, sharedEntryBits); hit {
 		if d.inj.ECC() {
 			d.health.CorrectedFlips++
 		} else {

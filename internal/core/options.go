@@ -63,6 +63,16 @@ type Options struct {
 	// Bloom is the atomic-ID signature layout.
 	Bloom bloom.Config
 
+	// Parallel runs the global-memory RDUs as per-partition engines on
+	// their own goroutines, fed by bounded rings of batched lane
+	// events — the paper's one-RDU-per-memory-partition hardware
+	// layout, exploited for wall-clock speedup. Findings (races,
+	// stats, health, journal verdicts) are byte-identical to the
+	// serial engine; only wall-clock time changes. Ignored (serial
+	// fallback) when the device has a single partition or a tracking
+	// granule can straddle a coalescing segment.
+	Parallel bool
+
 	// ModelTraffic injects the hardware RDUs' shadow-memory traffic
 	// and barrier-invalidation stalls into the timing model. Software
 	// reimplementations (internal/swdetect, internal/grace) disable it

@@ -23,9 +23,9 @@ type laneAddr struct {
 // insertArrival records a lane's (line, arrival) in a slice kept
 // sorted by line, retaining the maximum arrival per line. A warp has
 // at most WarpSize lanes, so insertion sort into a reused buffer beats
-// the map-plus-key-sort the hot path used to allocate per event —
-// while visiting lines in the same ascending address order, which
-// partition port and L2 state require for deterministic cycle counts.
+// the map-plus-key-sort the hot path used to allocate — while visiting
+// lines in the same ascending address order, which partition port and
+// L2 state require for deterministic cycle counts.
 func insertArrival(s []lineArrival, line uint64, arrival int64) []lineArrival {
 	i := 0
 	for ; i < len(s); i++ {
@@ -64,94 +64,133 @@ func insertLine(s []uint64, v uint64) []uint64 {
 	return s
 }
 
+// partitionOf maps a byte address to its memory partition through the
+// line-interleaved contract documented on gpu.Env.PartitionFor,
+// without the dynamic dispatch of the Env call — the per-lane cost the
+// enqueue path cares about.
+func (d *Detector) partitionOf(addr uint64) int {
+	line := addr >> d.partShift
+	if d.partMask != 0 {
+		return int(line & d.partMask)
+	}
+	return int(line % d.parts)
+}
+
 // globalRDU runs the global-memory Race Detection Units for one warp
 // instruction. Detection happens at the memory partitions where the
 // coalesced transactions arrive; the RDU fetches the shadow entries
 // covering the transaction through the partition's own L2/DRAM path
 // (shadow traffic never blocks the warp but pollutes the L2 — the
 // overhead mechanism of Figures 7 and 9).
+//
+// With the sharded engine live, the lane checks are scattered to the
+// partitions' worker rings instead of running inline; the timing model
+// and the intra-warp check stay on the simulation thread, which owns
+// the partition/L2 state and the report order.
 func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 	gran := uint64(d.opt.GlobalGranularity)
+	if d.running {
+		return d.globalRDUAsync(ev, gran)
+	}
 
 	if ev.Write || ev.Atomic {
 		d.intraWarpWAW(ev, isa.SpaceGlobal, gran)
 	}
 
-	// Shadow traffic: per distinct demand line, read the shadow lines
-	// covering its granule entries, plus one write for the updates.
 	if d.opt.ModelTraffic {
-		seg := uint64(d.env.Config().SegmentBytes)
-		arrivals := d.scratch.arrivals[:0]
-		for i := range ev.Lanes {
-			la := &ev.Lanes[i]
-			arrivals = insertArrival(arrivals, la.Addr&^(seg-1), la.Arrival)
-		}
-		d.scratch.arrivals = arrivals
-		const entryBytes = 8 // 52-bit entries padded to a power of two
-		// Partition port/L2 state makes transaction order matter, so the
-		// lines are visited in sorted address order — arbitrary iteration
-		// order would perturb cycle counts from run to run.
-		for _, lr := range arrivals {
-			line, arrival := lr.line, lr.arrival
-			part := d.env.PartitionFor(line)
-			if d.inj != nil {
-				arrival = d.spiked(arrival)
-			}
-			// Entries for one demand line span this many shadow lines.
-			granules := seg / gran
-			span := granules * entryBytes
-			shadowAddr := d.env.ShadowBase() + (line/gran)*entryBytes
-			for off := uint64(0); off < span; off += seg {
-				d.env.ShadowTx(part, arrival, shadowAddr+off, false)
-				d.stats.ShadowReads++
-			}
-			d.env.ShadowTx(part, arrival+1, shadowAddr, true)
-			d.stats.ShadowWrites++
-		}
+		d.modelGlobalTraffic(ev, gran)
 	}
 
+	u := d.gunits[0]
+	h := gev{
+		write: ev.Write, atomic: ev.Atomic, pc: ev.PC, stmt: ev.Stmt,
+		sm: ev.SM, block: ev.Block, syncID: ev.SyncID, fenceID: ev.FenceID,
+		cycle: ev.Cycle,
+	}
 	for i := range ev.Lanes {
 		la := &ev.Lanes[i]
-		if d.inj != nil {
+		part := -1
+		if u.inj != nil {
 			// Each lane check queues at the partition its address maps
 			// to; burst overflow drops the check, never the access.
-			if !d.admit(fault.UnitGlobal, d.env.PartitionFor(la.Addr), la.Arrival) {
+			part = d.partitionOf(la.Addr)
+			if !u.admit(part, la.Arrival) {
 				continue
 			}
-			d.saturate(la)
+			u.saturate(part, la)
 		}
-		d.stats.GlobalChecks++
+		u.checks++
 		if ev.Atomic {
 			continue // atomic operations are synchronization accesses
 		}
-		d.globalCheck(ev, la, gran)
+		u.globalCheck(&h, la, part, gran)
 	}
 	return 0
+}
+
+// modelGlobalTraffic injects the RDUs' shadow-memory traffic for one
+// warp instruction: per distinct demand line, read the shadow lines
+// covering its granule entries, plus one write for the updates. Always
+// runs on the simulation thread — the partition and L2 timing state is
+// order-sensitive and belongs to the simulator.
+func (d *Detector) modelGlobalTraffic(ev *gpu.WarpMemEvent, gran uint64) {
+	seg := uint64(d.env.Config().SegmentBytes)
+	arrivals := d.scratch.arrivals[:0]
+	for i := range ev.Lanes {
+		la := &ev.Lanes[i]
+		arrivals = insertArrival(arrivals, la.Addr&^(seg-1), la.Arrival)
+	}
+	d.scratch.arrivals = arrivals
+	const entryBytes = 8 // 52-bit entries padded to a power of two
+	// Partition port/L2 state makes transaction order matter, so the
+	// lines are visited in sorted address order — arbitrary iteration
+	// order would perturb cycle counts from run to run.
+	for _, lr := range arrivals {
+		line, arrival := lr.line, lr.arrival
+		part := d.partitionOf(line)
+		if d.inj != nil {
+			arrival = d.spiked(fault.UnitGlobal, part, arrival)
+		}
+		// Entries for one demand line span this many shadow lines.
+		granules := seg / gran
+		span := granules * entryBytes
+		shadowAddr := d.env.ShadowBase() + (line/gran)*entryBytes
+		for off := uint64(0); off < span; off += seg {
+			d.env.ShadowTx(part, arrival, shadowAddr+off, false)
+			d.stats.ShadowReads++
+		}
+		d.env.ShadowTx(part, arrival+1, shadowAddr, true)
+		d.stats.ShadowWrites++
+	}
 }
 
 // globalCheck applies the full HAccRG decision procedure to one lane
 // access: sync-ID ordering, lockset priority, the happens-before state
 // machine, fence-ID validation of RAW pairs, and the stale-L1 check.
-func (d *Detector) globalCheck(ev *gpu.WarpMemEvent, la *gpu.LaneAccess, gran uint64) {
+// It touches only shard-local state (shadow slice, injector streams,
+// health) plus the immutable options — the property that lets one
+// shard per partition run it concurrently.
+func (u *gshard) globalCheck(h *gev, la *gpu.LaneAccess, part int, gran uint64) {
 	g := la.Addr / gran
-	write := ev.Write
+	li := u.lidx(g)
+	write := h.write
 
-	if d.inj != nil && d.faultGlobal(g) {
+	if u.inj != nil && u.faultGlobal(part, g, li) {
 		return // granule quarantined by the degradation policy
 	}
 
-	e := d.globalShadow.lookup(g)
+	e := u.shadow.lookup(li)
 	if e == nil {
 		// State 1: first access claims the entry; a protected access
 		// stores its lockset, an unprotected one stores the null set.
-		e = d.globalShadow.entry(g)
+		e = u.shadow.entry(li)
 		*e = globalEntry{
-			tid: uint16(la.Tid), bid: uint32(ev.Block), sid: uint16(ev.SM),
+			tid: uint16(la.Tid), bid: uint32(h.block), sid: uint16(h.sm),
 			modified: write, shared: false, present: true,
-			syncID: ev.SyncID, fenceID: ev.FenceID,
+			syncID: h.syncID, fenceID: h.fenceID,
 		}
 		if write {
-			e.wcycle = ev.Cycle
+			e.wcycle = h.cycle
 		}
 		if la.InCrit {
 			e.sig = la.AtomicSig
@@ -159,22 +198,22 @@ func (d *Detector) globalCheck(ev *gpu.WarpMemEvent, la *gpu.LaneAccess, gran ui
 		return
 	}
 
-	sameBlock := e.bid == uint32(ev.Block)
+	sameBlock := e.bid == uint32(h.block)
 	sameThread := sameBlock && e.tid == uint16(la.Tid)
-	sameWarp := d.opt.WarpAware && sameBlock && int(e.tid)/d.warpSize == la.Tid/d.warpSize
+	sameWarp := u.d.opt.WarpAware && sameBlock && int(e.tid)/u.d.warpSize == la.Tid/u.d.warpSize
 
 	// Sync-ID ordering (Section IV-B): accesses from the entry's own
 	// block with a newer sync ID are barrier-ordered after the
 	// recorded access — refresh the entry, no race possible.
-	if sameBlock && e.syncID != ev.SyncID {
-		d.claim(e, ev, la, write)
+	if sameBlock && e.syncID != h.syncID {
+		claimEntry(e, h, la, write)
 		return
 	}
 
 	// Lockset has priority in critical sections (Section III-B).
 	entryProtected := e.sig != 0
 	if entryProtected || la.InCrit {
-		d.locksetCheck(e, ev, la, g, write, sameThread, sameWarp)
+		u.locksetCheck(e, h, la, g, write, sameThread, sameWarp)
 		return
 	}
 
@@ -191,44 +230,43 @@ func (d *Detector) globalCheck(ev *gpu.WarpMemEvent, la *gpu.LaneAccess, gran ui
 		if sameThread || sameWarp {
 			e.modified = true
 			e.tid = uint16(la.Tid)
-			e.sid = uint16(ev.SM)
-			e.fenceID = ev.FenceID
-			e.wcycle = ev.Cycle
+			e.sid = uint16(h.sm)
+			e.fenceID = h.fenceID
+			e.wcycle = h.cycle
 			return
 		}
-		d.report(isa.SpaceGlobal, KindWAR, d.hbCategory(ev, e, sameBlock), ev.PC, ev.Stmt, g, la.Addr,
-			int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
-		d.claim(e, ev, la, true)
+		u.report(isa.SpaceGlobal, KindWAR, hbCategory(sameBlock), h.pc, h.stmt, g, la.Addr,
+			int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+		claimEntry(e, h, la, true)
 
 	case e.modified && !e.shared:
 		// State 3: written by the recorded thread.
 		if sameThread || sameWarp {
 			if write {
 				e.tid = uint16(la.Tid)
-				e.sid = uint16(ev.SM)
-				e.fenceID = ev.FenceID
-				e.wcycle = ev.Cycle
+				e.sid = uint16(h.sm)
+				e.fenceID = h.fenceID
+				e.wcycle = h.cycle
 			}
 			return
 		}
 		if write {
-			d.report(isa.SpaceGlobal, KindWAW, d.hbCategory(ev, e, sameBlock), ev.PC, ev.Stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
-			d.claim(e, ev, la, true)
+			u.report(isa.SpaceGlobal, KindWAW, hbCategory(sameBlock), h.pc, h.stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+			claimEntry(e, h, la, true)
 			return
 		}
 		// RAW: the stale-L1 check first (a hit can return stale data
 		// regardless of the producer's fence), then the fence-ID
 		// comparison against the race register file.
 		// A hit is stale only when the cached copy predates the write.
-		if d.opt.DetectStaleL1 && la.L1Hit && e.sid != uint16(ev.SM) && la.L1Fill < e.wcycle {
-			d.report(isa.SpaceGlobal, KindRAW, CatStaleL1, ev.PC, ev.Stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
-			d.claim(e, ev, la, false)
+		if u.d.opt.DetectStaleL1 && la.L1Hit && e.sid != uint16(h.sm) && la.L1Fill < e.wcycle {
+			u.report(isa.SpaceGlobal, KindRAW, CatStaleL1, h.pc, h.stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+			claimEntry(e, h, la, false)
 			return
 		}
-		d.stats.FenceLookups++
-		cur := d.env.CurrentFenceID(int(e.bid), int(e.tid)/d.warpSize)
+		cur := u.fenceRead(int(e.bid), int(e.tid)/u.d.warpSize)
 		if cur == e.fenceID {
 			// The producer has not fenced since its write: the
 			// consumer may observe a partial update.
@@ -236,35 +274,36 @@ func (d *Detector) globalCheck(ev *gpu.WarpMemEvent, la *gpu.LaneAccess, gran ui
 			if sameBlock {
 				cat = CatBarrier
 			}
-			d.report(isa.SpaceGlobal, KindRAW, cat, ev.PC, ev.Stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
+			u.report(isa.SpaceGlobal, KindRAW, cat, h.pc, h.stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
 		}
 		// Fenced or not, the consumer now owns the entry as a reader.
-		d.claim(e, ev, la, false)
+		claimEntry(e, h, la, false)
 
 	default:
 		// State 4: read by multiple warps/blocks.
 		if !write {
 			return
 		}
-		d.report(isa.SpaceGlobal, KindWAR, d.hbCategory(ev, e, sameBlock), ev.PC, ev.Stmt, g, la.Addr,
-			int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
-		d.claim(e, ev, la, true)
+		u.report(isa.SpaceGlobal, KindWAR, hbCategory(sameBlock), h.pc, h.stmt, g, la.Addr,
+			int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+		claimEntry(e, h, la, true)
 	}
 }
 
-// claim refreshes a shadow entry with the current access (used after
-// barrier-ordered handoffs, reported races, and safe consumptions).
-func (d *Detector) claim(e *globalEntry, ev *gpu.WarpMemEvent, la *gpu.LaneAccess, write bool) {
+// claimEntry refreshes a shadow entry with the current access (used
+// after barrier-ordered handoffs, reported races, and safe
+// consumptions).
+func claimEntry(e *globalEntry, h *gev, la *gpu.LaneAccess, write bool) {
 	e.tid = uint16(la.Tid)
-	e.bid = uint32(ev.Block)
-	e.sid = uint16(ev.SM)
+	e.bid = uint32(h.block)
+	e.sid = uint16(h.sm)
 	e.modified = write
 	e.shared = false
-	e.syncID = ev.SyncID
-	e.fenceID = ev.FenceID
+	e.syncID = h.syncID
+	e.fenceID = h.fenceID
 	if write {
-		e.wcycle = ev.Cycle
+		e.wcycle = h.cycle
 	}
 	if la.InCrit {
 		e.sig = la.AtomicSig
@@ -275,7 +314,7 @@ func (d *Detector) claim(e *globalEntry, ev *gpu.WarpMemEvent, la *gpu.LaneAcces
 
 // hbCategory labels a happens-before race: same-block races are
 // missing barriers; cross-block races are the SCAN/KMEANS-style bugs.
-func (d *Detector) hbCategory(_ *gpu.WarpMemEvent, _ *globalEntry, sameBlock bool) Category {
+func hbCategory(sameBlock bool) Category {
 	if sameBlock {
 		return CatBarrier
 	}
@@ -284,22 +323,22 @@ func (d *Detector) hbCategory(_ *gpu.WarpMemEvent, _ *globalEntry, sameBlock boo
 
 // locksetCheck implements Section III-B's two racy scenarios:
 // disjoint locksets, and mixed protected/unprotected access.
-func (d *Detector) locksetCheck(e *globalEntry, ev *gpu.WarpMemEvent, la *gpu.LaneAccess,
+func (u *gshard) locksetCheck(e *globalEntry, h *gev, la *gpu.LaneAccess,
 	g uint64, write, sameThread, sameWarp bool) {
 	racy := e.modified || write
 	entryProtected := e.sig != 0
-	d.observeFill(e.sig, la.AtomicSig)
+	u.observeFill(e.sig, la.AtomicSig)
 
 	if sameThread {
 		// Same thread: refresh.
 		e.modified = e.modified || write
 		if write {
-			e.fenceID = ev.FenceID
-			e.wcycle = ev.Cycle
+			e.fenceID = h.fenceID
+			e.wcycle = h.cycle
 		}
 		if la.InCrit {
 			if entryProtected {
-				e.sig = d.opt.Bloom.Intersect(e.sig, la.AtomicSig)
+				e.sig = u.d.opt.Bloom.Intersect(e.sig, la.AtomicSig)
 			} else {
 				e.sig = la.AtomicSig
 			}
@@ -310,31 +349,31 @@ func (d *Detector) locksetCheck(e *globalEntry, ev *gpu.WarpMemEvent, la *gpu.La
 	switch {
 	case entryProtected && la.InCrit:
 		// Both protected: race iff the lockset intersection is null.
-		if racy && !d.opt.Bloom.MayIntersect(e.sig, la.AtomicSig) && !sameWarp {
-			d.report(isa.SpaceGlobal, locksetKind(e.modified, write), CatLockset, ev.PC, ev.Stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
-			d.claim(e, ev, la, write)
+		if racy && !u.d.opt.Bloom.MayIntersect(e.sig, la.AtomicSig) && !sameWarp {
+			u.report(isa.SpaceGlobal, locksetKind(e.modified, write), CatLockset, h.pc, h.stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+			claimEntry(e, h, la, write)
 			return
 		}
 		// The intersection — the set of locks that protected every
 		// access so far — is what the shadow entry keeps.
-		e.sig = d.opt.Bloom.Intersect(e.sig, la.AtomicSig)
+		e.sig = u.d.opt.Bloom.Intersect(e.sig, la.AtomicSig)
 		e.modified = e.modified || write
 		if write {
 			e.tid = uint16(la.Tid)
-			e.bid = uint32(ev.Block)
-			e.sid = uint16(ev.SM)
-			e.fenceID = ev.FenceID
-			e.wcycle = ev.Cycle
+			e.bid = uint32(h.block)
+			e.sid = uint16(h.sm)
+			e.fenceID = h.fenceID
+			e.wcycle = h.cycle
 		}
 
 	default:
 		// Mixed protected/unprotected access from different threads.
 		if racy && !sameWarp {
-			d.report(isa.SpaceGlobal, locksetKind(e.modified, write), CatLockset, ev.PC, ev.Stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, ev.Block, ev.Cycle)
+			u.report(isa.SpaceGlobal, locksetKind(e.modified, write), CatLockset, h.pc, h.stmt, g, la.Addr,
+				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
 		}
-		d.claim(e, ev, la, write)
+		claimEntry(e, h, la, write)
 	}
 }
 

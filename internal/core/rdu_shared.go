@@ -63,7 +63,7 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 	for _, line := range shadowLines {
 		start := ev.Cycle
 		if d.inj != nil {
-			start = d.spiked(start)
+			start = d.spiked(fault.UnitShared, ev.SM, start)
 		}
 		t := d.env.InstrTx(ev.SM, start, line, false)
 		d.stats.ShadowReads++
@@ -149,6 +149,19 @@ func (d *Detector) sharedCheck(shadow []sharedEntry, g uint64, ev *gpu.WarpMemEv
 // SIMD execution even when they share a shadow granule.
 func (d *Detector) intraWarpWAW(ev *gpu.WarpMemEvent, space isa.Space, gran uint64) {
 	if len(ev.Lanes) < 2 {
+		return
+	}
+	// Coalesced stores put the lanes in strictly increasing address
+	// order — all distinct, nothing to report. One linear pass settles
+	// that without the quadratic dup scan below.
+	mono := true
+	for i := 1; i < len(ev.Lanes); i++ {
+		if ev.Lanes[i].Addr <= ev.Lanes[i-1].Addr {
+			mono = false
+			break
+		}
+	}
+	if mono {
 		return
 	}
 	// At most WarpSize lanes per instruction: a linear scan over a

@@ -1,0 +1,672 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"haccrg/internal/bloom"
+	"haccrg/internal/fault"
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// This file is the sharded per-partition global-memory RDU engine.
+//
+// HAccRG puts one Race Detection Unit inside each memory partition;
+// the units share nothing — a granule's shadow entry lives in exactly
+// the partition its line is interleaved to. The serial engine already
+// exploits that for correctness (checks at different partitions never
+// touch the same entry); this engine exploits it for wall-clock: each
+// partition's checks run off the simulation thread against a private
+// slice of the shadow, fed by bounded SPSC rings of batched lane
+// events, while the simulation thread only enqueues and moves on.
+//
+// Two kinds of object split the work:
+//
+//   - gshard is the determinism unit: one per partition, owning that
+//     partition's shadow slice, quarantine set, fault-injector
+//     streams, health counters and report buffer. Nothing here is
+//     shared between partitions.
+//
+//   - gworker is the execution unit: a goroutine with an SPSC ring,
+//     servicing the shards of one or more partitions. Worker count
+//     adapts to GOMAXPROCS (the simulation thread needs a processor
+//     too); partition-to-worker assignment is static for a kernel, so
+//     each partition's checks still execute in enqueue order on a
+//     single goroutine.
+//
+// Determinism contract: findings are byte-identical to the serial
+// engine — and independent of the worker count, so any machine
+// reproduces any other machine's findings. Three mechanisms:
+//
+//   - Disjoint state. A shard owns the shadow entries, quarantine set
+//     and fault-injector streams of its partition alone; the
+//     internal/fault injector draws every random decision from a
+//     per-(mechanism, unit, id) stream, so the sequence one partition
+//     sees is independent of how the others interleave with it.
+//
+//   - Sequence-tagged reports. The simulation thread assigns every
+//     potential race report a global sequence number in serial report
+//     order before the work is enqueued; shards buffer their reports
+//     as raceCands, and quiescent points merge all buffers in
+//     sequence order through applyCand — replaying the serial
+//     dedup/count/cap behaviour exactly.
+//
+//   - Fence mirroring. Shards never read device state. The device
+//     calls FenceAdvance on the simulation thread at every fence;
+//     the engine drains in-flight checks first, then updates a
+//     private mirror of the race register file, so a shard-side
+//     fence-ID read returns exactly what the serial engine would
+//     have read at that point in the event stream.
+//
+// Quiescent (drain) points: Barrier, FenceAdvance, KernelEnd,
+// Quiesce (called by the device on abort paths), and the stats/
+// health/race readers. Ring-full enqueue blocks the sim thread
+// (backpressure) rather than dropping checks.
+type gshard struct {
+	d    *Detector
+	part int // owning partition; -1 for the serial (unsharded) unit
+
+	// Shadow-index compaction: partition p owns lines p, p+P, p+2P, …
+	// (the device's line-interleaved mapping), so granule g of line
+	// l is stored densely at (l/P)<<gplShift | (g & gplMask). The
+	// serial unit stores granule g at g directly.
+	gplShift uint   // log2(granules per coalescing segment)
+	gplMask  uint64 // granules-per-segment - 1
+	nparts   uint64
+	npShift  uint // log2(nparts) when nparts is a power of two
+	npPow2   bool
+
+	shadow pagedShadow
+	quar   map[uint64]struct{} // quarantined granules (keyed by real granule)
+
+	// inj is this shard's fault injector: the serial unit shares the
+	// detector's, parallel shards own an identically-seeded instance
+	// (per-key streams make the two layouts draw identical decisions).
+	inj *fault.Injector
+
+	checks       int64 // lane checks serviced (Stats.GlobalChecks share)
+	fenceLookups int64 // race-register-file reads (Stats.FenceLookups share)
+	health       gpu.DetectorHealth
+	fillBits     int64 // summed popcounts of observed lockset signatures
+	fillN        int64
+
+	curSeq  uint64     // sequence number of the lane being checked
+	pending []raceCand // buffered reports, ascending curSeq order
+	fences  []fenceRead
+}
+
+// gworker is one detection goroutine: an SPSC ring of batches from the
+// simulation thread, multiplexing the shards of the partitions
+// assigned to it. The rings are rebuilt at each kernel launch
+// (KernelEnd parks the workers by closing them); the batch storage
+// itself persists, so the steady state never allocates.
+type gworker struct {
+	d *Detector
+
+	// SPSC rings. free holds recycled batches (capacity = ring size,
+	// prefilled); work holds batches in flight plus one slot for the
+	// drain sentinel, so a drain request never deadlocks behind data.
+	work       chan *gbatch
+	free       chan *gbatch
+	batches    []*gbatch // the worker's batch storage, recycled via free
+	drainBatch *gbatch
+	drainDone  chan struct{}
+
+	open  *gbatch // producer-side open batch (sim thread only)
+	dirty bool    // batches enqueued since the last drain
+	qpeak int     // deepest work-queue backlog observed
+}
+
+// gev is the per-warp-instruction header a global check needs — the
+// WarpMemEvent fields minus the lanes, copied so a batch never aliases
+// the caller-owned event (see the WarpMemEvent ownership contract).
+type gev struct {
+	write   bool
+	atomic  bool
+	pc      int
+	stmt    string
+	sm      int
+	block   int
+	syncID  uint32
+	fenceID uint32
+	cycle   int64
+}
+
+// gseg is one partition-contiguous run of one warp instruction's
+// lanes: the shared header, the owning partition, the index of the
+// run's first lane (its lanes extend to the next segment's start, or
+// the end of the batch), and the report sequence number of that first
+// lane. A run's lanes are consecutive in the original instruction, so
+// their sequence numbers are consecutive from seq0 — one tag replaces
+// a per-lane array.
+type gseg struct {
+	ev    gev
+	seq0  uint64
+	part  int32
+	start int32
+}
+
+// gbatch is one enqueued unit of work: many consecutive warp
+// instructions' lanes with their partition runs. Batching across
+// events is what makes the pipeline pay: handing a goroutine one
+// instruction at a time loses more to the wakeup than the checks
+// cost. Lane storage is owned by the batch and recycled through the
+// free ring.
+type gbatch struct {
+	drain bool
+	segs  []gseg
+	lanes []gpu.LaneAccess
+}
+
+// raceCand is a buffered race report: everything applyCand needs to
+// replay Detector.report later, in global sequence order.
+type raceCand struct {
+	seq                    uint64
+	kernel                 string
+	space                  isa.Space
+	kind                   Kind
+	cat                    Category
+	pc                     int
+	stmt                   string
+	granule                uint64
+	addr                   uint64
+	firstTid, firstBlock   int
+	secondTid, secondBlock int
+	cycle                  int64
+}
+
+// fenceRead is a shard-side race-register-file read, logged so the
+// journal can serve the identical response sequence to a serial
+// replay.
+type fenceRead struct {
+	seq   uint64
+	block int
+	warp  int
+	id    uint32
+}
+
+// gringBatches sizes each worker's ring: deep enough that the sim
+// thread rides out consumer scheduling latency, small enough that a
+// drain is cheap.
+const gringBatches = 8
+
+// gbatchLanes is a batch's lane capacity (64 full-warp events): a
+// goroutine wakeup costs tens of microseconds on a loaded host, so a
+// handoff has to carry enough checks to amortize it. Backpressure
+// still engages before unbounded buffering: a worker's ring caps out
+// at gringBatches*gbatchLanes lanes.
+const gbatchLanes = 2048
+
+// gsegCap bounds a batch's segment count. A warp instruction adds at
+// most WarpSize runs, so the enqueue path flushes early when either
+// lanes or segments could overflow — keeping the append calls
+// allocation-free.
+const gsegCap = 256
+
+// parallelFeasible reports whether the sharded engine can run under
+// this configuration: more than one partition, and granules that never
+// straddle a coalescing segment (so every granule maps to exactly one
+// partition — the disjointness the shards rely on).
+func (d *Detector) parallelFeasible(cfg *gpu.Config) bool {
+	return d.opt.Parallel && d.opt.Global &&
+		cfg.NumPartitions > 1 &&
+		d.opt.GlobalGranularity <= cfg.SegmentBytes
+}
+
+// buildUnits (re)creates the global RDU units for the current mode:
+// one serial unit (part = -1) sharing the detector's injector, or one
+// shard per partition with private injectors, serviced by
+// min(partitions, GOMAXPROCS-1) workers. The worker count is an
+// execution detail — findings do not depend on it.
+func (d *Detector) buildUnits(cfg *gpu.Config, parallel bool) {
+	if !parallel {
+		d.gunits = []*gshard{{d: d, part: -1, inj: d.inj}}
+		d.gworkers = nil
+		d.workerOf = nil
+		return
+	}
+	nparts := cfg.NumPartitions
+	gpl := uint64(cfg.SegmentBytes / d.opt.GlobalGranularity)
+	shift := uint(0)
+	for 1<<shift != gpl {
+		shift++
+	}
+	npPow2 := nparts&(nparts-1) == 0
+	d.gunits = make([]*gshard, nparts)
+	for p := 0; p < nparts; p++ {
+		d.gunits[p] = &gshard{
+			d: d, part: p,
+			gplShift: shift, gplMask: gpl - 1,
+			nparts:  uint64(nparts),
+			npShift: uint(bits.TrailingZeros64(uint64(nparts))), npPow2: npPow2,
+			inj: fault.New(d.opt.Fault, d.opt.FaultSeed),
+		}
+	}
+	nw := nparts
+	if avail := runtime.GOMAXPROCS(0) - 1; avail < nw {
+		nw = avail
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	d.gworkers = make([]*gworker, nw)
+	for i := range d.gworkers {
+		w := &gworker{d: d, drainBatch: &gbatch{drain: true}}
+		w.batches = make([]*gbatch, gringBatches)
+		for j := range w.batches {
+			w.batches[j] = &gbatch{
+				segs:  make([]gseg, 0, gsegCap),
+				lanes: make([]gpu.LaneAccess, 0, gbatchLanes),
+			}
+		}
+		d.gworkers[i] = w
+	}
+	d.workerOf = make([]*gworker, nparts)
+	for p := 0; p < nparts; p++ {
+		d.workerOf[p] = d.gworkers[p%nw]
+	}
+	if d.fenceTab == nil {
+		d.fenceTab = make(map[uint64]uint32)
+	}
+}
+
+// lidx maps a real granule number to this shard's local shadow index.
+func (u *gshard) lidx(g uint64) uint64 {
+	if u.part < 0 {
+		return g
+	}
+	line := g >> u.gplShift
+	if u.npPow2 {
+		return (line>>u.npShift)<<u.gplShift | (g & u.gplMask)
+	}
+	return (line/u.nparts)<<u.gplShift | (g & u.gplMask)
+}
+
+// startWorkers launches the worker goroutines with fresh rings;
+// KernelEnd (or Quiesce) joins them. The rings are per-kernel —
+// stopWorkers closes them — but the batches they circulate persist on
+// the worker, so relaunching costs two channel allocations and no
+// batch storage.
+func (d *Detector) startWorkers() {
+	d.running = true
+	for _, w := range d.gworkers {
+		w.work = make(chan *gbatch, gringBatches+1)
+		w.free = make(chan *gbatch, gringBatches)
+		w.drainDone = make(chan struct{}, 1)
+		for _, b := range w.batches {
+			w.free <- b
+		}
+		w.open = nil
+		w.dirty = false
+		w.qpeak = 0
+		d.wg.Add(1)
+		go w.run(&d.wg)
+	}
+}
+
+func (w *gworker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for b := range w.work {
+		if b.drain {
+			w.drainDone <- struct{}{}
+			continue
+		}
+		w.process(b)
+		w.free <- b
+	}
+}
+
+// process services one batch, segment by segment, against the
+// segment's partition shard: the same admit/saturate/check sequence as
+// the serial per-lane loop, touching that shard's state only.
+func (w *gworker) process(b *gbatch) {
+	gran := uint64(w.d.opt.GlobalGranularity)
+	units := w.d.gunits
+	for s := range b.segs {
+		seg := &b.segs[s]
+		end := len(b.lanes)
+		if s+1 < len(b.segs) {
+			end = int(b.segs[s+1].start)
+		}
+		u := units[seg.part]
+		for i := int(seg.start); i < end; i++ {
+			la := &b.lanes[i]
+			u.curSeq = seg.seq0 + uint64(i-int(seg.start))
+			if u.inj != nil {
+				if !u.admit(u.part, la.Arrival) {
+					continue
+				}
+				u.saturate(u.part, la)
+			}
+			u.checks++
+			if seg.ev.atomic {
+				continue // atomic operations are synchronization accesses
+			}
+			u.globalCheck(&seg.ev, la, u.part, gran)
+		}
+	}
+}
+
+// drainDirty brings every worker with in-flight work to quiescence:
+// flush the open batches, send the drain sentinel to all dirty
+// workers, then wait for each — the rings are FIFO, so the
+// acknowledgement means every batch enqueued before it has been fully
+// processed.
+func (d *Detector) drainDirty() {
+	any := false
+	for _, w := range d.gworkers {
+		w.flush()
+		if w.dirty {
+			w.work <- w.drainBatch
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	for _, w := range d.gworkers {
+		if w.dirty {
+			<-w.drainDone
+			w.dirty = false
+		}
+	}
+}
+
+// quiesce is the mid-kernel drain point: all enqueued checks applied,
+// all buffered reports merged. A no-op when the engine is serial or
+// between kernels.
+func (d *Detector) quiesce() {
+	if !d.running {
+		return
+	}
+	d.drainDirty()
+	d.mergePending()
+}
+
+// Quiesce implements gpu.AsyncDetector: drain, merge, and stop the
+// pipeline. The device calls it in finalize so aborted launches —
+// which never reach KernelEnd — still settle before stats are read.
+func (d *Detector) Quiesce() {
+	if !d.running {
+		return
+	}
+	d.drainDirty()
+	d.mergePending()
+	d.collectFences()
+	d.stopWorkers()
+}
+
+func (d *Detector) stopWorkers() {
+	for _, w := range d.gworkers {
+		close(w.work)
+	}
+	d.wg.Wait()
+	d.running = false
+}
+
+// DetectQueuePeak implements gpu.AsyncDetector.
+func (d *Detector) DetectQueuePeak() int {
+	p := 0
+	for _, w := range d.gworkers {
+		if w.qpeak > p {
+			p = w.qpeak
+		}
+	}
+	return p
+}
+
+// FenceAdvance implements gpu.FenceObserver: the device announces a
+// warp's fence-clock increment on the simulation thread. Draining the
+// dirty workers first preserves the serial semantics — checks enqueued
+// before the fence read the old value, checks after read the new one —
+// and establishes the happens-before edge that makes the plain map
+// below safe (all workers are parked between the drain acknowledgement
+// and their next channel receive).
+func (d *Detector) FenceAdvance(block, warpInBlock int, id uint32) {
+	if !d.running {
+		return
+	}
+	d.drainDirty()
+	d.fenceTab[fenceTabKey(block, warpInBlock)] = id
+}
+
+func fenceTabKey(block, warp int) uint64 {
+	return uint64(uint32(block))<<32 | uint64(uint32(warp))
+}
+
+// fenceRead performs one race-register-file lookup. The serial unit
+// reads the live device (through any recording Env wrapper); a shard
+// reads the mirror and logs the response so journals stay replayable.
+func (u *gshard) fenceRead(block, warp int) uint32 {
+	u.fenceLookups++
+	if u.part < 0 {
+		return u.d.env.CurrentFenceID(block, warp)
+	}
+	id := u.d.fenceTab[fenceTabKey(block, warp)]
+	u.fences = append(u.fences, fenceRead{seq: u.curSeq, block: block, warp: warp, id: id})
+	return id
+}
+
+// report buffers (shards) or applies (serial unit) one race report.
+func (u *gshard) report(space isa.Space, kind Kind, cat Category, pc int, stmt string, granule, addr uint64,
+	firstTid, firstBlock, secondTid, secondBlock int, cycle int64) {
+	if u.part < 0 {
+		u.d.report(space, kind, cat, pc, stmt, granule, addr,
+			firstTid, firstBlock, secondTid, secondBlock, cycle)
+		return
+	}
+	u.pending = append(u.pending, raceCand{
+		seq: u.curSeq, kernel: u.d.kernel,
+		space: space, kind: kind, cat: cat, pc: pc, stmt: stmt,
+		granule: granule, addr: addr,
+		firstTid: firstTid, firstBlock: firstBlock,
+		secondTid: secondTid, secondBlock: secondBlock,
+		cycle: cycle,
+	})
+}
+
+// mergePending applies all buffered reports — the simulation thread's
+// and every shard's — in global sequence order, replaying the exact
+// serial dedup, count and cap behaviour. Sequence numbers are unique,
+// so the sort is a total order.
+func (d *Detector) mergePending() {
+	buf := d.mergeBuf[:0]
+	buf = append(buf, d.simPending...)
+	d.simPending = d.simPending[:0]
+	for _, u := range d.gunits {
+		buf = append(buf, u.pending...)
+		u.pending = u.pending[:0]
+	}
+	if len(buf) == 0 {
+		return
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].seq < buf[j].seq })
+	for i := range buf {
+		d.applyCand(&buf[i])
+	}
+	d.mergeBuf = buf[:0]
+}
+
+// collectFences merges the shards' fence-read logs in sequence order
+// into the kernel's fence log (see TakeFenceLog).
+func (d *Detector) collectFences() {
+	buf := d.fenceBuf[:0]
+	for _, u := range d.gunits {
+		buf = append(buf, u.fences...)
+		u.fences = u.fences[:0]
+	}
+	if len(buf) == 0 {
+		return
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].seq < buf[j].seq })
+	for _, f := range buf {
+		d.fenceLog = append(d.fenceLog, gpu.FenceRead{Block: f.block, Warp: f.warp, ID: f.id})
+	}
+	d.fenceBuf = buf[:0]
+}
+
+// TakeFenceLog hands over (and clears) the fence reads the sharded
+// engine consumed this kernel, in consumption order. journal.Recorder
+// appends them as fence records at kernel end, so a serial replay —
+// which issues the identical query sequence — is served the identical
+// responses. Empty in serial mode, where fence reads go through the
+// recording Env inline.
+func (d *Detector) TakeFenceLog() []gpu.FenceRead {
+	out := d.fenceLog
+	d.fenceLog = nil
+	return out
+}
+
+// globalRDUAsync is the parallel enqueue path of globalRDU: reserve
+// report sequence numbers, run the intra-warp check and the timing
+// model on the simulation thread, then scatter the lanes to their
+// partitions' workers. It never blocks on detection (only on a full
+// ring) and performs no steady-state allocation.
+func (d *Detector) globalRDUAsync(ev *gpu.WarpMemEvent, gran uint64) int64 {
+	// Sequence reservation: the intra-warp WAW check emits at most
+	// len(Lanes)-1 reports (numbered evBase…), and each lane check at
+	// most one (numbered evBase+L+i), so merged order equals the
+	// serial report order: WAW reports first, then lanes ascending.
+	evBase := d.seq
+	lcount := uint64(len(ev.Lanes))
+	if ev.Write || ev.Atomic {
+		d.intraWarpWAW(ev, isa.SpaceGlobal, gran)
+	}
+	d.seq = evBase + 2*lcount
+
+	if d.opt.ModelTraffic {
+		d.modelGlobalTraffic(ev, gran)
+	}
+
+	h := gev{
+		write: ev.Write, atomic: ev.Atomic, pc: ev.PC, stmt: ev.Stmt,
+		sm: ev.SM, block: ev.Block, syncID: ev.SyncID, fenceID: ev.FenceID,
+		cycle: ev.Cycle,
+	}
+	// Scatter by partition in runs: coalesced warps keep consecutive
+	// lanes on one line, so the common case is one segment and one bulk
+	// copy per event (the event is borrowed; the copy detaches the
+	// batch from caller-owned lane storage). A batch stays open across
+	// events until the next warp might not fit; only then does it cross
+	// to the worker. Drain points flush the open batches regardless of
+	// fill.
+	base := evBase + lcount
+	lanes := ev.Lanes
+	for i := 0; i < len(lanes); {
+		p := d.partitionOf(lanes[i].Addr)
+		j := i + 1
+		for j < len(lanes) && d.partitionOf(lanes[j].Addr) == p {
+			j++
+		}
+		w := d.workerOf[p]
+		b := w.open
+		if b == nil {
+			b = <-w.free // ring-full backpressure
+			b.segs = b.segs[:0]
+			b.lanes = b.lanes[:0]
+			w.open = b
+		}
+		b.segs = append(b.segs, gseg{ev: h, seq0: base + uint64(i), part: int32(p), start: int32(len(b.lanes))})
+		b.lanes = append(b.lanes, lanes[i:j]...)
+		if len(b.lanes)+d.warpSize > cap(b.lanes) || len(b.segs)+d.warpSize > cap(b.segs) {
+			w.flush()
+		}
+		i = j
+	}
+	return 0
+}
+
+// flush hands the worker's open batch to its goroutine (a no-op when
+// nothing is buffered).
+func (w *gworker) flush() {
+	b := w.open
+	if b == nil || len(b.lanes) == 0 {
+		return
+	}
+	w.work <- b
+	w.open = nil
+	w.dirty = true
+	if n := len(w.work); n > w.qpeak {
+		w.qpeak = n
+	}
+}
+
+// Shard-local fault hooks: the gshard counterparts of the detector's
+// shared-memory hooks in health.go, drawing from the owning
+// partition's injector streams and accounting into shard-local health.
+
+func (u *gshard) admit(part int, cycle int64) bool {
+	if u.inj.Admit(fault.UnitGlobal, part, cycle, 1) == 1 {
+		return true
+	}
+	u.health.DroppedChecks++
+	return false
+}
+
+func (u *gshard) saturate(part int, la *gpu.LaneAccess) {
+	if !la.InCrit {
+		return
+	}
+	if sat, changed := u.inj.Saturate(fault.UnitGlobal, part, uint64(la.AtomicSig), uint64(u.d.opt.Bloom.Mask())); changed {
+		la.AtomicSig = bloom.Sig(sat)
+		u.health.SaturatedSigs++
+	}
+}
+
+func (u *gshard) observeFill(sigs ...bloom.Sig) {
+	for _, s := range sigs {
+		if s == 0 {
+			continue // null set: the signature is not in use
+		}
+		u.fillBits += int64(bits.OnesCount64(uint64(s)))
+		u.fillN++
+	}
+}
+
+// faultGlobal applies shadow-cell faults to granule g (stored at local
+// index li) before its check runs; true means the check is skipped.
+func (u *gshard) faultGlobal(part int, g, li uint64) (skip bool) {
+	if _, q := u.quar[g]; q {
+		u.health.QuarantineSkips++
+		return true
+	}
+	if pat, stuck := u.inj.Stuck(fault.UnitGlobal, g); stuck {
+		if u.inj.ECC() {
+			if u.d.opt.Degradation == DegradeReinit {
+				u.shadow.clear(li)
+				u.health.ReinitGranules++
+				return false
+			}
+			u.quarantineGlobal(g)
+			return true
+		}
+		if e := u.shadow.lookup(li); e != nil {
+			stuckGlobalEntry(e, pat)
+			u.health.StuckReads++
+		}
+		return false
+	}
+	if e := u.shadow.lookup(li); e != nil {
+		if bit, hit := u.inj.FlipBit(fault.UnitGlobal, part, globalEntryBits); hit {
+			if u.inj.ECC() {
+				u.health.CorrectedFlips++
+			} else {
+				flipGlobalEntry(e, bit)
+				u.health.InjectedFlips++
+			}
+		}
+	}
+	return false
+}
+
+func (u *gshard) quarantineGlobal(g uint64) {
+	if u.quar == nil {
+		u.quar = make(map[uint64]struct{})
+	}
+	u.quar[g] = struct{}{}
+	u.health.QuarantinedGranules++
+	u.health.QuarantineSkips++
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"haccrg/internal/bloom"
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// shardedStreamEnv extends fakeEnv bookkeeping for direct sharded-vs-
+// serial comparisons: the serial engine reads fence IDs from the env,
+// the sharded engine from its FenceAdvance-fed mirror, so the driver
+// below updates both on every fence.
+
+// streamEvent emits one deterministic pseudo-random warp instruction:
+// full warps, mixed spaces of addresses (coalesced single-line runs
+// and scattered multi-partition runs), several blocks and warps, some
+// critical sections, some atomics — every enqueue shape the scatter
+// path has.
+func streamEvent(rng *rand.Rand, cycle int64) *gpu.WarpMemEvent {
+	nlanes := 32
+	if rng.Intn(8) == 0 {
+		nlanes = 1 + rng.Intn(32) // partial warp
+	}
+	block := rng.Intn(3)
+	warp := rng.Intn(2)
+	ev := &gpu.WarpMemEvent{
+		Space:       isa.SpaceGlobal,
+		Write:       rng.Intn(2) == 0,
+		PC:          4 * (1 + rng.Intn(6)),
+		SM:          block % 2,
+		Block:       block,
+		WarpInBlock: warp,
+		Kernel:      "stream",
+		SyncID:      uint32(rng.Intn(2)),
+		Cycle:       cycle,
+		Lanes:       make([]gpu.LaneAccess, nlanes),
+	}
+	if rng.Intn(16) == 0 {
+		ev.Atomic = true
+		ev.Write = true
+	}
+	base := uint64(rng.Intn(64)) * 128
+	scattered := rng.Intn(4) == 0
+	inCrit := rng.Intn(8) == 0
+	for l := 0; l < nlanes; l++ {
+		tid := warp*32 + l
+		addr := base + uint64(l)*4
+		if scattered {
+			addr = uint64(rng.Intn(2048)) * 4 // lanes hop lines and partitions
+		}
+		ev.Lanes[l] = gpu.LaneAccess{
+			Lane: l, Tid: tid, GTid: block*64 + tid,
+			Addr: addr, Size: 4, Arrival: cycle,
+		}
+		if inCrit {
+			ev.Lanes[l].InCrit = true
+			ev.Lanes[l].AtomicSig = bloom.Sig(1) << (rng.Intn(2) * 7)
+		}
+	}
+	return ev
+}
+
+// runShardedStream drives one detector through kernels× the identical
+// event stream (fences, barriers and mid-stream stats reads included)
+// and returns a digest of everything the determinism contract covers.
+func runShardedStream(t *testing.T, parallel bool, kernels int, mutate bool) string {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.Shared = false
+	opt.ModelTraffic = false
+	opt.Parallel = parallel
+	d := MustNew(opt)
+	env := newFakeEnv()
+	for k := 0; k < kernels; k++ {
+		rng := rand.New(rand.NewSource(1234)) // same stream every kernel
+		// A launch resets the device's fence clocks (the engine's mirror
+		// resets with it at KernelStart).
+		env.fenceIDs = map[[2]int]uint32{}
+		d.KernelStart(env, fmt.Sprintf("stream%d", k))
+		for i := 0; i < 400; i++ {
+			cycle := int64(100 + i)
+			ev := streamEvent(rng, cycle)
+			d.WarpMem(ev)
+			if mutate {
+				// The ownership contract: the event is borrowed only for
+				// the duration of the call. Scribbling over it afterwards
+				// must affect nothing (and trips -race on any aliasing).
+				for l := range ev.Lanes {
+					ev.Lanes[l] = gpu.LaneAccess{Addr: ^uint64(0), Tid: -1}
+				}
+				ev.Lanes = ev.Lanes[:0]
+			}
+			if i%97 == 0 {
+				block, warp := i%3, i%2
+				id := uint32(i/97 + 1)
+				env.fenceIDs[[2]int{block, warp}] = id
+				d.FenceAdvance(block, warp, id)
+			}
+			if i%151 == 0 {
+				d.Barrier(0, 0, 0, 0, cycle) // drain point mid-kernel
+			}
+			if i == 250 {
+				_ = d.Stats() // reader-triggered quiescent point
+			}
+		}
+		d.KernelEnd()
+	}
+	digest := ""
+	for _, r := range d.SortedRaces() {
+		digest += fmt.Sprintf("%s count=%d\n", r, r.Count)
+	}
+	digest += fmt.Sprintf("stats=%+v\nhealth=%+v", d.Stats(), *d.Health())
+	return digest
+}
+
+// TestShardedStreamMatchesSerial compares the engines event for event
+// on a direct randomized stream — finer-grained than the harness-level
+// sweep because it hits partial warps, scattered multi-partition
+// events, mid-kernel fences and drain points explicitly.
+func TestShardedStreamMatchesSerial(t *testing.T) {
+	serial := runShardedStream(t, false, 1, false)
+	sharded := runShardedStream(t, true, 1, false)
+	if serial != sharded {
+		t.Errorf("sharded digest diverged from serial:\n--- serial\n%s\n--- sharded\n%s", serial, sharded)
+	}
+}
+
+// TestShardedMultiKernel runs several kernels through one detector:
+// the workers park at KernelEnd and must come back with fresh rings at
+// the next KernelStart (a regression test — the rings are closed when
+// the workers park, so relaunching must rebuild them).
+func TestShardedMultiKernel(t *testing.T) {
+	serial := runShardedStream(t, false, 3, false)
+	sharded := runShardedStream(t, true, 3, false)
+	if serial != sharded {
+		t.Errorf("multi-kernel sharded digest diverged from serial:\n--- serial\n%s\n--- sharded\n%s", serial, sharded)
+	}
+}
+
+// TestShardedWorkerCountIndependence pins GOMAXPROCS to several values
+// while building the engine: the worker count is an execution detail,
+// so every setting must reproduce the serial findings exactly.
+func TestShardedWorkerCountIndependence(t *testing.T) {
+	want := runShardedStream(t, false, 1, false)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 3, 8} {
+		runtime.GOMAXPROCS(procs)
+		if got := runShardedStream(t, true, 1, false); got != want {
+			t.Errorf("GOMAXPROCS=%d: sharded digest diverged from serial:\n--- serial\n%s\n--- sharded\n%s",
+				procs, want, got)
+		}
+	}
+}
+
+// TestWarpMemEventOwnership enforces the WarpMemEvent ownership
+// contract against the asynchronous engine: the caller mutates and
+// truncates every event immediately after WarpMem returns, while the
+// shard workers are still processing the copied lanes. Findings must
+// be untouched, and `go test -race` proves the engine retained no
+// reference into caller-owned storage.
+func TestWarpMemEventOwnership(t *testing.T) {
+	clean := runShardedStream(t, true, 1, false)
+	mutated := runShardedStream(t, true, 1, true)
+	if clean != mutated {
+		t.Errorf("mutating events after WarpMem changed the findings:\n--- clean\n%s\n--- mutated\n%s", clean, mutated)
+	}
+}

@@ -244,20 +244,54 @@ func (p *Plan) String() string {
 	return strings.Join(parts, ";")
 }
 
-// Injector executes a plan deterministically. It is not safe for
-// concurrent use; the simulator drives it from its single event loop.
+// Injector executes a plan deterministically. Every random decision is
+// drawn from an independent per-(mechanism, unit, id) PRNG stream
+// seeded from the run seed, so the fault sequence one RDU observes
+// depends only on its own check sequence — never on how checks from
+// other RDUs interleave with it. That partition-determinism is what
+// lets the sharded per-partition detector reproduce the serial
+// detector's faults byte for byte: each shard owns a private Injector
+// built from the same (plan, seed) and replays exactly its own streams.
+//
+// An Injector is not safe for concurrent use; callers that check in
+// parallel give each worker its own instance.
 type Injector struct {
 	plan Plan
 	seed int64
-	rng  *rand.Rand
 
 	queues  map[uint32]*queueState
-	fetches int64 // shadow fetches seen (spike phase accumulator)
+	streams map[uint64]*stream
 }
 
 type queueState struct {
 	depth int
 	last  int64
+}
+
+// stream is one mechanism's PRNG state for one RDU instance.
+type stream struct {
+	rng     *rand.Rand
+	fetches int64 // shadow fetches seen (spike phase accumulator)
+}
+
+// Fault-mechanism tags: each mechanism draws from its own stream
+// family so enabling one clause never shifts another's sequence.
+const (
+	mechFlip = iota
+	mechSaturate
+	mechSpike
+)
+
+// stream returns the PRNG stream for (mech, unit, id), creating it on
+// first use with a seed mixed from the run seed and the key.
+func (in *Injector) stream(mech int, unit Unit, id int) *stream {
+	key := uint64(mech)<<40 | uint64(unit)<<32 | uint64(uint32(id))
+	s := in.streams[key]
+	if s == nil {
+		s = &stream{rng: rand.New(rand.NewSource(int64(splitmix64(uint64(in.seed) ^ splitmix64(key)))))}
+		in.streams[key] = s
+	}
+	return s
 }
 
 // New builds an injector for the plan (nil or empty plans yield a nil
@@ -271,10 +305,10 @@ func New(p *Plan, seed int64) *Injector {
 		cp.QueueDrain = 1
 	}
 	return &Injector{
-		plan:   cp,
-		seed:   seed,
-		rng:    rand.New(rand.NewSource(seed)),
-		queues: make(map[uint32]*queueState),
+		plan:    cp,
+		seed:    seed,
+		queues:  make(map[uint32]*queueState),
+		streams: make(map[uint64]*stream),
 	}
 }
 
@@ -294,15 +328,17 @@ func (in *Injector) Seed() int64 {
 	return in.seed
 }
 
-// Reset clears dynamic state (queue depths, spike phase) between
-// kernels while preserving the PRNG stream, so multi-kernel plans stay
-// reproducible end to end.
+// Reset clears dynamic state (queue depths, spike phases) between
+// kernels while preserving the PRNG streams, so multi-kernel plans
+// stay reproducible end to end.
 func (in *Injector) Reset() {
 	if in == nil {
 		return
 	}
 	in.queues = make(map[uint32]*queueState)
-	in.fetches = 0
+	for _, s := range in.streams {
+		s.fetches = 0
+	}
 }
 
 // Admit models one burst of n lane checks arriving at the RDU queue of
@@ -339,15 +375,16 @@ func (in *Injector) Admit(unit Unit, id int, cycle int64, n int) int {
 	return n
 }
 
-// FlipBit draws one shadow-entry read's soft-error outcome: ok is true
-// when a flip fires, and bit is the flipped position in [0, width).
-// The PRNG advances exactly once per call regardless of outcome, so
-// fault sequences are stable across plan variations of the same seed.
-func (in *Injector) FlipBit(width int) (bit int, ok bool) {
+// FlipBit draws one shadow-entry read's soft-error outcome at the RDU
+// (unit, id): ok is true when a flip fires, and bit is the flipped
+// position in [0, width). The RDU's flip stream advances exactly once
+// per call regardless of outcome, so fault sequences are stable across
+// plan variations of the same seed.
+func (in *Injector) FlipBit(unit Unit, id, width int) (bit int, ok bool) {
 	if in == nil || in.plan.FlipRate <= 0 {
 		return 0, false
 	}
-	draw := in.rng.Float64()
+	draw := in.stream(mechFlip, unit, id).rng.Float64()
 	if draw >= in.plan.FlipRate {
 		return 0, false
 	}
@@ -373,10 +410,11 @@ func (in *Injector) Stuck(unit Unit, g uint64) (pattern uint64, ok bool) {
 	return splitmix64(h), true
 }
 
-// Saturate ORs random bits into a lockset signature until its fill
-// ratio over mask reaches the plan's BloomFill target. Returns the
-// (possibly) saturated signature and whether it changed.
-func (in *Injector) Saturate(sig, mask uint64) (out uint64, changed bool) {
+// Saturate ORs random bits into a lockset signature at the RDU
+// (unit, id) until its fill ratio over mask reaches the plan's
+// BloomFill target. Returns the (possibly) saturated signature and
+// whether it changed.
+func (in *Injector) Saturate(unit Unit, id int, sig, mask uint64) (out uint64, changed bool) {
 	if in == nil || in.plan.BloomFill <= 0 {
 		return sig, false
 	}
@@ -386,20 +424,23 @@ func (in *Injector) Saturate(sig, mask uint64) (out uint64, changed bool) {
 	}
 	want := int(in.plan.BloomFill * float64(total))
 	out = sig
+	rng := in.stream(mechSaturate, unit, id).rng
 	for popcount(out&mask) < want {
-		out |= 1 << (in.rng.Intn(64)) & mask
+		out |= 1 << (rng.Intn(64)) & mask
 	}
 	return out, out != sig
 }
 
-// SpikeDelay returns the extra cycles the next shadow fetch suffers
-// (0 for most fetches; SpikeExtra every SpikePeriod-th fetch).
-func (in *Injector) SpikeDelay() int64 {
+// SpikeDelay returns the extra cycles the next shadow fetch at the
+// memory unit (unit, id) suffers (0 for most fetches; SpikeExtra every
+// SpikePeriod-th fetch at that unit).
+func (in *Injector) SpikeDelay(unit Unit, id int) int64 {
 	if in == nil || in.plan.SpikeExtra <= 0 || in.plan.SpikePeriod <= 0 {
 		return 0
 	}
-	in.fetches++
-	if in.fetches%in.plan.SpikePeriod == 0 {
+	s := in.stream(mechSpike, unit, id)
+	s.fetches++
+	if s.fetches%in.plan.SpikePeriod == 0 {
 		return in.plan.SpikeExtra
 	}
 	return 0

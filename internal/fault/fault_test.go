@@ -95,16 +95,16 @@ func TestEmptyPlan(t *testing.T) {
 	if got := in.Admit(UnitGlobal, 0, 100, 32); got != 32 {
 		t.Errorf("nil Admit = %d, want 32", got)
 	}
-	if _, ok := in.FlipBit(52); ok {
+	if _, ok := in.FlipBit(UnitGlobal, 0, 52); ok {
 		t.Error("nil FlipBit fired")
 	}
 	if _, ok := in.Stuck(UnitShared, 7); ok {
 		t.Error("nil Stuck fired")
 	}
-	if _, ch := in.Saturate(1, 0xffff); ch {
+	if _, ch := in.Saturate(UnitShared, 0, 1, 0xffff); ch {
 		t.Error("nil Saturate changed signature")
 	}
-	if in.SpikeDelay() != 0 {
+	if in.SpikeDelay(UnitGlobal, 0) != 0 {
 		t.Error("nil SpikeDelay non-zero")
 	}
 }
@@ -168,7 +168,7 @@ func TestFlipDeterminism(t *testing.T) {
 		in := New(&Plan{FlipRate: 0.25}, 7)
 		var out []int
 		for i := 0; i < 1000; i++ {
-			if bit, ok := in.FlipBit(52); ok {
+			if bit, ok := in.FlipBit(UnitGlobal, 3, 52); ok {
 				out = append(out, bit)
 			}
 		}
@@ -194,7 +194,7 @@ func TestFlipDeterminism(t *testing.T) {
 func TestSaturateReachesFill(t *testing.T) {
 	in := New(&Plan{BloomFill: 1}, 3)
 	const mask = 0xffff
-	out, changed := in.Saturate(0x0101, mask)
+	out, changed := in.Saturate(UnitShared, 2, 0x0101, mask)
 	if !changed {
 		t.Fatal("saturation did not change a sparse signature")
 	}
@@ -210,7 +210,7 @@ func TestSpikePeriod(t *testing.T) {
 	in := New(&Plan{SpikeExtra: 100, SpikePeriod: 4}, 1)
 	var spikes int
 	for i := 0; i < 16; i++ {
-		if d := in.SpikeDelay(); d != 0 {
+		if d := in.SpikeDelay(UnitGlobal, 1); d != 0 {
 			if d != 100 {
 				t.Fatalf("spike delay = %d, want 100", d)
 			}
@@ -219,5 +219,63 @@ func TestSpikePeriod(t *testing.T) {
 	}
 	if spikes != 4 {
 		t.Errorf("spikes in 16 fetches = %d, want 4", spikes)
+	}
+	// Spike phases are per-unit: fetches at another partition do not
+	// advance this one's phase.
+	if d := in.SpikeDelay(UnitGlobal, 2); d != 0 {
+		t.Errorf("first fetch at fresh unit spiked: %d", d)
+	}
+}
+
+// TestStreamIndependence: the fault sequence one RDU draws must not
+// depend on how checks at other RDUs interleave with it — the property
+// the sharded per-partition detector relies on to reproduce serial
+// fault decisions exactly.
+func TestStreamIndependence(t *testing.T) {
+	draw := func(in *Injector, id, n int) []int {
+		var out []int
+		for i := 0; i < n; i++ {
+			if bit, ok := in.FlipBit(UnitGlobal, id, 52); ok {
+				out = append(out, bit)
+			}
+		}
+		return out
+	}
+	// Solo run: partition 0 alone.
+	solo := draw(New(&Plan{FlipRate: 0.25}, 7), 0, 500)
+	// Interleaved run: partition 1 draws between every partition-0 draw.
+	in := New(&Plan{FlipRate: 0.25}, 7)
+	var inter []int
+	for i := 0; i < 500; i++ {
+		if bit, ok := in.FlipBit(UnitGlobal, 0, 52); ok {
+			inter = append(inter, bit)
+		}
+		in.FlipBit(UnitGlobal, 1, 52)
+	}
+	if len(solo) == 0 {
+		t.Fatal("no flips at rate 0.25")
+	}
+	if len(solo) != len(inter) {
+		t.Fatalf("interleaving changed flip count: %d vs %d", len(solo), len(inter))
+	}
+	for i := range solo {
+		if solo[i] != inter[i] {
+			t.Fatalf("flip %d differs under interleaving: %d vs %d", i, solo[i], inter[i])
+		}
+	}
+	// Distinct units draw distinct sequences.
+	a := draw(New(&Plan{FlipRate: 0.5}, 9), 0, 400)
+	b := draw(New(&Plan{FlipRate: 0.5}, 9), 1, 400)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("partitions 0 and 1 drew identical flip sequences")
+		}
 	}
 }

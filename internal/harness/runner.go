@@ -48,6 +48,12 @@ type RunConfig struct {
 	SingleBlock bool
 	Inject      []string
 
+	// DetectParallel runs the global-memory RDUs as sharded
+	// per-partition engines on their own goroutines (see
+	// core.Options.Parallel). Findings are byte-identical to the serial
+	// engine; only wall-clock time changes.
+	DetectParallel bool
+
 	// GPU overrides the device configuration (nil = paper's Table I).
 	GPU *gpu.Config
 
@@ -101,6 +107,7 @@ func detectorFor(rc RunConfig) (gpu.Detector, *core.Detector, *swdetect.Detector
 	if rc.GlobalGranularity > 0 {
 		opt.GlobalGranularity = rc.GlobalGranularity
 	}
+	opt.Parallel = rc.DetectParallel
 	if rc.FaultPlan != "" {
 		p, err := fault.Parse(rc.FaultPlan)
 		if err != nil {

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// diffShardedSerial runs one configuration under both global-RDU
+// engines and requires byte-identical outcomes: the sharded engine's
+// determinism contract is exact equality, not fingerprint equality —
+// race order, dynamic counts, cycle counts, detector stats and health
+// accounting all included.
+func diffShardedSerial(t *testing.T, label string, rc RunConfig) {
+	t.Helper()
+	rc.DetectParallel = false
+	serial, err := Run(rc)
+	if err != nil {
+		t.Fatalf("%s serial: %v", label, err)
+	}
+	rc.DetectParallel = true
+	sharded, err := Run(rc)
+	if err != nil {
+		t.Fatalf("%s sharded: %v", label, err)
+	}
+	if a, b := len(serial.Races), len(sharded.Races); a != b {
+		t.Fatalf("%s: serial found %d race(s), sharded %d", label, a, b)
+	}
+	for i := range serial.Races {
+		if a, b := serial.Races[i].String(), sharded.Races[i].String(); a != b {
+			t.Errorf("%s race %d:\nserial  %s\nsharded %s", label, i, a, b)
+		}
+		if a, b := serial.Races[i].Count, sharded.Races[i].Count; a != b {
+			t.Errorf("%s race %d: dynamic count %d vs %d", label, i, a, b)
+		}
+	}
+	if serial.DetectorStats != sharded.DetectorStats {
+		t.Errorf("%s detector stats diverged:\nserial  %+v\nsharded %+v",
+			label, serial.DetectorStats, sharded.DetectorStats)
+	}
+	if serial.Stats.Cycles != sharded.Stats.Cycles {
+		t.Errorf("%s: cycles %d vs %d — the sharded engine must not perturb timing",
+			label, serial.Stats.Cycles, sharded.Stats.Cycles)
+	}
+	ha, hb := fmt.Sprintf("%+v", serial.Health), fmt.Sprintf("%+v", sharded.Health)
+	if serial.Health != nil && sharded.Health != nil {
+		ha, hb = fmt.Sprintf("%+v", *serial.Health), fmt.Sprintf("%+v", *sharded.Health)
+	}
+	if ha != hb {
+		t.Errorf("%s health diverged:\nserial  %s\nsharded %s", label, ha, hb)
+	}
+}
+
+// TestShardedRDUMatchesSerial is the differential acceptance sweep for
+// the sharded per-partition engine: kernels × fault plans ×
+// degradation policies, every outcome byte-identical to the serial
+// engine. The fault plans force the shard-local injector streams
+// (admission, flips, stuck cells) and the degradation policies force
+// the quarantine/reinit paths through the per-partition state.
+func TestShardedRDUMatchesSerial(t *testing.T) {
+	plans := []struct{ label, plan string }{
+		{"fault-free", ""},
+		{"queue+flip", "queue:cap=8,drain=1;flip:rate=2e-4"},
+		{"stuck-ecc", "stuck:perki=32,ecc"},
+	}
+	for _, bench := range []string{"scan", "psum", "hash", "reduce"} {
+		for _, pl := range plans {
+			for _, degr := range []string{"quarantine", "reinit"} {
+				if pl.plan == "" && degr == "reinit" {
+					continue // no faults: the policy is never consulted
+				}
+				label := fmt.Sprintf("%s/%s/%s", bench, pl.label, degr)
+				diffShardedSerial(t, label, RunConfig{
+					Bench: bench, Detector: DetSharedGlobal, GPU: testGPU(),
+					FaultPlan: pl.plan, FaultSeed: 7, Degradation: degr,
+				})
+			}
+		}
+	}
+}
+
+// TestShardedRDUMatchesSerialRacy extends the differential sweep to
+// runs that actually report races — injected defects covering each
+// detection mechanism the shards replicate: missing barrier
+// (happens-before machine), missing fence (the fence-ID mirror), and
+// a dummy critical section (the lockset path).
+func TestShardedRDUMatchesSerialRacy(t *testing.T) {
+	sites := []struct {
+		id          string
+		singleBlock bool
+	}{
+		{"scan.bar0", true},
+		{"psum.fence0", false},
+		{"hash.crit0", false},
+	}
+	for _, s := range sites {
+		rc := RunConfig{
+			Bench: benchOf(s.id), Detector: DetSharedGlobal, GPU: testGPU(),
+			SharedGranularity: 4, GlobalGranularity: 4,
+			Inject: []string{s.id}, SingleBlock: s.singleBlock,
+		}
+		diffShardedSerial(t, s.id, rc)
+		rc.DetectParallel = true
+		res, err := Run(rc)
+		if err != nil {
+			t.Fatalf("%s: %v", s.id, err)
+		}
+		if len(res.Races) == 0 {
+			t.Errorf("%s: injected defect produced no races under the sharded engine", s.id)
+		}
+	}
+}
+
+func benchOf(injectID string) string {
+	for i := range injectID {
+		if injectID[i] == '.' {
+			return injectID[:i]
+		}
+	}
+	return injectID
+}

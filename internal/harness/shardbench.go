@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// This file is the wall-clock study of the sharded per-partition RDU
+// engine: the same benchmark runs once with the serial global-memory
+// engine and once with the per-partition goroutine engine, and the two
+// are compared for speed (the point of the sharding) and for findings
+// (which the engine contract says must be byte-identical).
+
+// shardBenchBenches are the workloads timed: the detection-heavy end
+// of the suite (global-memory traffic dominating the event stream), so
+// the measured speedup reflects the detector, not the simulator.
+var shardBenchBenches = []string{"scan", "psum", "hash", "reduce"}
+
+// shardBenchReps is how many times each configuration runs; the fastest
+// repetition is reported, discarding scheduler and allocator noise.
+const shardBenchReps = 2
+
+// ShardBenchRow is one benchmark's serial-vs-sharded comparison.
+type ShardBenchRow struct {
+	Bench      string  `json:"bench"`
+	Races      int     `json:"races"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	// Match is true when the sharded run's findings — sorted races and
+	// detector stats — are identical to the serial run's.
+	Match bool `json:"match"`
+	// QueuePeak is the deepest any partition's event ring got during
+	// the sharded run (at ring capacity the sim thread was
+	// backpressured; see gpu.LaunchStats.DetectQueuePeak).
+	QueuePeak int `json:"queue_peak"`
+}
+
+// ShardBenchReport is the machine-readable result set the -json flag
+// of haccrg-bench emits (and CI archives as an artifact).
+type ShardBenchReport struct {
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// NumCPU is the host's logical CPU count. Speedup numbers are only
+	// meaningful relative to it: on a single-core host the sharded
+	// engine timeshares with its producer, so the measured ratio is
+	// total-CPU overhead, not the pipeline speedup available on real
+	// multi-core hardware.
+	NumCPU int             `json:"num_cpu"`
+	Scale  int             `json:"scale"`
+	Rows   []ShardBenchRow `json:"rows"`
+}
+
+// shardBenchSchema versions the JSON layout so downstream tooling can
+// reject files it does not understand.
+const shardBenchSchema = "haccrg-shardbench/1"
+
+// ShardBench times the serial and sharded global-memory RDU engines on
+// detection-bound benchmarks and verifies their findings agree. The
+// runs execute on this goroutine (never through the sweep manifest,
+// which would serve cached results and destroy the timing).
+func ShardBench(scale int) ([]ShardBenchRow, string, error) {
+	var rows []ShardBenchRow
+	var txt [][]string
+	for _, bench := range shardBenchBenches {
+		rc := RunConfig{Bench: bench, Detector: DetSharedGlobal, Scale: scale}
+		serial, serialT, err := shardBenchRun(rc)
+		if err != nil {
+			return nil, "", fmt.Errorf("harness: shardbench %s serial: %w", bench, err)
+		}
+		rc.DetectParallel = true
+		par, parT, err := shardBenchRun(rc)
+		if err != nil {
+			return nil, "", fmt.Errorf("harness: shardbench %s sharded: %w", bench, err)
+		}
+		row := ShardBenchRow{
+			Bench:      bench,
+			Races:      len(serial.Races),
+			SerialMS:   float64(serialT.Microseconds()) / 1e3,
+			ParallelMS: float64(parT.Microseconds()) / 1e3,
+			Match:      shardBenchMatch(serial, par),
+			QueuePeak:  par.Stats.DetectQueuePeak,
+		}
+		if parT > 0 {
+			row.Speedup = float64(serialT) / float64(parT)
+		}
+		rows = append(rows, row)
+		match := "identical"
+		if !row.Match {
+			match = "DIVERGED"
+		}
+		txt = append(txt, []string{
+			bench,
+			fmt.Sprintf("%.1f", row.SerialMS),
+			fmt.Sprintf("%.1f", row.ParallelMS),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%d", row.QueuePeak),
+			fmt.Sprintf("%d", row.Races),
+			match,
+		})
+	}
+	return rows, table(
+		[]string{"benchmark", "serial ms", "sharded ms", "speedup", "queue peak", "races", "findings"},
+		txt), nil
+}
+
+// shardBenchRun executes one configuration shardBenchReps times and
+// returns the (deterministic) result with the fastest wall-clock time.
+func shardBenchRun(rc RunConfig) (*RunResult, time.Duration, error) {
+	var best time.Duration
+	var res *RunResult
+	ctx := baseSweepContext()
+	for i := 0; i < shardBenchReps; i++ {
+		start := time.Now()
+		r, err := RunContext(ctx, rc)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, 0, err
+		}
+		if res == nil || elapsed < best {
+			res, best = r, elapsed
+		}
+	}
+	return res, best, nil
+}
+
+// shardBenchMatch reports whether two runs reached identical findings:
+// the same sorted races (string for string), the same detector
+// counters, and the same simulated clock.
+func shardBenchMatch(a, b *RunResult) bool {
+	if len(a.Races) != len(b.Races) {
+		return false
+	}
+	for i := range a.Races {
+		if a.Races[i].String() != b.Races[i].String() {
+			return false
+		}
+	}
+	return a.DetectorStats == b.DetectorStats && a.Stats.Cycles == b.Stats.Cycles
+}
+
+// WriteShardBenchJSON emits the machine-readable report (indented, one
+// trailing newline) — the file CI uploads and BENCH_PR4.json pins.
+func WriteShardBenchJSON(w io.Writer, scale int, rows []ShardBenchRow) error {
+	rep := ShardBenchReport{
+		Schema:     shardBenchSchema,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      scale,
+		Rows:       rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

@@ -143,6 +143,65 @@ func TestReplayTruncatedJournal(t *testing.T) {
 	}
 }
 
+// TestReplayParallelRecording closes the loop on the sharded engine's
+// determinism contract: a run recorded under the asynchronous
+// per-partition engine replays byte-identically through a fresh SERIAL
+// detector. The engines must agree not only on the final verdict but
+// on the fence-read responses — the recorder appends the sharded
+// engine's mirror-served fence log to the journal so the serial
+// replay's inline queries are answered identically.
+func TestReplayParallelRecording(t *testing.T) {
+	for _, bench := range []string{"scan", "psum", "reduce"} {
+		det := haccrg.DefaultDetection()
+		data, live := recordRun(t, bench, haccrg.RunOptions{
+			Detection: &det, DetectParallel: true,
+		})
+		rep := replayThrough(t, data, harness.RunConfig{Detector: harness.DetSharedGlobal})
+		if rep.Recorded == nil {
+			t.Fatalf("%s: no recorded verdict in journal", bench)
+		}
+		if !rep.Match {
+			t.Errorf("%s: serial replay diverged from sharded recording: recorded %d race(s), replayed %d",
+				bench, len(rep.Recorded), len(rep.Replayed))
+		}
+		want := liveVerdict(live)
+		if len(rep.Replayed) != len(want) {
+			t.Fatalf("%s: replayed %d race(s), live sharded run found %d", bench, len(rep.Replayed), len(want))
+		}
+		for i := range want {
+			if rep.Replayed[i] != want[i] {
+				t.Fatalf("%s: replayed race %d = %q, live %q", bench, i, rep.Replayed[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReplayParallelRecordingUnderFaultPlan: the oracle holds under
+// fault injection too — the sharded engine's per-partition injector
+// streams must draw the same decisions a serial replay's injector
+// draws inline.
+func TestReplayParallelRecordingUnderFaultPlan(t *testing.T) {
+	const plan = "flip:rate=2e-4;queue:cap=8,drain=1"
+	det := haccrg.DefaultDetection()
+	data, live := recordRun(t, "reduce", haccrg.RunOptions{
+		Detection: &det, DetectParallel: true, Inject: []string{"reduce.nobar"},
+		FaultPlan: plan, FaultSeed: 42,
+	})
+	rep := replayThrough(t, data, harness.RunConfig{
+		Detector: harness.DetSharedGlobal, FaultPlan: plan, FaultSeed: 42,
+	})
+	if rep.Recorded == nil {
+		t.Fatal("no recorded verdict in journal")
+	}
+	if !rep.Match {
+		t.Errorf("faulted serial replay diverged from sharded recording: recorded %d race(s), replayed %d",
+			len(rep.Recorded), len(rep.Replayed))
+	}
+	if got, want := rep.Replayed, liveVerdict(live); len(got) != len(want) {
+		t.Errorf("replayed %d race(s), live sharded run found %d", len(got), len(want))
+	}
+}
+
 // TestRecordingIsTransparent: journaling must not change what the
 // detector finds — a recorded run and an unrecorded run of the same
 // configuration reach identical verdicts.
