@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +53,17 @@ func main() {
 	for _, k := range plan.Kernels {
 		fmt.Printf("kernel %s  <<<grid %d x block %d, %dB shared, %d params>>>\n",
 			k.Name, k.GridDim, k.BlockDim, k.SharedBytes, len(k.Params))
+		// Re-validate explicitly: builder output is always valid, but a
+		// defect here should print the typed diagnosis, not a bare string.
+		if err := k.Prog.Validate(); err != nil {
+			var verr *haccrg.ValidateError
+			if errors.As(err, &verr) {
+				fmt.Fprintf(os.Stderr, "haccrg-disasm: %s: INVALID [%s] at pc %d: %s\n",
+					verr.Program, verr.Kind, verr.PC, verr.Detail)
+			} else {
+				fmt.Fprintf(os.Stderr, "haccrg-disasm: %s: INVALID: %v\n", k.Name, err)
+			}
+		}
 		fmt.Println(k.Prog.Disassemble())
 	}
 }

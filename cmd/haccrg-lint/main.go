@@ -1,0 +1,166 @@
+// Command haccrg-lint runs the static kernel analyzer — CFG
+// construction, abstract interpretation, the lint passes
+// (barrier-divergence, uninitialized shared reads, shared
+// out-of-bounds, fence misuse) and the race-freedom prover — over
+// benchmark kernels, without simulating anything.
+//
+// Usage:
+//
+//	haccrg-lint -bench psum -sites
+//	haccrg-lint -all -json
+//	haccrg-lint -check-fixtures
+//
+// Exit codes: 0 clean, 1 findings (or a failed fixture check),
+// 2 usage, 3 analysis error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/kernels"
+	"haccrg/internal/staticrace"
+)
+
+func main() {
+	var (
+		bench       = flag.String("bench", "", "benchmark to analyze (see haccrg -list)")
+		all         = flag.Bool("all", false, "analyze the whole clean suite")
+		checkFix    = flag.Bool("check-fixtures", false, "CI gate: every defective fixture must flag, every clean benchmark must not")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+		sites       = flag.Bool("sites", false, "include the prover's per-site race-freedom classification")
+		scale       = flag.Int("scale", 1, "input scale factor")
+		singleBlock = flag.Bool("single-block", false, "analyze SCAN/KMEANS in their designed-for configuration")
+		inject      = flag.String("inject", "", "comma-separated race-injection site IDs to build in")
+		contextN    = flag.Int("context", 2, "disassembly context lines around each finding")
+		small       = flag.Bool("small-gpu", false, "assume the 4-SM test device geometry instead of the Table I machine")
+		sharedGran  = flag.Int("shared-gran", 16, "shared-memory tracking granularity the prover models (bytes)")
+		globalGran  = flag.Int("global-gran", 4, "global-memory tracking granularity the prover models (bytes)")
+	)
+	flag.Parse()
+
+	conf := staticrace.Config{
+		SharedGranularity: *sharedGran,
+		GlobalGranularity: *globalGran,
+	}
+	cfg := gpu.DefaultConfig()
+	if *small {
+		cfg = gpu.TestConfig()
+	}
+	conf.WarpSize = cfg.WarpSize
+
+	params := kernels.Params{Scale: *scale, SingleBlock: *singleBlock}
+	if *inject != "" {
+		params.Inject = map[string]bool{}
+		for _, id := range strings.Split(*inject, ",") {
+			params.Inject[id] = true
+		}
+	}
+
+	switch {
+	case *checkFix:
+		os.Exit(checkFixtures(cfg, conf, params))
+	case *all:
+		os.Exit(analyze(kernels.All(), cfg, conf, params, *jsonOut, *sites, *contextN))
+	case *bench != "":
+		bm := kernels.Get(*bench)
+		if bm == nil {
+			fmt.Fprintf(os.Stderr, "haccrg-lint: unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+		os.Exit(analyze([]*kernels.Benchmark{bm}, cfg, conf, params, *jsonOut, *sites, *contextN))
+	default:
+		fmt.Fprintln(os.Stderr, "haccrg-lint: one of -bench, -all or -check-fixtures required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// analyzeBench builds one benchmark's kernels and analyzes each.
+func analyzeBench(bm *kernels.Benchmark, cfg gpu.Config, conf staticrace.Config, p kernels.Params) ([]*staticrace.Analysis, error) {
+	dev, err := gpu.NewDevice(cfg, bm.GlobalBytes(p.Scale), nil)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := bm.Build(dev, p)
+	if err != nil {
+		return nil, err
+	}
+	var out []*staticrace.Analysis
+	for _, k := range plan.Kernels {
+		res, err := staticrace.Analyze(k, conf)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: %w", k.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func analyze(benches []*kernels.Benchmark, cfg gpu.Config, conf staticrace.Config, p kernels.Params, jsonOut, sites bool, contextN int) int {
+	if p.Scale < 1 {
+		p.Scale = 1
+	}
+	var analyses []*staticrace.Analysis
+	for _, bm := range benches {
+		res, err := analyzeBench(bm, cfg, conf, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haccrg-lint: %s: %v\n", bm.Name, err)
+			return 3
+		}
+		analyses = append(analyses, res...)
+	}
+	rep := staticrace.BuildReport(analyses, sites)
+	if jsonOut {
+		fmt.Println(rep.JSON())
+	} else {
+		fmt.Print(rep.Human(analyses, contextN))
+	}
+	if rep.Findings > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkFixtures is the analyzer's self-test: the deliberately
+// defective fixtures must each raise at least one finding, and the
+// clean suite must raise none. Exit 0 only when both hold.
+func checkFixtures(cfg gpu.Config, conf staticrace.Config, p kernels.Params) int {
+	if p.Scale < 1 {
+		p.Scale = 1
+	}
+	fail := false
+	for _, bm := range kernels.AllIncludingDefective() {
+		analyses, err := analyzeBench(bm, cfg, conf, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haccrg-lint: %s: %v\n", bm.Name, err)
+			return 3
+		}
+		findings := 0
+		for _, a := range analyses {
+			findings += len(a.Findings)
+		}
+		switch {
+		case bm.Defective && findings == 0:
+			fmt.Printf("FAIL %-8s defective fixture produced no findings\n", bm.Name)
+			fail = true
+		case !bm.Defective && findings > 0:
+			fmt.Printf("FAIL %-8s clean benchmark produced %d finding(s)\n", bm.Name, findings)
+			for _, a := range analyses {
+				for _, f := range a.Findings {
+					fmt.Printf("       %s pc %d: [%s] %s\n", a.Kernel, f.PC, f.Pass, f.Msg)
+				}
+			}
+			fail = true
+		default:
+			fmt.Printf("ok   %-8s %d finding(s)\n", bm.Name, findings)
+		}
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}

@@ -64,6 +64,11 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "wall-clock watchdog for the run (0 = none), e.g. 30s")
 		maxCycles   = flag.Int64("max-cycles", 0, "simulated-cycle budget for the run (0 = unlimited)")
 		parallel    = flag.Int("parallel", 0, "concurrent benchmark runs in -all-benches mode (0 = GOMAXPROCS, 1 = serial)")
+
+		staticFilter = flag.Bool("static-filter", false,
+			"statically prove sites race-free and let the RDUs skip their shadow checks (findings and cycles are byte-identical; inert under -fault-plan)")
+		staticReport = flag.Bool("static-report", false,
+			"print the static analyzer's findings and site classification for -bench, without simulating (use haccrg-lint for the full linter CLI)")
 	)
 	flag.Parse()
 
@@ -79,6 +84,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "haccrg: -bench required (try -list)")
 		os.Exit(2)
 	}
+	if *staticReport {
+		os.Exit(printStaticReport(*bench, *scale, *singleBlock, *inject, *small,
+			*sharedGran, *globalGran, *jsonOut))
+	}
 
 	opts := haccrg.RunOptions{
 		Scale:          *scale,
@@ -86,6 +95,7 @@ func main() {
 		Verify:         *verify,
 		Trace:          *traceOut,
 		DetectParallel: *detPar,
+		StaticFilter:   *staticFilter,
 		FaultPlan:      *faultPlan,
 		FaultSeed:      *faultSeed,
 		Degradation:    *degradation,
@@ -194,6 +204,9 @@ func main() {
 	if opts.Detection == nil {
 		return
 	}
+	if *staticFilter && res.Report != nil {
+		fmt.Printf("static filter  %d shadow checks skipped\n", res.Report.Summary.Checks["filtered"])
+	}
 	if *traceOut && res.Trace != nil {
 		fmt.Println()
 		fmt.Print(res.Trace.Timeline())
@@ -210,6 +223,40 @@ func main() {
 	if len(res.Races) > 0 {
 		os.Exit(3) // races found: non-zero exit, like a checker tool
 	}
+}
+
+// printStaticReport runs the static analyzer over a benchmark's
+// kernels and prints the findings plus the prover's per-site
+// classification; exit 0 when clean, 3 with findings (mirroring the
+// races-found exit), 1 on error.
+func printStaticReport(bench string, scale int, singleBlock bool, inject string, small bool, sharedGran, globalGran int, jsonOut bool) int {
+	opts := haccrg.AnalyzeOptions{Scale: scale, SingleBlock: singleBlock}
+	if inject != "" {
+		opts.Inject = strings.Split(inject, ",")
+	}
+	if small {
+		cfg := haccrg.SmallGPU()
+		opts.GPU = &cfg
+	}
+	d := haccrg.DefaultDetection()
+	d.SharedGranularity = sharedGran
+	d.GlobalGranularity = globalGran
+	opts.Detection = &d
+	analyses, err := haccrg.AnalyzeBenchmark(bench, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haccrg: %v\n", err)
+		return 1
+	}
+	rep := haccrg.BuildStaticReport(analyses, true)
+	if jsonOut {
+		fmt.Println(rep.JSON())
+	} else {
+		fmt.Print(rep.Human(analyses, 2))
+	}
+	if rep.Findings > 0 {
+		return 3
+	}
+	return 0
 }
 
 // runSuite runs every benchmark under full detection and prints one

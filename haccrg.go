@@ -28,6 +28,7 @@ import (
 	"haccrg/internal/isa"
 	"haccrg/internal/journal"
 	"haccrg/internal/kernels"
+	"haccrg/internal/staticrace"
 	"haccrg/internal/tlb"
 	"haccrg/internal/trace"
 )
@@ -69,6 +70,12 @@ type (
 	// FaultPlan is a deterministic fault-injection plan for the RDU
 	// pipeline and shadow memory.
 	FaultPlan = fault.Plan
+	// ValidateError is a typed ISA validation failure: the offending
+	// program, PC (-1 for whole-program defects), a machine-checkable
+	// kind, and a human detail string.
+	ValidateError = isa.ValidateError
+	// ValidateErrKind enumerates the ISA validation failure classes.
+	ValidateErrKind = isa.ValidateErrKind
 )
 
 // ParseFaultPlan parses a fault-plan spec such as
@@ -159,6 +166,15 @@ type RunOptions struct {
 	// DetectionOptions.Parallel): findings are byte-identical to the
 	// serial engine, only wall-clock time changes. Requires Detection.
 	DetectParallel bool
+
+	// StaticFilter runs the static race prover (internal/staticrace)
+	// over the benchmark's kernels and lets the RDUs skip shadow checks
+	// at sites proven race-free. Findings and cycle counts are
+	// byte-identical to an unfiltered run — only detector work changes
+	// (Report.Summary.Checks["filtered"] counts the skips). Requires
+	// Detection; inert when a FaultPlan is attached (dropping checks
+	// would desynchronize the injector's PRNG streams).
+	StaticFilter bool
 
 	// FaultPlan is a fault-injection spec (see ParseFaultPlan); empty
 	// runs fault-free. Requires Detection.
@@ -302,6 +318,21 @@ func RunBenchmarkContext(ctx context.Context, name string, opts RunOptions) (*Ru
 	if err != nil {
 		return nil, err
 	}
+	if opts.StaticFilter {
+		if coreDet == nil {
+			return nil, fmt.Errorf("haccrg: StaticFilter requires Detection (there are no RDU checks to skip)")
+		}
+		conf := staticrace.Config{
+			WarpSize:          cfg.WarpSize,
+			SharedGranularity: coreDet.Options().SharedGranularity,
+			GlobalGranularity: coreDet.Options().GlobalGranularity,
+		}
+		f, err := staticrace.NewFilter(conf, plan.Kernels...)
+		if err != nil {
+			return nil, fmt.Errorf("haccrg: static analysis of %s: %w", name, err)
+		}
+		coreDet.SetStaticFilter(f)
+	}
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -330,6 +361,92 @@ func RunBenchmarkContext(ctx context.Context, name string, opts RunOptions) (*Ru
 		return res, fmt.Errorf("haccrg: journal recording failed: %w", jrec.Err())
 	}
 	return res, runErr
+}
+
+// Static-analysis re-exports: the CFG/dataflow analyzer, its lint
+// findings, and the race-freedom prover (see DESIGN.md, "Static
+// analysis").
+type (
+	// StaticAnalysis is one kernel's full analysis result: CFG,
+	// findings, per-site race-freedom verdicts and the filterable mask.
+	StaticAnalysis = staticrace.Analysis
+	// StaticReport is the serializable multi-kernel report.
+	StaticReport = staticrace.SuiteReport
+	// StaticFinding is one lint diagnostic, addressed by PC.
+	StaticFinding = staticrace.Finding
+)
+
+// AnalyzeOptions configures AnalyzeBenchmark.
+type AnalyzeOptions struct {
+	// Scale, SingleBlock, Inject select the same kernel variants a run
+	// with the matching RunOptions would launch.
+	Scale       int
+	SingleBlock bool
+	Inject      []string
+	// GPU sets the device geometry the analysis assumes (warp size;
+	// nil = DefaultGPU).
+	GPU *GPUConfig
+	// Detection supplies the tracking granularities the prover models
+	// (nil = DefaultDetection).
+	Detection *DetectionOptions
+}
+
+// AnalyzeBenchmark builds a benchmark's kernels and runs the static
+// analyzer over them without simulating anything: CFG construction,
+// abstract interpretation, the lint passes, and the race-freedom
+// prover. The returned analyses are in plan order; render them with
+// BuildStaticReport.
+func AnalyzeBenchmark(name string, opts AnalyzeOptions) ([]*StaticAnalysis, error) {
+	bm := kernels.Get(name)
+	if bm == nil {
+		return nil, fmt.Errorf("haccrg: unknown benchmark %q (have %v)", name, benchNames())
+	}
+	if opts.Scale < 1 {
+		opts.Scale = 1
+	}
+	cfg := gpu.DefaultConfig()
+	if opts.GPU != nil {
+		cfg = *opts.GPU
+	}
+	dev, err := gpu.NewDevice(cfg, bm.GlobalBytes(opts.Scale), nil)
+	if err != nil {
+		return nil, err
+	}
+	p := kernels.Params{Scale: opts.Scale, SingleBlock: opts.SingleBlock}
+	if len(opts.Inject) > 0 {
+		p.Inject = map[string]bool{}
+		for _, id := range opts.Inject {
+			p.Inject[id] = true
+		}
+	}
+	plan, err := bm.Build(dev, p)
+	if err != nil {
+		return nil, err
+	}
+	dopt := core.DefaultOptions()
+	if opts.Detection != nil {
+		dopt = *opts.Detection
+	}
+	conf := staticrace.Config{
+		WarpSize:          cfg.WarpSize,
+		SharedGranularity: dopt.SharedGranularity,
+		GlobalGranularity: dopt.GlobalGranularity,
+	}
+	var out []*StaticAnalysis
+	for _, k := range plan.Kernels {
+		res, err := staticrace.Analyze(k, conf)
+		if err != nil {
+			return nil, fmt.Errorf("haccrg: static analysis of %s kernel %s: %w", name, k.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// BuildStaticReport converts analyses into the serializable report
+// (withSites includes the prover's per-site classification).
+func BuildStaticReport(analyses []*StaticAnalysis, withSites bool) *StaticReport {
+	return staticrace.BuildReport(analyses, withSites)
 }
 
 func tlbDefaultConfig() tlb.Config { return tlb.DefaultConfig }

@@ -126,6 +126,52 @@ func BenchmarkRDUHotPath(b *testing.B) {
 			d.WarpMem(ev)
 		}
 	})
+	// Filtered variants: the same event streams with the site statically
+	// proven race-free. The gap against the unfiltered runs is exactly
+	// the check work the static filter saves; shadow traffic still runs
+	// on the global path (the timing model is preserved).
+	filteredOpt := func() Options {
+		opt := DefaultOptions()
+		mask := make([]bool, 8)
+		mask[4] = true // warpEvent PCs
+		opt.StaticFilter = maskFilter{"bench": mask}
+		return opt
+	}
+	b.Run("global-write-filtered", func(b *testing.B) {
+		d := benchDetector(b, filteredOpt())
+		ev := warpEvent(isa.SpaceGlobal, true, lanes, 0, 4)
+		const workingSet = 1 << 16
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base := uint64(i*lanes*4) % workingSet
+			for l := range ev.Lanes {
+				ev.Lanes[l].Addr = base + uint64(l)*4
+			}
+			d.WarpMem(ev)
+		}
+		b.StopTimer()
+		if st := d.Stats(); st.GlobalChecks != 0 || st.FilteredChecks == 0 {
+			b.Fatalf("filter not engaged: checks=%d filtered=%d", st.GlobalChecks, st.FilteredChecks)
+		}
+	})
+	b.Run("shared-write-filtered", func(b *testing.B) {
+		d := benchDetector(b, filteredOpt())
+		ev := warpEvent(isa.SpaceShared, true, lanes, 0, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base := uint64(i*lanes*4) % (1 << 12)
+			for l := range ev.Lanes {
+				ev.Lanes[l].Addr = base + uint64(l)*4
+			}
+			d.WarpMem(ev)
+		}
+		b.StopTimer()
+		if st := d.Stats(); st.SharedChecks != 0 || st.FilteredChecks == 0 {
+			b.Fatalf("filter not engaged: checks=%d filtered=%d", st.SharedChecks, st.FilteredChecks)
+		}
+	})
 }
 
 // BenchmarkShardedRDU compares the serial and sharded global-memory

@@ -92,6 +92,13 @@ type Detector struct {
 	seen  map[raceKey]*Race
 	sites map[siteKey]struct{}
 
+	// siteFilter is the running kernel's static race-freedom mask
+	// (Options.StaticFilter), cached at KernelStart; siteFilter[pc]
+	// true lets the RDUs skip that pc's checks. nil when no filter is
+	// attached, the kernel is unknown to it, or a fault plan is live
+	// (filtering would desynchronize the injector streams).
+	siteFilter []bool
+
 	stats Stats
 
 	// scratch holds small per-event buffers reused across WarpMem
@@ -153,6 +160,19 @@ func (d *Detector) Name() string {
 
 // Options returns the active configuration.
 func (d *Detector) Options() Options { return d.opt }
+
+// SetStaticFilter attaches (or, with nil, detaches) a static
+// race-freedom filter after construction — the harness builds the
+// detector first, derives the analyzer configuration from its options,
+// and only then has kernels to analyze. Takes effect at the next
+// KernelStart.
+func (d *Detector) SetStaticFilter(f StaticFilter) { d.opt.StaticFilter = f }
+
+// pcFiltered reports whether the running kernel's mask proves the
+// site at pc race-free.
+func (d *Detector) pcFiltered(pc int) bool {
+	return d.siteFilter != nil && pc >= 0 && pc < len(d.siteFilter) && d.siteFilter[pc]
+}
 
 // Stats returns detection activity counters. With the sharded engine
 // the per-unit counters are folded in after a drain, so mid-kernel
@@ -219,6 +239,7 @@ func (d *Detector) Reset() {
 	d.seen = make(map[raceKey]*Race)
 	d.sites = make(map[siteKey]struct{})
 	d.sharedShadow = nil
+	d.siteFilter = nil
 	d.stats = Stats{}
 	d.seq = 0
 	d.simPending = nil
@@ -237,6 +258,10 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 	d.env = env
 	d.kernel = kernelName
 	d.warpSize = env.Config().WarpSize
+	d.siteFilter = nil
+	if f := d.opt.StaticFilter; f != nil && d.inj == nil {
+		d.siteFilter = f.FilterSites(kernelName)
+	}
 	d.partShift = uint(bits.TrailingZeros64(uint64(env.Config().SegmentBytes)))
 	d.parts = uint64(env.Config().NumPartitions)
 	d.partMask = 0

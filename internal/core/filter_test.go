@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"haccrg/internal/fault"
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// maskFilter is a StaticFilter stub: a fixed per-kernel mask.
+type maskFilter map[string][]bool
+
+func (m maskFilter) FilterSites(kernel string) []bool { return m[kernel] }
+
+// privateStoreKernel: every thread stores to its own global word —
+// trivially race-free, the canonical filterable site.
+func privateStoreKernel(out uint64) *gpu.Kernel {
+	b := isa.NewBuilder("private-store")
+	b.Sreg(rGtid, isa.SregGtid)
+	b.Movi(rBase, int64(out))
+	b.Muli(rAddr, rGtid, 4)
+	b.Add(rAddr, rBase, rAddr)
+	b.St(isa.SpaceGlobal, rAddr, 0, rGtid, 4)
+	b.Exit()
+	return &gpu.Kernel{
+		Name: "private-store", Prog: b.MustBuild(),
+		GridDim: 2, BlockDim: 64,
+	}
+}
+
+// storePC locates the kernel's single global store.
+func storePC(t *testing.T, k *gpu.Kernel) int {
+	t.Helper()
+	for pc, in := range k.Prog.Code {
+		if in.Op == isa.OpSt {
+			return pc
+		}
+	}
+	t.Fatal("no store in program")
+	return -1
+}
+
+// fullMask marks exactly the given pcs filtered.
+func fullMask(k *gpu.Kernel, pcs ...int) []bool {
+	m := make([]bool, len(k.Prog.Code))
+	for _, pc := range pcs {
+		m[pc] = true
+	}
+	return m
+}
+
+// TestStaticFilterSkipsGlobalChecks: with the store site masked, the
+// global RDU performs zero lane checks for it, counts the skips, and
+// the launch's cycle count is unchanged (shadow traffic preserved).
+func TestStaticFilterSkipsGlobalChecks(t *testing.T) {
+	opt := DefaultOptions()
+	run := func(filter bool) (*gpu.LaunchStats, Stats, []*Race) {
+		dev, det := newHarness(t, opt, 1<<16)
+		k := privateStoreKernel(4096)
+		if filter {
+			det.SetStaticFilter(maskFilter{k.Name: fullMask(k, storePC(t, k))})
+		}
+		st := launch(t, dev, k)
+		return st, det.Stats(), det.Races()
+	}
+	stOff, statsOff, racesOff := run(false)
+	stOn, statsOn, racesOn := run(true)
+
+	if statsOn.FilteredChecks == 0 {
+		t.Fatal("filter attached but FilteredChecks = 0")
+	}
+	if statsOn.GlobalChecks >= statsOff.GlobalChecks {
+		t.Fatalf("global checks not reduced: on=%d off=%d",
+			statsOn.GlobalChecks, statsOff.GlobalChecks)
+	}
+	if got, want := statsOn.GlobalChecks+statsOn.FilteredChecks, statsOff.GlobalChecks; got != want {
+		t.Fatalf("checks+filtered = %d, want %d (every skip accounted)", got, want)
+	}
+	if statsOn.ShadowReads != statsOff.ShadowReads || statsOn.ShadowWrites != statsOff.ShadowWrites {
+		t.Fatalf("shadow traffic changed: on=%d/%d off=%d/%d",
+			statsOn.ShadowReads, statsOn.ShadowWrites, statsOff.ShadowReads, statsOff.ShadowWrites)
+	}
+	if stOn.Cycles != stOff.Cycles {
+		t.Fatalf("cycle count changed: on=%d off=%d", stOn.Cycles, stOff.Cycles)
+	}
+	if len(racesOn) != 0 || len(racesOff) != 0 {
+		t.Fatalf("clean kernel reported races: on=%d off=%d", len(racesOn), len(racesOff))
+	}
+}
+
+// TestStaticFilterSkipsSharedChecks: same property for the shared RDU.
+func TestStaticFilterSkipsSharedChecks(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Global = false
+	opt.DetectStaleL1 = false
+	opt.SharedGranularity = 4
+
+	build := func() *gpu.Kernel {
+		b := isa.NewBuilder("private-shared")
+		b.Sreg(rTid, isa.SregTid)
+		b.Muli(rAddr, rTid, 4)
+		b.St(isa.SpaceShared, rAddr, 0, rTid, 4)
+		b.Exit()
+		return &gpu.Kernel{
+			Name: "private-shared", Prog: b.MustBuild(),
+			GridDim: 1, BlockDim: 64, SharedBytes: 256,
+		}
+	}
+	dev, det := newHarness(t, opt, 1<<16)
+	k := build()
+	det.SetStaticFilter(maskFilter{k.Name: fullMask(k, storePC(t, k))})
+	launch(t, dev, k)
+	st := det.Stats()
+	if st.SharedChecks != 0 {
+		t.Fatalf("SharedChecks = %d, want 0 (all filtered)", st.SharedChecks)
+	}
+	if st.FilteredChecks != 64 {
+		t.Fatalf("FilteredChecks = %d, want 64", st.FilteredChecks)
+	}
+}
+
+// TestStaticFilterPreservesRaces: a mask covering only a safe site must
+// leave findings on the racy site byte-identical to the unfiltered run.
+func TestStaticFilterPreservesRaces(t *testing.T) {
+	opt := DefaultOptions()
+	run := func(filter bool) []*Race {
+		dev, det := newHarness(t, opt, 1<<16)
+		k := crossBlockKernel(4096)
+		if filter {
+			// Mask nothing real: an all-false mask must be a no-op.
+			det.SetStaticFilter(maskFilter{k.Name: make([]bool, len(k.Prog.Code))})
+		}
+		launch(t, dev, k)
+		return det.SortedRaces()
+	}
+	off := run(false)
+	on := run(true)
+	if len(off) == 0 {
+		t.Fatal("cross-block kernel produced no races")
+	}
+	if len(on) != len(off) {
+		t.Fatalf("race count changed: on=%d off=%d", len(on), len(off))
+	}
+	for i := range off {
+		if *on[i] != *off[i] {
+			t.Fatalf("race %d diverged:\n on=%+v\noff=%+v", i, on[i], off[i])
+		}
+	}
+}
+
+// TestStaticFilterInertUnderFaultPlan: with a fault plan attached the
+// filter must not engage — dropping checks would desynchronize the
+// injector's PRNG streams.
+func TestStaticFilterInertUnderFaultPlan(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Fault = &fault.Plan{FlipRate: 0.01, ECC: true}
+	dev, det := newHarness(t, opt, 1<<16)
+	k := privateStoreKernel(4096)
+	det.SetStaticFilter(maskFilter{k.Name: fullMask(k, storePC(t, k))})
+	launch(t, dev, k)
+	st := det.Stats()
+	if st.FilteredChecks != 0 {
+		t.Fatalf("FilteredChecks = %d under a fault plan, want 0", st.FilteredChecks)
+	}
+	if st.GlobalChecks == 0 {
+		t.Fatal("no global checks ran at all")
+	}
+}

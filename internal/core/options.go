@@ -31,6 +31,21 @@ func (p DegradationPolicy) String() string {
 	return "quarantine"
 }
 
+// StaticFilter supplies per-kernel masks of access sites a static
+// analysis proved race-free (internal/staticrace implements it). The
+// detector consults the mask at each warp memory event and skips the
+// shadow lookups and state-machine checks for proven sites; the RDUs'
+// shadow *traffic* is still modeled, so cycle counts are unchanged and
+// only check work disappears. The filter is inert when a fault plan is
+// attached: dropping checks would desynchronize the injector streams
+// and change which faults land.
+type StaticFilter interface {
+	// FilterSites returns the mask for the named kernel: mask[pc] true
+	// means every access issued by that program counter is provably
+	// race-free. A nil mask means no information (nothing filtered).
+	FilterSites(kernel string) []bool
+}
+
 // Options configures HAccRG detection.
 type Options struct {
 	// Shared enables the per-SM shared-memory RDUs.
@@ -82,6 +97,12 @@ type Options struct {
 	// MaxRaces caps distinct recorded races (0 = unlimited); detection
 	// continues counting but stops materializing new records.
 	MaxRaces int
+
+	// StaticFilter optionally skips RDU checks at statically-proven
+	// race-free sites (see the StaticFilter interface). Findings must
+	// stay byte-identical with the filter on; shadow traffic and cycle
+	// counts are preserved. Ignored while a fault plan is attached.
+	StaticFilter StaticFilter
 
 	// Fault optionally attaches a deterministic fault-injection plan
 	// to the RDUs and shadow memory (nil or empty = fault-free, the
@@ -150,4 +171,8 @@ type Stats struct {
 	GlobalReports int64 // dynamic reports in the global space
 	BarrierInval  int64 // shared shadow invalidation episodes
 	FenceLookups  int64 // race-register-file fence-ID reads
+	// FilteredChecks counts lane checks skipped because their site was
+	// statically proven race-free (Options.StaticFilter). Each filtered
+	// lane would otherwise have been a SharedChecks or GlobalChecks.
+	FilteredChecks int64
 }

@@ -89,6 +89,22 @@ func (d *Detector) partitionOf(addr uint64) int {
 // the partition/L2 state and the report order.
 func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 	gran := uint64(d.opt.GlobalGranularity)
+
+	// Statically-proven race-free site: the RDUs still fetch and write
+	// back the shadow lines (an in-memory filter table would not stop
+	// the hardware's traffic, and the L2/partition timing state is
+	// order-sensitive), but every check — intra-warp WAW, the state
+	// machine, sharded scatter — is skipped. No sequence numbers are
+	// reserved, so the merge order of the remaining candidates is the
+	// serial order with these events absent, on both engines.
+	if d.pcFiltered(ev.PC) {
+		if d.opt.ModelTraffic {
+			d.modelGlobalTraffic(ev, gran)
+		}
+		d.stats.FilteredChecks += int64(len(ev.Lanes))
+		return 0
+	}
+
 	if d.running {
 		return d.globalRDUAsync(ev, gran)
 	}

@@ -18,9 +18,20 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 	shadow := d.sharedShadow[ev.SM]
 	gran := uint64(d.opt.SharedGranularity)
 
+	// Statically-proven race-free site: skip every check. In hardware
+	// mode the checks are the only work, so the event is free; in the
+	// Figure 8 configuration the shadow-line fetches below still run —
+	// the hardware would still move the shadow lines — so cycle counts
+	// are identical with the filter on or off.
+	filtered := d.pcFiltered(ev.PC)
+	if filtered && !d.opt.SharedShadowInGlobal {
+		d.stats.FilteredChecks += int64(len(ev.Lanes))
+		return 0
+	}
+
 	// Intra-warp WAW: two lanes of this instruction writing the same
 	// byte address, checked before the request issues.
-	if ev.Write || ev.Atomic {
+	if !filtered && (ev.Write || ev.Atomic) {
 		d.intraWarpWAW(ev, isa.SpaceShared, gran)
 	}
 
@@ -29,6 +40,18 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 
 	for i := range ev.Lanes {
 		la := &ev.Lanes[i]
+		if filtered {
+			// Fig. 8 mode: collect the shadow lines (timing) but skip
+			// the check. The filter is inert under fault plans, so the
+			// admit/quarantine hooks below cannot be reached filtered.
+			d.stats.FilteredChecks++
+			g := la.Addr / gran
+			if g < uint64(len(shadow)) {
+				entryAddr := d.sharedShadowBase(ev.SM) + g*2
+				shadowLines = insertLine(shadowLines, entryAddr&^uint64(d.env.Config().SegmentBytes-1))
+			}
+			continue
+		}
 		if d.inj != nil && !d.admit(fault.UnitShared, ev.SM, ev.Cycle) {
 			continue // check-queue overflow: dropped, counted, access unaffected
 		}

@@ -89,6 +89,11 @@ func (d *Detector) Report() *Report {
 			},
 		},
 	}
+	if st.FilteredChecks > 0 {
+		// Only present when the static filter actually skipped work, so
+		// filter-off reports stay byte-identical to earlier versions.
+		rep.Summary.Checks["filtered"] = st.FilteredChecks
+	}
 	if h := d.Health(); h.Degraded {
 		rep.Health = h
 	}

@@ -17,6 +17,7 @@ import (
 	"haccrg/internal/isa"
 	"haccrg/internal/journal"
 	"haccrg/internal/kernels"
+	"haccrg/internal/staticrace"
 	"haccrg/internal/swdetect"
 )
 
@@ -53,6 +54,14 @@ type RunConfig struct {
 	// core.Options.Parallel). Findings are byte-identical to the serial
 	// engine; only wall-clock time changes.
 	DetectParallel bool
+
+	// StaticFilter analyzes the plan's kernels with the static race
+	// prover (internal/staticrace) and lets the RDUs skip checks at
+	// provably race-free sites. Findings and cycle counts stay
+	// byte-identical; only check work drops. Hardware detector kinds
+	// only. The omitempty tag keeps manifest keys of filter-off configs
+	// stable across versions.
+	StaticFilter bool `json:"StaticFilter,omitempty"`
 
 	// GPU overrides the device configuration (nil = paper's Table I).
 	GPU *gpu.Config
@@ -220,6 +229,23 @@ func RunContext(ctx context.Context, rc RunConfig) (res *RunResult, err error) {
 	plan, err := bm.Build(dev, p)
 	if err != nil {
 		return nil, err
+	}
+	if rc.StaticFilter {
+		switch rc.Detector {
+		case DetShared, DetGlobal, DetSharedGlobal, DetFig8:
+		default:
+			return nil, fmt.Errorf("harness: static filter requires a hardware HAccRG detector, got %q", rc.Detector)
+		}
+		sconf := staticrace.Config{
+			WarpSize:          cfg.WarpSize,
+			SharedGranularity: coreDet.Options().SharedGranularity,
+			GlobalGranularity: coreDet.Options().GlobalGranularity,
+		}
+		f, err := staticrace.NewFilter(sconf, plan.Kernels...)
+		if err != nil {
+			return nil, fmt.Errorf("harness: static analysis of %s: %w", rc.Bench, err)
+		}
+		coreDet.SetStaticFilter(f)
 	}
 	if rc.Timeout > 0 {
 		var cancel context.CancelFunc

@@ -309,43 +309,45 @@ func (p *Program) Disassemble() string {
 
 // Validate checks structural invariants of the program: branch targets
 // in range, reconvergence points set for predicated branches, register
-// and predicate indices in range, and memory sizes valid.
+// and predicate indices in range, and memory sizes valid. Failures are
+// reported as *ValidateError values carrying the program name, the
+// offending pc, and a machine-matchable kind (see validate.go).
 func (p *Program) Validate() error {
 	n := len(p.Code)
 	if n == 0 {
-		return fmt.Errorf("isa: program %q is empty", p.Name)
+		return p.verr(-1, ErrEmptyProgram, "program has no instructions")
 	}
 	for pc := range p.Code {
 		in := &p.Code[pc]
 		if in.Op >= opMax {
-			return fmt.Errorf("isa: %q pc %d: bad opcode %d", p.Name, pc, in.Op)
+			return p.verr(pc, ErrBadOpcode, fmt.Sprintf("bad opcode %d", in.Op))
 		}
 		if in.Pred != NoPred && in.Pred >= NumPreds {
-			return fmt.Errorf("isa: %q pc %d: guard predicate p%d out of range", p.Name, pc, in.Pred)
+			return p.verr(pc, ErrPredicateRange, fmt.Sprintf("guard predicate p%d out of range", in.Pred))
 		}
 		if in.Dst >= NumRegs || in.SrcA >= NumRegs || in.SrcB >= NumRegs || in.SrcC >= NumRegs {
-			return fmt.Errorf("isa: %q pc %d: register out of range", p.Name, pc)
+			return p.verr(pc, ErrRegisterRange, "register out of range")
 		}
 		switch in.Op {
 		case OpBra:
 			if in.Tgt < 0 || in.Tgt >= n {
-				return fmt.Errorf("isa: %q pc %d: branch target %d out of range", p.Name, pc, in.Tgt)
+				return p.verr(pc, ErrBranchTarget, fmt.Sprintf("branch target %d out of range", in.Tgt))
 			}
 			if in.Pred != NoPred && (in.Rcv < 0 || in.Rcv > n) {
-				return fmt.Errorf("isa: %q pc %d: predicated branch without reconvergence point", p.Name, pc)
+				return p.verr(pc, ErrReconvergence, fmt.Sprintf("predicated branch reconvergence point %d outside program", in.Rcv))
 			}
 		case OpSetp, OpFSetp:
 			if in.PD >= NumPreds {
-				return fmt.Errorf("isa: %q pc %d: predicate p%d out of range", p.Name, pc, in.PD)
+				return p.verr(pc, ErrPredicateRange, fmt.Sprintf("predicate p%d out of range", in.PD))
 			}
 		case OpLd, OpSt, OpAtom:
 			switch in.Size {
 			case 1, 2, 4, 8:
 			default:
-				return fmt.Errorf("isa: %q pc %d: bad access size %d", p.Name, pc, in.Size)
+				return p.verr(pc, ErrMemSize, fmt.Sprintf("bad access size %d", in.Size))
 			}
 			if in.Float && in.Size != 4 && in.Size != 8 {
-				return fmt.Errorf("isa: %q pc %d: float access must be 4 or 8 bytes", p.Name, pc)
+				return p.verr(pc, ErrFloatSize, fmt.Sprintf("float access of %d bytes (want 4 or 8)", in.Size))
 			}
 		}
 	}

@@ -1,0 +1,63 @@
+package isa
+
+import "fmt"
+
+// ValidateErrKind classifies a structural defect found by
+// Program.Validate. Tools that consume validation failures (the
+// disassembler, the static analyzer, the kernel cache) switch on the
+// kind instead of parsing error strings.
+type ValidateErrKind uint8
+
+// Validation failure kinds.
+const (
+	ErrEmptyProgram ValidateErrKind = iota
+	ErrBadOpcode
+	ErrRegisterRange
+	ErrPredicateRange
+	ErrBranchTarget
+	ErrReconvergence
+	ErrMemSize
+	ErrFloatSize
+)
+
+func (k ValidateErrKind) String() string {
+	switch k {
+	case ErrEmptyProgram:
+		return "empty-program"
+	case ErrBadOpcode:
+		return "bad-opcode"
+	case ErrRegisterRange:
+		return "register-range"
+	case ErrPredicateRange:
+		return "predicate-range"
+	case ErrBranchTarget:
+		return "branch-target"
+	case ErrReconvergence:
+		return "reconvergence"
+	case ErrMemSize:
+		return "mem-size"
+	case ErrFloatSize:
+		return "float-size"
+	}
+	return "validate?"
+}
+
+// ValidateError is the typed error returned by Program.Validate.
+// PC is -1 for whole-program defects (an empty program).
+type ValidateError struct {
+	Program string
+	PC      int
+	Kind    ValidateErrKind
+	Detail  string
+}
+
+func (e *ValidateError) Error() string {
+	if e.PC < 0 {
+		return fmt.Sprintf("isa: %q: %s: %s", e.Program, e.Kind, e.Detail)
+	}
+	return fmt.Sprintf("isa: %q pc %d: %s: %s", e.Program, e.PC, e.Kind, e.Detail)
+}
+
+func (p *Program) verr(pc int, kind ValidateErrKind, detail string) error {
+	return &ValidateError{Program: p.Name, PC: pc, Kind: kind, Detail: detail}
+}

@@ -45,12 +45,19 @@ func progCacheKey(name string, p *Params) string {
 }
 
 // memoProgram returns the assembled program for (name, p), invoking
-// build only the first time a parameterization is seen.
+// build only the first time a parameterization is seen. Programs are
+// validated before they enter the cache: a malformed program would be
+// shared by every subsequent launch of the parameterization, so the
+// cache is the chokepoint where isa.Program.Validate must hold.
 func memoProgram(name string, p *Params, build func() *isa.Program) *isa.Program {
 	key := progCacheKey(name, p)
 	if v, ok := progCache.Load(key); ok {
 		return v.(*isa.Program)
 	}
-	prog, _ := progCache.LoadOrStore(key, build())
+	built := build()
+	if err := built.Validate(); err != nil {
+		panic("kernels: " + key + ": " + err.Error())
+	}
+	prog, _ := progCache.LoadOrStore(key, built)
 	return prog.(*isa.Program)
 }

@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"fmt"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// Deliberately-defective kernels: true-positive fixtures for the
+// static analyzer (internal/staticrace). Each one carries exactly the
+// defect its name says — a barrier under a divergent tid-dependent
+// branch, the psum election idiom with the fence deleted, and a shared
+// store that provably escapes the declared shared segment. They are
+// registered Defective, so All() and every bench sweep skip them;
+// badoob in particular would fail its launch (shared OOB is a hard
+// device error), and baddiv would trip the hang guard rail.
+
+const (
+	defBlockDim = 64
+	defBlocks   = 2
+)
+
+func init() {
+	register(&Benchmark{
+		Name:      "baddiv",
+		Desc:      "DEFECTIVE: barrier inside a tid-divergent branch (deadlocks half the block)",
+		Input:     fmt.Sprintf("%d threads", defBlocks*defBlockDim),
+		Defective: true,
+		GlobalBytes: func(scale int) int {
+			return 4096
+		},
+		Build: buildBadDiv,
+	})
+	register(&Benchmark{
+		Name:      "badfence",
+		Desc:      "DEFECTIVE: psum election idiom with the MEMBAR removed (partials read unfenced)",
+		Input:     fmt.Sprintf("%d threads", defBlocks*defBlockDim),
+		Defective: true,
+		GlobalBytes: func(scale int) int {
+			nt := defBlocks * defBlockDim
+			return nt*4 + dummyBytes + 4096
+		},
+		Build: buildBadFence,
+	})
+	register(&Benchmark{
+		Name:      "badoob",
+		Desc:      "DEFECTIVE: shared store strides past the declared shared segment",
+		Input:     fmt.Sprintf("%d threads", defBlocks*defBlockDim),
+		Defective: true,
+		GlobalBytes: func(scale int) int {
+			return 4096
+		},
+		Build: buildBadOOB,
+	})
+}
+
+// buildBadDiv: BAR guarded by tid < BlockDim/2. The bottom half of
+// every block never reaches the barrier, so the launch deadlocks; the
+// barrier-divergence lint must prove it without running anything.
+func buildBadDiv(d *gpu.Device, p Params) (*Plan, error) {
+	prog := memoProgram("baddiv", &p, func() *isa.Program {
+		b := isa.NewBuilder("baddiv")
+		preamble(b)
+		b.Muli(rA, rTid, 4)
+		b.St(isa.SpaceShared, rA, 0, rTid, 4)
+		b.Setpi(0, isa.CmpLT, rTid, defBlockDim/2)
+		b.If(0)
+		b.Bar()
+		b.Ld(rB, isa.SpaceShared, rA, 0, 4)
+		b.EndIf()
+		b.Exit()
+		return b.MustBuild()
+	})
+	k := &gpu.Kernel{
+		Name: "baddiv", Prog: prog,
+		GridDim: defBlocks * p.scale(), BlockDim: defBlockDim,
+		SharedBytes: defBlockDim * 4,
+	}
+	return &Plan{Kernels: []*gpu.Kernel{k}}, nil
+}
+
+// buildBadFence is psum's election tail with the fence deleted: store
+// out[gtid], atomicInc the done counter, and let the elected thread
+// read every partial back — unfenced, so the read can observe stale
+// values. The fence-misuse lint must connect the three sites.
+func buildBadFence(d *gpu.Device, p Params) (*Plan, error) {
+	blocks := defBlocks * p.scale()
+	threads := blocks * defBlockDim
+	out, err := d.Malloc(threads * 4)
+	if err != nil {
+		return nil, err
+	}
+	result, err := d.Malloc(4)
+	if err != nil {
+		return nil, err
+	}
+	counter, err := d.Malloc(4)
+	if err != nil {
+		return nil, err
+	}
+	prog := memoProgram("badfence", &p, func() *isa.Program {
+		b := isa.NewBuilder("badfence")
+		preamble(b)
+		// out[gtid] = gtid (stands in for the partial sum).
+		b.Ldp(rA, 0)
+		b.Muli(rC, rGtid, 4)
+		b.Add(rC, rA, rC)
+		b.Note("partial store; a MEMBAR is missing below")
+		b.St(isa.SpaceGlobal, rC, 0, rGtid, 4)
+		// old = atomicInc(counter, threads) — no fence before this.
+		b.Ldp(rE, 2)
+		b.Movi(rF, int64(threads))
+		b.Atom(rK, isa.AtomInc, isa.SpaceGlobal, rE, 0, rF, 0)
+		b.Setpi(1, isa.CmpEQ, rK, int64(threads-1))
+		b.If(1)
+		b.Movi(rG, 0)
+		b.Movi(rI, 0)
+		b.Setpi(2, isa.CmpLT, rI, int64(threads))
+		b.While(2)
+		b.Ldp(rA, 0)
+		b.Muli(rC, rI, 4)
+		b.Add(rC, rA, rC)
+		b.Note("elected thread consumes the unfenced partials")
+		b.Ld(rD, isa.SpaceGlobal, rC, 0, 4)
+		b.Add(rG, rG, rD)
+		b.Addi(rI, rI, 1)
+		b.Setpi(2, isa.CmpLT, rI, int64(threads))
+		b.EndWhile()
+		b.Ldp(rB, 1)
+		b.St(isa.SpaceGlobal, rB, 0, rG, 4)
+		b.EndIf()
+		b.Exit()
+		return b.MustBuild()
+	})
+	k := &gpu.Kernel{
+		Name: "badfence", Prog: prog,
+		GridDim: blocks, BlockDim: defBlockDim,
+		Params: []uint64{out, result, counter},
+	}
+	return &Plan{Kernels: []*gpu.Kernel{k}}, nil
+}
+
+// buildBadOOB: shared[tid*8] with BlockDim*4 shared bytes — the top
+// half of each block stores past the segment. Launching would fail
+// with a hard shared-OOB device error; the lint proves it statically.
+func buildBadOOB(d *gpu.Device, p Params) (*Plan, error) {
+	prog := memoProgram("badoob", &p, func() *isa.Program {
+		b := isa.NewBuilder("badoob")
+		preamble(b)
+		b.Muli(rA, rTid, 8)
+		b.Note("stride-8 store into a stride-4-sized segment")
+		b.St(isa.SpaceShared, rA, 0, rTid, 4)
+		b.Exit()
+		return b.MustBuild()
+	})
+	k := &gpu.Kernel{
+		Name: "badoob", Prog: prog,
+		GridDim: defBlocks * p.scale(), BlockDim: defBlockDim,
+		SharedBytes: defBlockDim * 4,
+	}
+	return &Plan{Kernels: []*gpu.Kernel{k}}, nil
+}

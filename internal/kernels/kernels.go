@@ -162,6 +162,10 @@ type Benchmark struct {
 	Build func(d *gpu.Device, p Params) (*Plan, error)
 	// GlobalBytes returns the device-memory requirement at a scale.
 	GlobalBytes func(scale int) int
+	// Defective marks a deliberately-broken kernel kept as a static
+	// analyzer true-positive fixture. Defective benchmarks are
+	// excluded from All() and hence from every bench sweep.
+	Defective bool
 }
 
 // Site returns the benchmark's site with the given suffix.
@@ -188,11 +192,26 @@ func register(b *Benchmark) *Benchmark {
 // Get returns a benchmark by name (nil if unknown).
 func Get(name string) *Benchmark { return registry[name] }
 
-// All returns every benchmark in the paper's Table II order.
+// All returns every runnable benchmark in the paper's Table II order.
+// Deliberately-defective analyzer fixtures are excluded; use
+// AllIncludingDefective to see those too.
 func All() []*Benchmark {
+	out := make([]*Benchmark, 0, len(registry))
+	for _, b := range AllIncludingDefective() {
+		if !b.Defective {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// AllIncludingDefective returns every registered benchmark — Table II
+// order first, then extras sorted by name — including the defective
+// static-analyzer fixtures that All() hides from sweeps.
+func AllIncludingDefective() []*Benchmark {
 	order := []string{"mcarlo", "scan", "fwalsh", "hist", "sortnw",
 		"reduce", "psum", "offt", "kmeans", "hash"}
-	out := make([]*Benchmark, 0, len(order))
+	out := make([]*Benchmark, 0, len(registry))
 	for _, n := range order {
 		if b, ok := registry[n]; ok {
 			out = append(out, b)

@@ -1,0 +1,133 @@
+// Package staticrace is a static analyzer for isa.Program kernels: a
+// CFG + abstract-interpretation framework with an affine symbolic
+// domain over {tid, bid, lane, warp, params, constants}, used for
+//
+//   - lint passes (barrier divergence, uninitialized reads, provable
+//     shared-memory OOB, fence misuse around election atomics);
+//   - a race-freedom prover that classifies each LD/ST/ATOM site per
+//     memory space;
+//   - the RDU static filter (core.Options.StaticFilter) that lets the
+//     dynamic detector skip shadow work for proven-race-free sites.
+package staticrace
+
+import (
+	"fmt"
+	"sort"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// Config carries the launch- and detector-side constants the analysis
+// needs. Granularities must match the dynamic detector's options for
+// the filter classifications to be sound.
+type Config struct {
+	WarpSize           int
+	SharedGranularity  int
+	GlobalGranularity  int
+	MaxFootprintPoints int64 // 0 = default (1<<22)
+}
+
+// Finding is one lint diagnostic, addressed by PC.
+type Finding struct {
+	Pass    string `json:"pass"`
+	Kernel  string `json:"kernel"`
+	PC      int    `json:"pc"`
+	Msg     string `json:"msg"`
+	Related []int  `json:"related,omitempty"` // other PCs involved
+}
+
+// SiteInfo is the prover's verdict for one memory site.
+type SiteInfo struct {
+	PC       int       `json:"pc"`
+	Space    string    `json:"space"`
+	Op       string    `json:"op"`
+	Class    SiteClass `json:"-"`
+	ClassStr string    `json:"class"`
+	Granules int       `json:"granules"`
+	Dead     bool      `json:"dead,omitempty"`
+}
+
+// Analysis is the result of analyzing one launched kernel.
+type Analysis struct {
+	Kernel     string
+	CFG        *CFG
+	Findings   []Finding
+	Sites      []*SiteInfo // sorted by PC
+	Filterable []bool      // pc-indexed; true = detector may skip checks
+}
+
+// Analyze runs the full static analysis for one launched kernel: CFG
+// construction, the abstract-interpretation fixpoint, the lint passes
+// and the race-freedom prover.
+func Analyze(k *gpu.Kernel, conf Config) (*Analysis, error) {
+	if k == nil || k.Prog == nil {
+		return nil, fmt.Errorf("staticrace: nil kernel")
+	}
+	if err := k.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	if conf.WarpSize <= 0 {
+		conf.WarpSize = 32
+	}
+	if conf.SharedGranularity <= 0 {
+		conf.SharedGranularity = 4
+	}
+	if conf.GlobalGranularity <= 0 {
+		conf.GlobalGranularity = 4
+	}
+	cfg, err := BuildCFG(k.Prog)
+	if err != nil {
+		return nil, err
+	}
+	a := newAnalyzer(k, cfg, conf)
+	a.run()
+
+	res := &Analysis{
+		Kernel:     k.Name,
+		CFG:        cfg,
+		Filterable: make([]bool, len(k.Prog.Code)),
+	}
+
+	// Prover: per-space classification of every live site.
+	infos := map[int]*SiteInfo{}
+	for pc, s := range a.sites {
+		in := &k.Prog.Code[pc]
+		infos[pc] = &SiteInfo{
+			PC:    pc,
+			Space: s.space.String(),
+			Op:    in.Op.String(),
+			Dead:  s.dead,
+		}
+	}
+	a.proveSpace(isa.SpaceShared, conf.SharedGranularity, infos)
+	a.proveSpace(isa.SpaceGlobal, conf.GlobalGranularity, infos)
+	for pc, info := range infos {
+		if a.sites[pc].dead {
+			// Provably never executed: trivially race-free.
+			info.Class = ClassPrivate
+		}
+		info.ClassStr = info.Class.String()
+		if info.Class != ClassUnknown {
+			res.Filterable[pc] = true
+		}
+		res.Sites = append(res.Sites, info)
+	}
+	sort.Slice(res.Sites, func(i, j int) bool { return res.Sites[i].PC < res.Sites[j].PC })
+
+	// Lints.
+	res.Findings = append(res.Findings, a.lintBarrierDivergence()...)
+	res.Findings = append(res.Findings, a.lintUninit()...)
+	res.Findings = append(res.Findings, a.lintSharedOOB()...)
+	res.Findings = append(res.Findings, a.lintFenceMisuse()...)
+	for i := range res.Findings {
+		res.Findings[i].Kernel = k.Name
+	}
+	sort.SliceStable(res.Findings, func(i, j int) bool {
+		if res.Findings[i].PC != res.Findings[j].PC {
+			return res.Findings[i].PC < res.Findings[j].PC
+		}
+		return res.Findings[i].Pass < res.Findings[j].Pass
+	})
+	return res, nil
+}

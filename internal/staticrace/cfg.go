@@ -1,0 +1,220 @@
+package staticrace
+
+import (
+	"fmt"
+
+	"haccrg/internal/isa"
+)
+
+// BBlock is a maximal straight-line run of instructions. The range is
+// half-open: [Start, End).
+type BBlock struct {
+	Index      int
+	Start, End int
+	Succs      []int
+	Preds      []int
+}
+
+// CFG is the control-flow graph of one isa.Program. Edges follow the
+// per-thread view of execution: a predicated branch forks into its
+// taken target and its fall-through; reconvergence is implicit in the
+// paths re-merging at the join block. That is exactly the set of paths
+// an individual thread can take under the executor's divergence-stack
+// scheduling, which is what the dataflow analysis needs.
+type CFG struct {
+	Prog    *isa.Program
+	Blocks  []*BBlock
+	blockOf []int // pc -> block index
+	idom    []int // block -> immediate dominator (-1 for entry/unreachable)
+}
+
+// BlockOf returns the basic block containing pc, or -1.
+func (g *CFG) BlockOf(pc int) int {
+	if pc < 0 || pc >= len(g.blockOf) {
+		return -1
+	}
+	return g.blockOf[pc]
+}
+
+// Idom returns the immediate dominator of block b (-1 for the entry
+// block and for blocks unreachable from it).
+func (g *CFG) Idom(b int) int {
+	if b < 0 || b >= len(g.idom) {
+		return -1
+	}
+	return g.idom[b]
+}
+
+// Dominates reports whether block a dominates block b.
+func (g *CFG) Dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = g.idom[b]
+	}
+	return false
+}
+
+// BuildCFG splits the program into basic blocks and wires successor /
+// predecessor edges. The program must already pass isa.Validate; on a
+// malformed program BuildCFG returns an error rather than panicking
+// (the fuzz harness feeds it raw builder output).
+func BuildCFG(p *isa.Program) (*CFG, error) {
+	n := len(p.Code)
+	if n == 0 {
+		return nil, fmt.Errorf("staticrace: empty program %q", p.Name)
+	}
+	// Leaders: entry, every branch target, every reconvergence point,
+	// and every instruction after a branch or exit.
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for pc, in := range p.Code {
+		switch in.Op {
+		case isa.OpBra:
+			if in.Tgt < 0 || in.Tgt >= n {
+				return nil, fmt.Errorf("staticrace: %s pc %d: branch target %d out of range", p.Name, pc, in.Tgt)
+			}
+			leader[in.Tgt] = true
+			if pc+1 <= n {
+				leader[pc+1] = true
+			}
+			if in.Pred != isa.NoPred {
+				if in.Rcv < 0 || in.Rcv > n {
+					return nil, fmt.Errorf("staticrace: %s pc %d: reconvergence %d out of range", p.Name, pc, in.Rcv)
+				}
+				leader[in.Rcv] = true
+			}
+		case isa.OpExit:
+			if pc+1 <= n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	g := &CFG{Prog: p, blockOf: make([]int, n)}
+	start := 0
+	for pc := 1; pc <= n; pc++ {
+		if pc == n || leader[pc] {
+			b := &BBlock{Index: len(g.Blocks), Start: start, End: pc}
+			g.Blocks = append(g.Blocks, b)
+			for i := start; i < pc; i++ {
+				g.blockOf[i] = b.Index
+			}
+			start = pc
+		}
+	}
+	// Successor edges, per the executor's per-thread semantics.
+	for _, b := range g.Blocks {
+		last := p.Code[b.End-1]
+		switch last.Op {
+		case isa.OpBra:
+			g.addEdge(b.Index, g.blockOf[last.Tgt])
+			if last.Pred != isa.NoPred && b.End < n {
+				// Fall-through for the lanes whose guard is false.
+				g.addEdge(b.Index, g.blockOf[b.End])
+			}
+		case isa.OpExit:
+			if last.Pred != isa.NoPred && b.End < n {
+				// Lanes whose guard is false keep running.
+				g.addEdge(b.Index, g.blockOf[b.End])
+			}
+		default:
+			if b.End < n {
+				g.addEdge(b.Index, g.blockOf[b.End])
+			}
+		}
+	}
+	g.computeIdom()
+	return g, nil
+}
+
+func (g *CFG) addEdge(from, to int) {
+	fb, tb := g.Blocks[from], g.Blocks[to]
+	for _, s := range fb.Succs {
+		if s == to {
+			return
+		}
+	}
+	fb.Succs = append(fb.Succs, to)
+	tb.Preds = append(tb.Preds, from)
+}
+
+// computeIdom runs the Cooper–Harvey–Kennedy iterative dominator
+// algorithm over a reverse-postorder numbering.
+func (g *CFG) computeIdom() {
+	nb := len(g.Blocks)
+	g.idom = make([]int, nb)
+	for i := range g.idom {
+		g.idom[i] = -1
+	}
+	rpo := g.reversePostorder()
+	rpoNum := make([]int, nb)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+	if len(rpo) == 0 {
+		return
+	}
+	g.idom[rpo[0]] = rpo[0]
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if rpoNum[p] == -1 || g.idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(newIdom, p, rpoNum)
+				}
+			}
+			if newIdom != -1 && g.idom[b] != newIdom {
+				g.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	// Convention: the entry's idom is -1 (it has no strict dominator).
+	g.idom[rpo[0]] = -1
+}
+
+func (g *CFG) intersect(a, b int, rpoNum []int) int {
+	for a != b {
+		for rpoNum[a] > rpoNum[b] {
+			a = g.idom[a]
+		}
+		for rpoNum[b] > rpoNum[a] {
+			b = g.idom[b]
+		}
+	}
+	return a
+}
+
+// reversePostorder returns reachable blocks in reverse postorder from
+// the entry block.
+func (g *CFG) reversePostorder() []int {
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var walk func(int)
+	walk = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if len(g.Blocks) > 0 {
+		walk(0)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

@@ -1,0 +1,54 @@
+package staticrace_test
+
+import (
+	"testing"
+
+	"haccrg/internal/staticrace"
+)
+
+// FuzzCFGBuilder drives the CFG builder and the full analyzer with
+// randomized builder-generated programs (the same decoder the
+// soundness sweep uses, so every input is a structurally valid
+// program). Invariants: BuildCFG partitions the program — every
+// instruction lands in exactly one basic block — and Analyze neither
+// panics nor errors on a program the ISA builder accepted.
+func FuzzCFGBuilder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{9, 1, 10, 2, 14, 0, 11, 0, 11, 0, 12, 0})
+	f.Add([]byte{10, 200, 15, 3, 16, 7, 11, 1, 6, 40, 9, 0, 14, 9, 11, 5})
+	f.Add([]byte{0, 17, 2, 252, 14, 4, 5, 9, 7, 31, 8, 64, 13, 0, 15, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := genKernel("fuzz", data)
+		if k == nil {
+			return
+		}
+		g, err := staticrace.BuildCFG(k.Prog)
+		if err != nil {
+			t.Fatalf("BuildCFG rejected a builder-accepted program: %v\n%s",
+				err, k.Prog.Disassemble())
+		}
+		covered := make([]int, len(k.Prog.Code))
+		for _, b := range g.Blocks {
+			if b.Start >= b.End {
+				t.Fatalf("empty block %d [%d,%d)", b.Index, b.Start, b.End)
+			}
+			for pc := b.Start; pc < b.End; pc++ {
+				covered[pc]++
+			}
+		}
+		for pc, n := range covered {
+			if n != 1 {
+				t.Fatalf("pc %d in %d blocks\n%s", pc, n, k.Prog.Disassemble())
+			}
+		}
+		res, err := staticrace.Analyze(k, testConf())
+		if err != nil {
+			t.Fatalf("Analyze failed: %v\n%s", err, k.Prog.Disassemble())
+		}
+		for _, fd := range res.Findings {
+			if fd.PC < 0 || fd.PC >= len(k.Prog.Code) {
+				t.Fatalf("finding pc %d out of range [%s] %s", fd.PC, fd.Pass, fd.Msg)
+			}
+		}
+	})
+}

@@ -1,0 +1,422 @@
+package staticrace
+
+import (
+	"fmt"
+
+	"haccrg/internal/isa"
+)
+
+// Lint pass names.
+const (
+	PassBarrierDivergence = "barrier-divergence"
+	PassUninitRead        = "uninit-read"
+	PassSharedOOB         = "shared-oob"
+	PassFenceMisuse       = "fence-misuse"
+)
+
+// lintBarrierDivergence flags BAR instructions inside the divergent
+// region of a predicated branch whose condition is definitely
+// tid-dependent with both outcomes possible: some threads of a block
+// then reach the barrier while others bypass it, which the block-wide
+// barrier semantics turn into a deadlock or miscount. Only definite
+// conditions fire — an unknown guard stays silent.
+func (a *analyzer) lintBarrierDivergence() []Finding {
+	var out []Finding
+	for pc, g := range a.brPred {
+		in := &a.prog.Code[pc]
+		if in.Op != isa.OpBra || in.Pred == isa.NoPred {
+			continue
+		}
+		if !a.divergentGuard(g, pc) {
+			continue
+		}
+		lo, hi := pc+1, in.Rcv
+		if in.Tgt < lo {
+			lo = in.Tgt
+		}
+		for q := lo; q < hi && q < len(a.prog.Code); q++ {
+			if a.prog.Code[q].Op != isa.OpBar {
+				continue
+			}
+			b := a.cfg.BlockOf(q)
+			if b < 0 || a.reached == nil || b >= len(a.reached) || !a.reached[b] {
+				continue
+			}
+			out = append(out, Finding{
+				Pass:    PassBarrierDivergence,
+				PC:      q,
+				Related: []int{pc},
+				Msg: fmt.Sprintf("barrier executes under tid-dependent predicate p%d "+
+					"(branch at pc %d); threads that skip the region never arrive", in.Pred, pc),
+			})
+		}
+	}
+	return out
+}
+
+// divergentGuard reports whether a recorded branch guard is definitely
+// tid-dependent with both outcomes possible among the launched
+// threads (interval of the SETP difference straddles the comparison).
+func (a *analyzer) divergentGuard(g predval, pc int) bool {
+	if g.known || !g.hasCond || !a.tidDep(g.diff) {
+		return false
+	}
+	b := a.cfg.BlockOf(pc)
+	if b < 0 || a.in[b] == nil {
+		return false
+	}
+	iv := a.intervalOf(g.diff, a.in[b])
+	return iv.bounded() && condEval(iv, g.cmp) == 0
+}
+
+// lintUninit flags reads of general or predicate registers that are
+// assigned on *no* path from entry (a may-assigned forward dataflow).
+// Register r0 is exempt: the builder's Ldp idiom deliberately reads it
+// as a conventional zero register.
+func (a *analyzer) lintUninit() []Finding {
+	type mask struct {
+		regs  uint32
+		preds uint8
+	}
+	n := len(a.cfg.Blocks)
+	in := make([]mask, n)
+	have := make([]bool, n)
+	have[0] = true
+	apply := func(m mask, b int) mask {
+		blk := a.cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			ins := &a.prog.Code[pc]
+			dr, dp := writesOf(ins)
+			if dr >= 0 {
+				m.regs |= 1 << uint(dr)
+			}
+			if dp >= 0 {
+				m.preds |= 1 << uint(dp)
+			}
+		}
+		return m
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < n; b++ {
+			if !have[b] {
+				continue
+			}
+			out := apply(in[b], b)
+			for _, s := range a.cfg.Blocks[b].Succs {
+				nm := out
+				if have[s] {
+					nm.regs |= in[s].regs
+					nm.preds |= in[s].preds
+				}
+				if !have[s] || nm != in[s] {
+					in[s] = nm
+					have[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	var out []Finding
+	seen := map[[2]int]bool{} // (pc, operand) dedup
+	for b := 0; b < n; b++ {
+		if !have[b] {
+			continue
+		}
+		m := in[b]
+		blk := a.cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			ins := &a.prog.Code[pc]
+			regs, preds := readsOf(ins)
+			for _, r := range regs {
+				if r == 0 || m.regs&(1<<uint(r)) != 0 || seen[[2]int{pc, int(r)}] {
+					continue
+				}
+				seen[[2]int{pc, int(r)}] = true
+				out = append(out, Finding{
+					Pass: PassUninitRead, PC: pc,
+					Msg: fmt.Sprintf("r%d is read but assigned on no path from entry", r),
+				})
+			}
+			for _, p := range preds {
+				key := [2]int{pc, 100 + int(p)}
+				if m.preds&(1<<uint(p)) != 0 || seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, Finding{
+					Pass: PassUninitRead, PC: pc,
+					Msg: fmt.Sprintf("p%d is read but assigned on no path from entry", p),
+				})
+			}
+			dr, dp := writesOf(ins)
+			if dr >= 0 {
+				m.regs |= 1 << uint(dr)
+			}
+			if dp >= 0 {
+				m.preds |= 1 << uint(dp)
+			}
+		}
+	}
+	return out
+}
+
+// readsOf mirrors the executor's operand reads exactly (aluLane and
+// the memory paths): which registers and predicates the instruction
+// consumes.
+func readsOf(in *isa.Instr) (regs []isa.Reg, preds []isa.Pred) {
+	if in.Pred != isa.NoPred {
+		preds = append(preds, in.Pred)
+	}
+	b := func() {
+		if !in.UseImm {
+			regs = append(regs, in.SrcB)
+		}
+	}
+	switch in.Op {
+	case isa.OpNop, isa.OpSreg, isa.OpBar, isa.OpMembar, isa.OpRelMark, isa.OpExit:
+	case isa.OpMov:
+		if !in.UseImm {
+			regs = append(regs, in.SrcA)
+		}
+	case isa.OpSelp:
+		preds = append(preds, in.PD)
+		regs = append(regs, in.SrcA, in.SrcC)
+	case isa.OpNot, isa.OpFSqrt, isa.OpFExp, isa.OpFLog, isa.OpFSin,
+		isa.OpFCos, isa.OpFAbs, isa.OpItoF, isa.OpFtoI, isa.OpAcqMark:
+		regs = append(regs, in.SrcA)
+	case isa.OpMad:
+		regs = append(regs, in.SrcA, in.SrcC)
+		b()
+	case isa.OpSetp, isa.OpFSetp:
+		regs = append(regs, in.SrcA)
+		b()
+	case isa.OpBra:
+	case isa.OpLd:
+		regs = append(regs, in.SrcA)
+	case isa.OpSt:
+		regs = append(regs, in.SrcA, in.SrcB)
+	case isa.OpAtom:
+		regs = append(regs, in.SrcA, in.SrcB)
+		if in.AOp == isa.AtomCAS {
+			regs = append(regs, in.SrcC)
+		}
+	default:
+		regs = append(regs, in.SrcA)
+		b()
+	}
+	return regs, preds
+}
+
+// writesOf returns the destination register and predicate (-1 = none).
+func writesOf(in *isa.Instr) (reg, pred int) {
+	reg, pred = -1, -1
+	switch in.Op {
+	case isa.OpSetp, isa.OpFSetp:
+		pred = int(in.PD)
+	case isa.OpNop, isa.OpBra, isa.OpExit, isa.OpBar, isa.OpMembar,
+		isa.OpAcqMark, isa.OpRelMark, isa.OpSt:
+	default:
+		reg = int(in.Dst)
+	}
+	return reg, pred
+}
+
+// lintSharedOOB flags shared-memory sites whose address interval
+// provably escapes [0, SharedBytes). It only fires from states with no
+// unrefinable path condition (approx) — the claim is "some launched
+// thread accesses out of bounds", which a runtime launch would turn
+// into a hard failure.
+func (a *analyzer) lintSharedOOB() []Finding {
+	var out []Finding
+	limit := int64(a.k.SharedBytes)
+	for _, s := range a.sites {
+		if s.space != isa.SpaceShared || s.dead || s.approx || s.addr.top {
+			continue
+		}
+		st := &state{ranges: s.ranges}
+		iv := a.intervalOf(s.addr, st)
+		if !iv.bounded() {
+			continue
+		}
+		if iv.lo < 0 || iv.hi+int64(s.size) > limit {
+			out = append(out, Finding{
+				Pass: PassSharedOOB, PC: s.pc,
+				Msg: fmt.Sprintf("shared access reaches [%d, %d) but the kernel declares %d shared bytes",
+					iv.lo, iv.hi+int64(s.size), limit),
+			})
+		}
+	}
+	return out
+}
+
+// lintFenceMisuse detects the unfenced election idiom: a global store,
+// an AtomInc election whose result guards an "I am last" region, and a
+// global load in that region overlapping the store's footprint across
+// threads — with no MEMBAR on some path from the store to the atomic.
+// Without the fence the elected thread can observe partial updates
+// (the defect the paper's fence-ID validation catches dynamically).
+func (a *analyzer) lintFenceMisuse() []Finding {
+	var out []Finding
+	gran := a.conf.GlobalGranularity
+	if gran <= 0 {
+		gran = 4
+	}
+	budget := a.conf.MaxFootprintPoints
+	if budget <= 0 {
+		budget = 1 << 22
+	}
+	owners := func(s *siteAcc) map[uint64]int64 {
+		gr, ok := a.enumerate(s, gran, budget)
+		if !ok {
+			return nil
+		}
+		m := make(map[uint64]int64, len(gr)/2)
+		for i := 0; i < len(gr); i += 2 {
+			g, t := gr[i], int64(gr[i+1])
+			if o, seen := m[g]; seen && o != t {
+				m[g] = -2
+			} else if !seen {
+				m[g] = t
+			}
+		}
+		return m
+	}
+	for _, atom := range a.sites {
+		in := instrAt(a.prog, atom.pc)
+		if atom.dead || in == nil || in.Op != isa.OpAtom ||
+			atom.space != isa.SpaceGlobal || in.AOp != isa.AtomInc {
+			continue
+		}
+		_, region := a.electRegion(atom.pc, in.Dst)
+		if region.empty() {
+			continue
+		}
+		for _, ld := range a.sites {
+			if ld.dead || ld.space != isa.SpaceGlobal || ld.write || ld.atomic {
+				continue
+			}
+			if int64(ld.pc) < region.lo || int64(ld.pc) > region.hi {
+				continue
+			}
+			ldOwn := owners(ld)
+			if ldOwn == nil {
+				continue
+			}
+			for _, st := range a.sites {
+				if st.dead || !st.write || st.space != isa.SpaceGlobal || st.pc >= atom.pc {
+					continue
+				}
+				stOwn := owners(st)
+				if stOwn == nil || !crossThreadOverlap(stOwn, ldOwn) {
+					continue
+				}
+				if !a.fenceFreePath(st.pc, atom.pc) {
+					continue
+				}
+				out = append(out, Finding{
+					Pass: PassFenceMisuse, PC: st.pc,
+					Related: []int{atom.pc, ld.pc},
+					Msg: fmt.Sprintf("global store is read back at pc %d by the thread elected at pc %d, "+
+						"but no MEMBAR orders the store before the election", ld.pc, atom.pc),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func instrAt(p *isa.Program, pc int) *isa.Instr {
+	if pc < 0 || pc >= len(p.Code) {
+		return nil
+	}
+	return &p.Code[pc]
+}
+
+// electRegion resolves atomDst → SETP → predicated branch and returns
+// the branch pc plus the guarded region [min(pc+1,Tgt), Rcv).
+func (a *analyzer) electRegion(atomPC int, dst isa.Reg) (int, ival) {
+	none := ival{1, 0}
+	blk := a.cfg.Blocks[a.cfg.BlockOf(atomPC)]
+	for pc := atomPC + 1; pc < blk.End; pc++ {
+		in := &a.prog.Code[pc]
+		if in.Op == isa.OpSetp && (in.SrcA == dst || (!in.UseImm && in.SrcB == dst)) {
+			pd := in.PD
+			// The guarded branch follows; stop if the predicate or the
+			// atomic's result is redefined first.
+			for q := pc + 1; q < len(a.prog.Code); q++ {
+				br := &a.prog.Code[q]
+				if br.Op == isa.OpBra && br.Pred == pd {
+					lo := int64(q + 1)
+					if int64(br.Tgt) < lo {
+						lo = int64(br.Tgt)
+					}
+					return q, ival{lo, int64(br.Rcv) - 1}
+				}
+				r, p := writesOf(br)
+				if p == int(pd) || r == int(dst) {
+					break
+				}
+			}
+		}
+		if r, _ := writesOf(in); r == int(dst) {
+			break
+		}
+	}
+	return -1, none
+}
+
+// crossThreadOverlap reports whether some granule is written and read
+// by two distinct threads.
+func crossThreadOverlap(writers, readers map[uint64]int64) bool {
+	for g, w := range writers {
+		r, ok := readers[g]
+		if !ok {
+			continue
+		}
+		if w == -2 || r == -2 || w != r {
+			return true
+		}
+	}
+	return false
+}
+
+// fenceFreePath reports whether execution can flow from the store at
+// pc `from` to the atomic at pc `to` without crossing a MEMBAR.
+func (a *analyzer) fenceFreePath(from, to int) bool {
+	type pos struct{ pc int }
+	seen := make([]bool, len(a.prog.Code))
+	stack := []pos{{from + 1}}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1].pc
+		stack = stack[:len(stack)-1]
+		for pc := p; pc >= 0 && pc < len(a.prog.Code); {
+			if seen[pc] {
+				break
+			}
+			seen[pc] = true
+			if pc == to {
+				return true
+			}
+			in := &a.prog.Code[pc]
+			if in.Op == isa.OpMembar {
+				break // fenced along this path
+			}
+			if in.Op == isa.OpBra {
+				if !seen[in.Tgt] {
+					stack = append(stack, pos{in.Tgt})
+				}
+				if in.Pred == isa.NoPred {
+					break
+				}
+				pc++ // fall-through for guard-false lanes
+				continue
+			}
+			if in.Op == isa.OpExit && in.Pred == isa.NoPred {
+				break
+			}
+			pc++
+		}
+	}
+	return false
+}

@@ -1,0 +1,276 @@
+package staticrace
+
+import "haccrg/internal/isa"
+
+// SiteClass is the race-freedom verdict for one memory site.
+type SiteClass uint8
+
+const (
+	// ClassUnknown: nothing proven; the site must stay on the dynamic
+	// detector's hot path.
+	ClassUnknown SiteClass = iota
+	// ClassPrivate: every granule the site touches is touched by at
+	// most one thread over the whole kernel.
+	ClassPrivate
+	// ClassReadShared: every granule the site touches is never written
+	// by any site.
+	ClassReadShared
+	// ClassRaceFree: a mix — each granule is either single-thread or
+	// never written.
+	ClassRaceFree
+)
+
+func (c SiteClass) String() string {
+	switch c {
+	case ClassPrivate:
+		return "private"
+	case ClassReadShared:
+		return "read-shared"
+	case ClassRaceFree:
+		return "race-free"
+	}
+	return "unknown"
+}
+
+// gInfo is the per-granule ownership summary accumulated across every
+// site of a memory space.
+type gInfo struct {
+	owner   int64 // global thread id; -1 none yet, -2 multiple
+	written bool
+}
+
+// proveSpace classifies every live site of one memory space.
+//
+// Criterion (sync-insensitive, granule-level): a granule is race-free
+// iff it is never written, or touched by exactly one distinct thread
+// over the whole kernel. A site may be filtered iff every granule it
+// can touch is race-free. Soundness against the dynamic RDU:
+//
+//   - single-thread granules only ever hit the sameThread fast path of
+//     the happens-before state machine, which never reports;
+//   - never-written granules keep reads in the read states, which
+//     never report either;
+//   - the intra-warp WAW check needs two lanes on one address, which
+//     makes the granule multi-thread and hence the site unfilterable.
+//
+// Atomics count as writes. Unknown footprints poison conservatively:
+// an unknown *write* poisons the whole space (it could write any
+// granule); an unknown *read* restricts race-freedom to never-written
+// granules (it could observe any written granule, and filtering the
+// writer would change what the unfiltered reader reports).
+func (a *analyzer) proveSpace(space isa.Space, gran int, out map[int]*SiteInfo) {
+	var live []*siteAcc
+	unknownWrite, unknownRead := false, false
+	for _, s := range a.sites {
+		if s.space != space || s.dead {
+			continue
+		}
+		live = append(live, s)
+	}
+	if gran <= 0 {
+		gran = 1
+	}
+	// Shared shadow windows are slot-relative; if the block's window is
+	// not granule-aligned, one granule can span two co-resident blocks'
+	// windows and block-relative footprints no longer map 1:1 onto
+	// runtime granules. Poison the space.
+	poisoned := space == isa.SpaceShared && a.k.SharedBytes%gran != 0
+	type fp struct {
+		site     *siteAcc
+		granules []uint64
+	}
+	foots := make([]fp, 0, len(live))
+	var total int64
+	budget := a.conf.MaxFootprintPoints
+	if budget <= 0 {
+		budget = 1 << 22
+	}
+	for _, s := range live {
+		var gr []uint64
+		ok := !poisoned
+		if ok {
+			gr, ok = a.enumerate(s, gran, budget)
+		}
+		if ok {
+			total += int64(len(gr))
+			if total > budget {
+				ok = false
+			}
+		}
+		if !ok {
+			if s.write || s.atomic {
+				unknownWrite = true
+			} else {
+				unknownRead = true
+			}
+			continue
+		}
+		foots = append(foots, fp{site: s, granules: gr})
+	}
+	// Ownership map over (granule, thread) pairs from the known sites.
+	owners := map[uint64]*gInfo{}
+	for _, f := range foots {
+		w := f.site.write || f.site.atomic
+		for i := 0; i < len(f.granules); i += 2 {
+			g, tid := f.granules[i], int64(f.granules[i+1])
+			e := owners[g]
+			if e == nil {
+				e = &gInfo{owner: tid}
+				owners[g] = e
+			} else if e.owner != tid {
+				e.owner = -2
+			}
+			if w {
+				e.written = true
+			}
+		}
+	}
+	for _, f := range foots {
+		s := f.site
+		info := out[s.pc]
+		single, unwritten := true, true
+		for i := 0; i < len(f.granules); i += 2 {
+			e := owners[f.granules[i]]
+			if e.owner == -2 {
+				single = false
+			}
+			if e.written {
+				unwritten = false
+			}
+		}
+		switch {
+		case unknownWrite:
+			info.Class = ClassUnknown
+		case unknownRead && !unwritten:
+			// A statically-opaque read may alias this written granule.
+			info.Class = ClassUnknown
+		case single && unwritten:
+			if len(f.granules) == 0 {
+				info.Class = ClassPrivate
+			} else if s.write || s.atomic {
+				info.Class = ClassPrivate
+			} else {
+				info.Class = ClassReadShared
+			}
+		case single:
+			info.Class = ClassPrivate
+		case unwritten:
+			info.Class = ClassReadShared
+		default:
+			// Mixed: every granule individually race-free?
+			ok := true
+			for i := 0; i < len(f.granules); i += 2 {
+				e := owners[f.granules[i]]
+				if e.owner == -2 && e.written {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				info.Class = ClassRaceFree
+			} else {
+				info.Class = ClassUnknown
+			}
+		}
+		info.Granules = len(f.granules) / 2
+	}
+}
+
+// enumerate walks a site's concrete footprint: every (granule, global
+// thread id) pair the site can touch, as a flat [g0, t0, g1, t1, ...]
+// slice. Address arithmetic is wrapping uint64, exactly like the
+// executor. Returns ok=false when the footprint is statically unknown
+// or exceeds the point budget.
+func (a *analyzer) enumerate(s *siteAcc, gran int, budget int64) ([]uint64, bool) {
+	if s.addr.top || s.size <= 0 {
+		return nil, false
+	}
+	st := &state{ranges: s.ranges}
+	// Iteration ranges for the thread coordinates, clipped to launch
+	// geometry (refinement can only have narrowed them).
+	ws := int64(a.conf.WarpSize)
+	tids := a.rangeOf(st, SymTid).intersect(ival{0, int64(a.k.BlockDim) - 1})
+	bids := a.rangeOf(st, SymBid).intersect(ival{0, int64(a.k.GridDim) - 1})
+	lanes := a.rangeOf(st, SymLane)
+	warps := a.rangeOf(st, SymWarp)
+	if tids.empty() || bids.empty() {
+		return nil, true // provably no executing thread
+	}
+	// φ symbols appearing in the address must have bounded ranges.
+	var phiSyms []symID
+	var phiRanges []ival
+	var coefTid, coefBid, coefLane, coefWarp int64
+	for _, t := range s.addr.terms {
+		switch t.sym {
+		case SymTid:
+			coefTid = t.coef
+		case SymBid:
+			coefBid = t.coef
+		case SymLane:
+			coefLane = t.coef
+		case SymWarp:
+			coefWarp = t.coef
+		default:
+			r := a.rangeOf(st, t.sym)
+			if !r.bounded() || r.empty() {
+				return nil, false
+			}
+			phiSyms = append(phiSyms, t.sym)
+			phiRanges = append(phiRanges, r)
+		}
+	}
+	// Point budget: threads × φ-range product.
+	points := (tids.hi - tids.lo + 1) * (bids.hi - bids.lo + 1)
+	if points <= 0 {
+		return nil, false
+	}
+	for _, r := range phiRanges {
+		n := r.hi - r.lo + 1
+		if n <= 0 || points > budget/n {
+			return nil, false
+		}
+		points *= n
+	}
+	if points > budget {
+		return nil, false
+	}
+	gsize := uint64(gran)
+	span := uint64(s.size-1) / gsize // extra granules past the first
+	var res []uint64
+	var emit func(base uint64, tid int64, depth int)
+	emit = func(base uint64, gtid int64, depth int) {
+		if depth == len(phiSyms) {
+			g0 := base / gsize
+			for g := g0; g <= g0+span; g++ {
+				key := g
+				if s.space == isa.SpaceShared {
+					// Block-qualified: shared windows are per-block.
+					key = uint64(gtid/int64(a.k.BlockDim))<<32 | (g & 0xFFFFFFFF)
+				}
+				res = append(res, key, uint64(gtid))
+			}
+			return
+		}
+		r := phiRanges[depth]
+		c := uint64(s.addr.termCoef(phiSyms[depth]))
+		for v := r.lo; v <= r.hi; v++ {
+			emit(base+c*uint64(v), gtid, depth+1)
+		}
+	}
+	for bid := bids.lo; bid <= bids.hi; bid++ {
+		for tid := tids.lo; tid <= tids.hi; tid++ {
+			lane, warp := tid%ws, tid/ws
+			if !lanes.contains(lane) || !warps.contains(warp) {
+				continue // path conditions exclude this thread
+			}
+			base := uint64(s.addr.c) +
+				uint64(coefTid)*uint64(tid) +
+				uint64(coefBid)*uint64(bid) +
+				uint64(coefLane)*uint64(lane) +
+				uint64(coefWarp)*uint64(warp)
+			gtid := bid*int64(a.k.BlockDim) + tid
+			emit(base, gtid, 0)
+		}
+	}
+	return res, true
+}

@@ -1,0 +1,145 @@
+package staticrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// KernelReport is the JSON shape emitted per analyzed kernel.
+type KernelReport struct {
+	Kernel   string      `json:"kernel"`
+	Findings []Finding   `json:"findings"`
+	Sites    []*SiteInfo `json:"sites,omitempty"`
+}
+
+// SuiteReport aggregates analysis output across kernels.
+type SuiteReport struct {
+	Kernels  []KernelReport `json:"kernels"`
+	Findings int            `json:"findings"`
+}
+
+// BuildReport converts analyses into the serializable report form.
+func BuildReport(analyses []*Analysis, withSites bool) *SuiteReport {
+	rep := &SuiteReport{}
+	for _, a := range analyses {
+		kr := KernelReport{Kernel: a.Kernel, Findings: a.Findings}
+		if kr.Findings == nil {
+			kr.Findings = []Finding{}
+		}
+		if withSites {
+			kr.Sites = a.Sites
+		}
+		rep.Kernels = append(rep.Kernels, kr)
+		rep.Findings += len(a.Findings)
+	}
+	return rep
+}
+
+// JSON renders the report as indented JSON.
+func (r *SuiteReport) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(b)
+}
+
+// Human renders the report for terminals: per-kernel findings with a
+// window of disassembly context around each flagged pc, then the
+// prover's site classification when requested.
+func (r *SuiteReport) Human(analyses []*Analysis, context int) string {
+	var b strings.Builder
+	byName := map[string]*Analysis{}
+	for _, a := range analyses {
+		byName[a.Kernel] = a
+	}
+	clean := 0
+	for _, kr := range r.Kernels {
+		if len(kr.Findings) == 0 {
+			clean++
+			continue
+		}
+		fmt.Fprintf(&b, "kernel %s: %d finding(s)\n", kr.Kernel, len(kr.Findings))
+		a := byName[kr.Kernel]
+		for _, f := range kr.Findings {
+			fmt.Fprintf(&b, "  pc %d: [%s] %s\n", f.PC, f.Pass, f.Msg)
+			if a != nil {
+				b.WriteString(disasmContext(a, f, context))
+			}
+		}
+		if kr.Sites != nil {
+			writeSites(&b, kr.Sites)
+		}
+	}
+	for _, kr := range r.Kernels {
+		if len(kr.Findings) == 0 && kr.Sites != nil {
+			fmt.Fprintf(&b, "kernel %s: clean\n", kr.Kernel)
+			writeSites(&b, kr.Sites)
+		}
+	}
+	fmt.Fprintf(&b, "summary: %d finding(s) across %d kernel(s), %d clean\n",
+		r.Findings, len(r.Kernels), clean)
+	return b.String()
+}
+
+func writeSites(b *strings.Builder, sites []*SiteInfo) {
+	for _, s := range sites {
+		extra := ""
+		if s.Dead {
+			extra = " (dead)"
+		}
+		fmt.Fprintf(b, "    site pc %-4d %-6s %-4s -> %s (%d granules)%s\n",
+			s.PC, s.Space, s.Op, s.ClassStr, s.Granules, extra)
+	}
+}
+
+// disasmContext renders the instructions around a finding, marking the
+// flagged pc and any related pcs.
+func disasmContext(a *Analysis, f Finding, context int) string {
+	prog := a.CFG.Prog
+	mark := map[int]string{f.PC: ">"}
+	lo, hi := f.PC-context, f.PC+context
+	for _, r := range f.Related {
+		mark[r] = "~"
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(prog.Code) {
+		hi = len(prog.Code) - 1
+	}
+	var b strings.Builder
+	prev := lo - 1
+	for pc := lo; pc <= hi; pc++ {
+		// Skip the middle of long gaps between related pcs.
+		if hi-lo > 2*context+6 && pc > f.PC+context {
+			inRelated := false
+			for _, r := range f.Related {
+				if pc >= r-context && pc <= r+context {
+					inRelated = true
+					break
+				}
+			}
+			if !inRelated && !(pc >= f.PC-context && pc <= f.PC+context) {
+				continue
+			}
+		}
+		if pc != prev+1 {
+			b.WriteString("      ...\n")
+		}
+		prev = pc
+		m := mark[pc]
+		if m == "" {
+			m = " "
+		}
+		fmt.Fprintf(&b, "    %s %4d  %s\n", m, pc, prog.Code[pc].String())
+	}
+	return b.String()
+}
