@@ -24,6 +24,7 @@ import (
 
 	"haccrg"
 	"haccrg/internal/harness"
+	"haccrg/internal/version"
 )
 
 // exitInterrupted is the exit code for a sweep cut short by SIGINT or
@@ -46,6 +47,7 @@ func main() {
 		exp      = flag.String("exp", "", "named experiment: races, injected, bloom, ids, hw, tlb, regroup, bloom-e2e, syncid, sched, faults, shardbench")
 		scale    = flag.Int("scale", 2, "input scale factor for timed experiments")
 		jsonOut  = flag.String("json", "", "write the shardbench experiment's machine-readable results to this JSON file")
+		baseline = flag.String("baseline", "", "gate the shardbench results against this pinned BENCH_*.json report (exit 1 on >10% regression or any findings drift)")
 
 		faultPlan   = flag.String("fault-plan", "", "fault plan merged into every sweep run (e.g. queue:cap=16,drain=1)")
 		faultSeed   = flag.Int64("seed", 0, "fault-injection PRNG seed")
@@ -60,8 +62,15 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent sweep runs (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("haccrg-bench"))
+		return
+	}
 
 	haccrg.SetSweepDefaults(haccrg.SweepDefaults{
 		FaultPlan:   *faultPlan,
@@ -287,6 +296,28 @@ func main() {
 					return "", err
 				}
 				txt += fmt.Sprintf("\nmachine-readable results written to %s\n", *jsonOut)
+			}
+			if *baseline != "" {
+				f, err := os.Open(*baseline)
+				if err != nil {
+					return "", fmt.Errorf("-baseline: %w", err)
+				}
+				base, err := harness.ReadShardBenchJSON(f)
+				f.Close()
+				if err != nil {
+					return "", fmt.Errorf("-baseline: %w", err)
+				}
+				regressions, notes := harness.CompareShardBench(base, harness.NewShardBenchReport(*scale, rows), 0.10)
+				for _, n := range notes {
+					txt += fmt.Sprintf("\nbaseline: %s", n)
+				}
+				if len(regressions) > 0 {
+					for _, r := range regressions {
+						fmt.Fprintf(os.Stderr, "haccrg-bench: baseline regression: %s\n", r)
+					}
+					return "", fmt.Errorf("%d regression(s) against %s", len(regressions), *baseline)
+				}
+				txt += fmt.Sprintf("\nbaseline gate passed against %s\n", *baseline)
 			}
 			return txt, nil
 		})

@@ -18,15 +18,21 @@ import (
 	"strings"
 
 	"haccrg"
+	"haccrg/internal/version"
 )
 
 func main() {
 	var (
-		bench  = flag.String("bench", "", "benchmark whose kernels to disassemble")
-		inject = flag.String("inject", "", "comma-separated injection site IDs to apply first")
-		single = flag.Bool("single-block", false, "use the designed-for SCAN/KMEANS launch")
+		bench       = flag.String("bench", "", "benchmark whose kernels to disassemble")
+		inject      = flag.String("inject", "", "comma-separated injection site IDs to apply first")
+		single      = flag.Bool("single-block", false, "use the designed-for SCAN/KMEANS launch")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("haccrg-disasm"))
+		return
+	}
 	if *bench == "" {
 		fmt.Fprintln(os.Stderr, "haccrg-disasm: -bench required")
 		os.Exit(2)

@@ -23,6 +23,7 @@ import (
 	"haccrg/internal/gpu"
 	"haccrg/internal/kernels"
 	"haccrg/internal/staticrace"
+	"haccrg/internal/version"
 )
 
 func main() {
@@ -39,8 +40,14 @@ func main() {
 		small       = flag.Bool("small-gpu", false, "assume the 4-SM test device geometry instead of the Table I machine")
 		sharedGran  = flag.Int("shared-gran", 16, "shared-memory tracking granularity the prover models (bytes)")
 		globalGran  = flag.Int("global-gran", 4, "global-memory tracking granularity the prover models (bytes)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("haccrg-lint"))
+		return
+	}
 
 	conf := staticrace.Config{
 		SharedGranularity: *sharedGran,

@@ -21,6 +21,7 @@ import (
 
 	"haccrg/internal/harness"
 	"haccrg/internal/journal"
+	"haccrg/internal/version"
 )
 
 func fatalf(format string, args ...any) {
@@ -34,8 +35,13 @@ func main() {
 		detect      = flag.String("detect", "", "replay through this detector instead of the recorded one (off, shared, global, shared+global, sw-haccrg, grace-addr)")
 		info        = flag.Bool("info", false, "describe the journal (meta, salvage, counts) without replaying")
 		verbose     = flag.Bool("v", false, "print the full replayed verdict")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("haccrg-replay"))
+		return
+	}
 	if *journalPath == "" {
 		fmt.Fprintln(os.Stderr, "haccrg-replay: -journal required")
 		flag.Usage()

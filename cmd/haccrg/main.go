@@ -22,8 +22,11 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"haccrg"
+	"haccrg/internal/service"
+	"haccrg/internal/version"
 )
 
 // exitInterrupted is the exit code for a run cut short by SIGINT or
@@ -69,12 +72,55 @@ func main() {
 			"statically prove sites race-free and let the RDUs skip their shadow checks (findings and cycles are byte-identical; inert under -fault-plan)")
 		staticReport = flag.Bool("static-report", false,
 			"print the static analyzer's findings and site classification for -bench, without simulating (use haccrg-lint for the full linter CLI)")
+
+		serverURL = flag.String("server-url", "",
+			"submit the run to a haccrg-server daemon at this base URL instead of simulating locally (retries 429/503 with backoff)")
+		tenant      = flag.String("tenant", "", "tenant identity sent with -server-url requests")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(version.String("haccrg"))
+		return
+	}
 	if *list {
 		listBenchmarks()
 		return
+	}
+	if *serverURL != "" {
+		var benches []string
+		if *allBenches {
+			for _, bm := range haccrg.Benchmarks() {
+				benches = append(benches, bm.Name)
+			}
+		} else if *bench != "" {
+			benches = []string{*bench}
+		} else {
+			fmt.Fprintln(os.Stderr, "haccrg: -server-url needs -bench or -all-benches")
+			os.Exit(2)
+		}
+		spec := &service.JobSpec{
+			Kind:              service.JobBench,
+			Benches:           benches,
+			Detector:          *detect,
+			Scale:             *scale,
+			SingleBlock:       *singleBlock,
+			SharedGranularity: *sharedGran,
+			GlobalGranularity: *globalGran,
+			DetectParallel:    *detPar,
+			StaticFilter:      *staticFilter,
+			FaultPlan:         *faultPlan,
+			FaultSeed:         *faultSeed,
+			Degradation:       *degradation,
+			SmallGPU:          *small,
+			MaxCycles:         *maxCycles,
+			TimeoutMS:         timeoutMS(*timeout),
+		}
+		if *inject != "" {
+			spec.Inject = strings.Split(*inject, ",")
+		}
+		os.Exit(runRemote(*serverURL, *tenant, spec))
 	}
 	if *allBenches {
 		haccrg.SetParallelism(*parallel)
@@ -321,6 +367,69 @@ func runSuite(scale int, small bool) int {
 		fmt.Printf("%-8s %10d %8d %8d  %s\n",
 			bm.Name, res.Stats.Cycles, len(res.Races), reports, strings.Join(catStr, " "))
 		if len(res.Races) > 0 {
+			raced = true
+		}
+	}
+	if raced {
+		return 3
+	}
+	return 0
+}
+
+// timeoutMS renders a -timeout duration as the spec's millisecond
+// field (0 = server default).
+func timeoutMS(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return d.Milliseconds()
+}
+
+// runRemote submits the run to a haccrg-server daemon and waits for
+// the verdict, mirroring the local exit codes: 0 clean, 3 races, 5
+// interrupted (locally by a signal, or remotely by a daemon drain —
+// resubmitting or restarting the daemon resumes it), 1 failure.
+func runRemote(baseURL, tenant string, spec *service.JobSpec) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cl := &service.Client{BaseURL: baseURL, Tenant: tenant}
+	id, err := cl.Submit(ctx, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haccrg: submit: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "haccrg: job %s accepted by %s\n", id, baseURL)
+	st, err := cl.Wait(ctx, id)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "haccrg: interrupted waiting for job %s (it keeps running server-side)\n", id)
+			return exitInterrupted
+		}
+		fmt.Fprintf(os.Stderr, "haccrg: %v\n", err)
+		return 1
+	}
+	switch st.State {
+	case service.StateFailed:
+		fmt.Fprintf(os.Stderr, "haccrg: job %s failed: %s\n", id, st.Error)
+		return 1
+	case service.StateInterrupted:
+		fmt.Fprintf(os.Stderr, "haccrg: job %s interrupted by daemon drain; it resumes when the daemon restarts\n", id)
+		return exitInterrupted
+	}
+	raced := false
+	for _, r := range st.Runs {
+		note := ""
+		if r.Resumed {
+			note = "  (resumed)"
+		}
+		if r.Degraded {
+			note += "  [degraded]"
+		}
+		fmt.Printf("%-8s %-14s %10d cycles %4d race(s)%s\n", r.Bench, r.Detector, r.Cycles, len(r.Races), note)
+		for _, race := range r.Races {
+			fmt.Println("   ", race)
+		}
+		if len(r.Races) > 0 {
 			raced = true
 		}
 	}

@@ -26,7 +26,6 @@ import (
 	"haccrg/internal/gpu"
 	"haccrg/internal/harness"
 	"haccrg/internal/isa"
-	"haccrg/internal/journal"
 	"haccrg/internal/kernels"
 	"haccrg/internal/staticrace"
 	"haccrg/internal/tlb"
@@ -212,155 +211,89 @@ func RunBenchmark(name string, opts RunOptions) (*RunResult, error) {
 	return RunBenchmarkContext(context.Background(), name, opts)
 }
 
-// journalMeta describes a run for the journal header so replay can
-// rebuild an equivalent detector without out-of-band knowledge.
-func journalMeta(name string, opts RunOptions) *journal.Meta {
-	m := &journal.Meta{
-		Bench: name, Detector: "off",
-		Scale: opts.Scale, SingleBlock: opts.SingleBlock, Inject: opts.Inject,
-		FaultPlan: opts.FaultPlan, FaultSeed: opts.FaultSeed, Degradation: opts.Degradation,
+// detectorKind names the DetectorKind a set of explicit detection
+// options corresponds to — the identity under which journal metadata
+// and server job specs describe the run.
+func detectorKind(d *DetectionOptions) harness.DetectorKind {
+	switch {
+	case d == nil:
+		return harness.DetOff
+	case d.SharedShadowInGlobal:
+		return harness.DetFig8
+	case d.Shared && d.Global:
+		return harness.DetSharedGlobal
+	case d.Shared:
+		return harness.DetShared
+	case d.Global:
+		return harness.DetGlobal
 	}
-	if d := opts.Detection; d != nil {
-		m.SharedGranularity = d.SharedGranularity
-		m.GlobalGranularity = d.GlobalGranularity
-		switch {
-		case d.SharedShadowInGlobal:
-			m.Detector = string(harness.DetFig8)
-		case d.Shared && d.Global:
-			m.Detector = string(harness.DetSharedGlobal)
-		case d.Shared:
-			m.Detector = string(harness.DetShared)
-		case d.Global:
-			m.Detector = string(harness.DetGlobal)
-		}
-	}
-	return m
+	return harness.DetOff
 }
 
 // RunBenchmarkContext is RunBenchmark under a context: cancellation
 // (e.g. a CLI's SIGINT handler) aborts the simulation with a
 // *HangError carrying partial stats, and — when a journal is being
 // recorded — leaves a well-framed journal prefix behind.
+//
+// The execution itself is harness.ExecContext — the same job core the
+// CLIs, the experiment sweeps, and the haccrg-server workers run — so
+// a benchmark behaves identically no matter which entry point launched
+// it. The facade adds only option validation and the mapping between
+// the public RunOptions and the harness job configuration.
 func RunBenchmarkContext(ctx context.Context, name string, opts RunOptions) (*RunResult, error) {
-	bm := kernels.Get(name)
-	if bm == nil {
+	if kernels.Get(name) == nil {
 		return nil, fmt.Errorf("haccrg: unknown benchmark %q (have %v)", name, benchNames())
 	}
 	if opts.Scale < 1 {
 		opts.Scale = 1
 	}
-	var det gpu.Detector = gpu.NopDetector{}
-	var coreDet *core.Detector
-	if opts.Detection != nil {
-		dopt := *opts.Detection
-		if opts.DetectParallel {
-			dopt.Parallel = true
-		}
+	if opts.Detection == nil {
 		if opts.FaultPlan != "" {
-			p, err := fault.Parse(opts.FaultPlan)
-			if err != nil {
-				return nil, err
-			}
-			dopt.Fault = p
-			dopt.FaultSeed = opts.FaultSeed
+			return nil, fmt.Errorf("haccrg: FaultPlan requires Detection (there is no RDU pipeline to fault)")
 		}
-		switch opts.Degradation {
-		case "", "quarantine":
-			dopt.Degradation = core.DegradeQuarantine
-		case "reinit":
-			dopt.Degradation = core.DegradeReinit
-		default:
-			return nil, fmt.Errorf("haccrg: unknown degradation policy %q (want quarantine or reinit)", opts.Degradation)
-		}
-		d, err := core.New(dopt)
-		if err != nil {
-			return nil, err
-		}
-		det, coreDet = d, d
-	} else if opts.FaultPlan != "" {
-		return nil, fmt.Errorf("haccrg: FaultPlan requires Detection (there is no RDU pipeline to fault)")
-	}
-	var rec *trace.Recorder
-	if opts.Trace {
-		rec = trace.New(det)
-		det = rec
-	}
-	var jrec *journal.Recorder
-	if opts.Record != nil {
-		// Journal outermost so it sees the raw device event stream
-		// before any inner wrapper consumes it.
-		jr, err := journal.NewRecorder(opts.Record, det)
-		if err != nil {
-			return nil, err
-		}
-		if err := jr.SetMeta(journalMeta(name, opts)); err != nil {
-			return nil, err
-		}
-		jrec = jr
-		det = jr
-	}
-	cfg := gpu.DefaultConfig()
-	if opts.GPU != nil {
-		cfg = *opts.GPU
-	}
-	dev, err := gpu.NewDevice(cfg, bm.GlobalBytes(opts.Scale), det)
-	if err != nil {
-		return nil, err
-	}
-	p := kernels.Params{Scale: opts.Scale, SingleBlock: opts.SingleBlock}
-	if len(opts.Inject) > 0 {
-		p.Inject = map[string]bool{}
-		for _, id := range opts.Inject {
-			p.Inject[id] = true
-		}
-	}
-	plan, err := bm.Build(dev, p)
-	if err != nil {
-		return nil, err
-	}
-	if opts.StaticFilter {
-		if coreDet == nil {
+		if opts.StaticFilter {
 			return nil, fmt.Errorf("haccrg: StaticFilter requires Detection (there are no RDU checks to skip)")
 		}
-		conf := staticrace.Config{
-			WarpSize:          cfg.WarpSize,
-			SharedGranularity: coreDet.Options().SharedGranularity,
-			GlobalGranularity: coreDet.Options().GlobalGranularity,
-		}
-		f, err := staticrace.NewFilter(conf, plan.Kernels...)
-		if err != nil {
-			return nil, fmt.Errorf("haccrg: static analysis of %s: %w", name, err)
-		}
-		coreDet.SetStaticFilter(f)
 	}
-	if opts.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
-		defer cancel()
+	switch opts.Degradation {
+	case "", "quarantine", "reinit":
+	default:
+		return nil, fmt.Errorf("haccrg: unknown degradation policy %q (want quarantine or reinit)", opts.Degradation)
 	}
-	stats, runErr := plan.RunContext(ctx, dev, gpu.LaunchLimits{MaxCycles: opts.MaxCycles})
-	if stats == nil {
-		return nil, runErr
+	rc := harness.RunConfig{
+		Bench:          name,
+		Detector:       detectorKind(opts.Detection),
+		Scale:          opts.Scale,
+		SingleBlock:    opts.SingleBlock,
+		Inject:         opts.Inject,
+		DetectParallel: opts.DetectParallel,
+		StaticFilter:   opts.StaticFilter,
+		GPU:            opts.GPU,
+		FaultPlan:      opts.FaultPlan,
+		FaultSeed:      opts.FaultSeed,
+		Degradation:    opts.Degradation,
+		MaxCycles:      opts.MaxCycles,
+		Timeout:        opts.Timeout,
 	}
-	if runErr == nil && opts.Verify && plan.Verify != nil {
-		if err := plan.Verify(dev); err != nil {
-			return nil, err
-		}
+	xo := harness.ExecOptions{
+		Detection: opts.Detection,
+		Verify:    opts.Verify,
+		Trace:     opts.Trace,
+		Record:    opts.Record,
+	}
+	hres, err := harness.ExecContext(ctx, rc, xo)
+	if hres == nil {
+		return nil, err
 	}
 	// On an aborted run (a *HangError) the result is returned alongside
 	// the error: partial stats, the races found so far, and health.
-	res := &RunResult{Stats: stats, Trace: rec, Health: stats.Health}
-	if coreDet != nil {
-		res.Races = coreDet.SortedRaces()
-		res.Report = coreDet.Report()
-	}
-	// A journal write failure never aborts the simulation (the detector
-	// interface has no error path), but it must not pass silently: the
-	// run succeeded, the recording did not.
-	if runErr == nil && jrec != nil && jrec.Err() != nil {
-		return res, fmt.Errorf("haccrg: journal recording failed: %w", jrec.Err())
-	}
-	return res, runErr
+	return &RunResult{
+		Stats:  hres.Stats,
+		Races:  hres.Races,
+		Report: hres.Report,
+		Trace:  hres.TraceRec,
+		Health: hres.Health,
+	}, err
 }
 
 // Static-analysis re-exports: the CFG/dataflow analyzer, its lint

@@ -8,6 +8,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"haccrg/internal/core"
@@ -19,6 +20,7 @@ import (
 	"haccrg/internal/kernels"
 	"haccrg/internal/staticrace"
 	"haccrg/internal/swdetect"
+	"haccrg/internal/trace"
 )
 
 // DetectorKind selects the detection configuration of a run.
@@ -104,6 +106,15 @@ type RunResult struct {
 	// Attempts is how many tries the sweep runner needed (1 for a
 	// first-try success; only fault-injected runs are retried).
 	Attempts int
+
+	// Report is the machine-readable detection summary (nil when
+	// detection is off). It is derived state — excluded from the
+	// manifest encoding, so resumed results carry a nil Report while
+	// every serialized field stays byte-identical.
+	Report *core.Report `json:"-"`
+	// TraceRec is the recorded event timeline (nil unless
+	// ExecOptions.Trace); like Report it is in-process state only.
+	TraceRec *trace.Recorder `json:"-"`
 }
 
 // detectorFor builds the run's detector; the second return value
@@ -188,7 +199,84 @@ func Run(rc RunConfig) (*RunResult, error) {
 // cannot take down a whole sweep. On an aborted launch the returned
 // RunResult is non-nil alongside the error, carrying the partial stats
 // and whatever races were found before the abort.
-func RunContext(ctx context.Context, rc RunConfig) (res *RunResult, err error) {
+func RunContext(ctx context.Context, rc RunConfig) (*RunResult, error) {
+	return ExecContext(ctx, rc, ExecOptions{})
+}
+
+// ExecOptions carries the per-run extras that are not part of a
+// RunConfig's serializable identity: the facade's arbitrary detector
+// options, output verification, event tracing, and journal recording.
+// Every execution path in the system — the haccrg facade, the five
+// CLIs, the experiment sweeps, and the haccrg-server job workers —
+// funnels through ExecContext with some ExecOptions, so they all run
+// the exact same job core.
+type ExecOptions struct {
+	// Detection, when non-nil, builds the detector from these explicit
+	// core options instead of deriving them from rc.Detector (the
+	// facade path, which admits configurations — custom Bloom layouts,
+	// shared-shadow-in-global with odd granularities — that no
+	// DetectorKind names). rc's FaultPlan/FaultSeed, Degradation and
+	// DetectParallel are still merged in.
+	Detection *core.Options
+	// Verify checks kernel output against the host reference where the
+	// benchmark defines one.
+	Verify bool
+	// Trace records an event timeline alongside the run (returned as
+	// RunResult.TraceRec).
+	Trace bool
+	// Record writes a durable event journal of the run in the
+	// internal/journal frame format (nil = no journal).
+	Record io.Writer
+}
+
+// execDetector builds the run's detector from explicit core options,
+// merging the RunConfig's fault/degradation/parallel knobs exactly as
+// detectorFor does for kind-derived runs.
+func execDetector(rc RunConfig, opt core.Options) (*core.Detector, error) {
+	if rc.DetectParallel {
+		opt.Parallel = true
+	}
+	if rc.FaultPlan != "" {
+		p, err := fault.Parse(rc.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+		opt.Fault = p
+		opt.FaultSeed = rc.FaultSeed
+	}
+	switch rc.Degradation {
+	case "", "quarantine":
+		opt.Degradation = core.DegradeQuarantine
+	case "reinit":
+		opt.Degradation = core.DegradeReinit
+	default:
+		return nil, fmt.Errorf("harness: unknown degradation policy %q (want quarantine or reinit)", rc.Degradation)
+	}
+	return core.New(opt)
+}
+
+// execMeta describes a run for the journal header so replay can
+// rebuild an equivalent detector without out-of-band knowledge.
+func execMeta(rc RunConfig, coreDet *core.Detector) *journal.Meta {
+	m := &journal.Meta{
+		Bench: rc.Bench, Detector: string(rc.Detector),
+		Scale: rc.Scale, SingleBlock: rc.SingleBlock, Inject: rc.Inject,
+		FaultPlan: rc.FaultPlan, FaultSeed: rc.FaultSeed, Degradation: rc.Degradation,
+	}
+	if m.Detector == "" {
+		m.Detector = string(DetOff)
+	}
+	if coreDet != nil {
+		m.SharedGranularity = coreDet.Options().SharedGranularity
+		m.GlobalGranularity = coreDet.Options().GlobalGranularity
+	}
+	return m
+}
+
+// ExecContext is the shared job core: it executes one configuration
+// under a context with the given extras. See RunContext for the
+// guard-rail and partial-result semantics.
+func ExecContext(ctx context.Context, rc RunConfig, xo ExecOptions) (res *RunResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -202,18 +290,59 @@ func RunContext(ctx context.Context, rc RunConfig) (res *RunResult, err error) {
 	if rc.Scale < 1 {
 		rc.Scale = 1
 	}
-	det, coreDet, swDet, grDet, err := detectorFor(rc)
-	if err != nil {
-		return nil, err
+	var (
+		det     gpu.Detector
+		coreDet *core.Detector
+		swDet   *swdetect.Detector
+		grDet   *grace.Detector
+	)
+	if xo.Detection != nil {
+		d, derr := execDetector(rc, *xo.Detection)
+		if derr != nil {
+			return nil, derr
+		}
+		det, coreDet = d, d
+	} else {
+		det, coreDet, swDet, grDet, err = detectorFor(rc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var traceRec *trace.Recorder
+	if xo.Trace {
+		traceRec = trace.New(det)
+		det = traceRec
+	}
+	var jrec *journal.Recorder
+	if xo.Record != nil {
+		// Journal outermost so it sees the raw device event stream
+		// before any inner wrapper consumes it.
+		jr, jerr := journal.NewRecorder(xo.Record, det)
+		if jerr != nil {
+			return nil, jerr
+		}
+		if jerr := jr.SetMeta(execMeta(rc, coreDet)); jerr != nil {
+			return nil, jerr
+		}
+		jrec = jr
+		det = jr
 	}
 	cfg := gpu.DefaultConfig()
 	if rc.GPU != nil {
 		cfg = *rc.GPU
 	}
-	switch rc.Detector {
-	case DetGlobal, DetSharedGlobal, DetFig8:
-		// Request packets carry sync, fence and atomic IDs.
-		cfg.NoC.RDUMetaEnabled = true
+	if xo.Detection != nil {
+		// Request packets carry sync, fence and atomic IDs whenever the
+		// global-memory RDUs are on — same rule as the kind switch below.
+		if o := coreDet.Options(); o.Global || o.SharedShadowInGlobal {
+			cfg.NoC.RDUMetaEnabled = true
+		}
+	} else {
+		switch rc.Detector {
+		case DetGlobal, DetSharedGlobal, DetFig8:
+			// Request packets carry sync, fence and atomic IDs.
+			cfg.NoC.RDUMetaEnabled = true
+		}
 	}
 	dev, err := gpu.NewDevice(cfg, bm.GlobalBytes(rc.Scale), det)
 	if err != nil {
@@ -231,10 +360,15 @@ func RunContext(ctx context.Context, rc RunConfig) (res *RunResult, err error) {
 		return nil, err
 	}
 	if rc.StaticFilter {
-		switch rc.Detector {
-		case DetShared, DetGlobal, DetSharedGlobal, DetFig8:
-		default:
-			return nil, fmt.Errorf("harness: static filter requires a hardware HAccRG detector, got %q", rc.Detector)
+		if xo.Detection == nil {
+			switch rc.Detector {
+			case DetShared, DetGlobal, DetSharedGlobal, DetFig8:
+			default:
+				return nil, fmt.Errorf("harness: static filter requires a hardware HAccRG detector, got %q", rc.Detector)
+			}
+		}
+		if coreDet == nil {
+			return nil, fmt.Errorf("harness: static filter requires a hardware HAccRG detector")
 		}
 		sconf := staticrace.Config{
 			WarpSize:          cfg.WarpSize,
@@ -256,13 +390,19 @@ func RunContext(ctx context.Context, rc RunConfig) (res *RunResult, err error) {
 	if stats == nil {
 		return nil, runErr
 	}
-	res = &RunResult{Config: rc, Stats: stats, Health: stats.Health, Attempts: 1}
+	if runErr == nil && xo.Verify && plan.Verify != nil {
+		if err := plan.Verify(dev); err != nil {
+			return nil, err
+		}
+	}
+	res = &RunResult{Config: rc, Stats: stats, Health: stats.Health, Attempts: 1, TraceRec: traceRec}
 	if coreDet != nil {
 		res.Races = coreDet.SortedRaces()
 		res.SharedSites = coreDet.SiteCount(isa.SpaceShared)
 		res.GlobalSites = coreDet.SiteCount(isa.SpaceGlobal)
 		res.Groups = coreDet.RaceGroups()
 		res.DetectorStats = coreDet.Stats()
+		res.Report = coreDet.Report()
 	}
 	if swDet != nil {
 		res.InstrStall = swDet.InstrStallCycles
@@ -271,6 +411,12 @@ func RunContext(ctx context.Context, rc RunConfig) (res *RunResult, err error) {
 		res.InstrStall = grDet.InstrStallCycles
 		res.LogBytes = grDet.LogBytes
 		res.Races = grDet.Races()
+	}
+	// A journal write failure never aborts the simulation (the detector
+	// interface has no error path), but it must not pass silently: the
+	// run succeeded, the recording did not.
+	if runErr == nil && jrec != nil && jrec.Err() != nil {
+		return res, fmt.Errorf("harness: journal recording failed: %w", jrec.Err())
 	}
 	return res, runErr
 }
@@ -301,6 +447,13 @@ var sweepDefaults SweepDefaults
 
 // SetSweepDefaults installs the process-wide sweep defaults.
 func SetSweepDefaults(d SweepDefaults) { sweepDefaults = d }
+
+// WithSweepDefaults returns rc with the process-wide sweep defaults
+// merged in — the form under which the sweep engine keys manifests.
+// Callers that inspect a manifest directly (e.g. the haccrg-server
+// resume path asking which runs a checkpoint already holds) must look
+// up this canonical form, not the raw config.
+func WithSweepDefaults(rc RunConfig) RunConfig { return applySweepDefaults(rc) }
 
 func applySweepDefaults(rc RunConfig) RunConfig {
 	if rc.FaultPlan == "" {
@@ -341,8 +494,27 @@ func sweepRun(rc RunConfig) (*RunResult, error) {
 // is appended (and synced) before being returned — the crash-safe
 // resume contract.
 func sweepRunCtx(ctx context.Context, rc RunConfig) (*RunResult, error) {
+	return sweepRunManifest(ctx, rc, ActiveManifest())
+}
+
+// cancelErr wraps a cancellation observed during the retry loop so the
+// caller classifies the run as an interruption casualty — errors.Is
+// reports context.Canceled (or DeadlineExceeded) — while still naming
+// the last real failure the retries were fighting.
+func cancelErr(ctx context.Context, rc RunConfig, attempt int, lastErr error) error {
+	if lastErr == nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("harness: run %s/%s interrupted after %d attempt(s) (last error: %v): %w",
+		rc.Bench, rc.Detector, attempt, lastErr, ctx.Err())
+}
+
+// sweepRunManifest is sweepRunCtx against an explicit manifest (nil =
+// no manifest) — the entry point for callers like the haccrg-server
+// job workers that run several manifest-backed sweeps concurrently in
+// one process and cannot share the global ActiveManifest.
+func sweepRunManifest(ctx context.Context, rc RunConfig, manifest *Manifest) (*RunResult, error) {
 	rc = applySweepDefaults(rc)
-	manifest := ActiveManifest()
 	if manifest != nil {
 		if res, ok := manifest.Lookup(rc); ok {
 			return res, nil
@@ -351,16 +523,22 @@ func sweepRunCtx(ctx context.Context, rc RunConfig) (*RunResult, error) {
 	requested := rc // manifest key: before any retry re-seeding
 	var lastErr error
 	for attempt := 1; attempt <= sweepRetries; attempt++ {
+		// A cancellation that landed between runs (or during a previous
+		// attempt) ends the retry budget immediately: the sweep is
+		// winding down to resumable state, not fighting for a result.
+		if ctx.Err() != nil {
+			return nil, cancelErr(ctx, rc, attempt-1, lastErr)
+		}
 		if attempt > 1 {
 			rc.FaultSeed += 1_000_003 // salt: explore a different sequence
 			select {
 			case <-ctx.Done():
-				return nil, lastErr
+				return nil, cancelErr(ctx, rc, attempt-1, lastErr)
 			case <-time.After(time.Duration(attempt-1) * 50 * time.Millisecond):
 			}
 		}
 		sweepExecutions.Add(1)
-		res, err := RunContext(ctx, rc)
+		res, err := ExecContext(ctx, rc, ExecOptions{})
 		if err == nil {
 			res.Attempts = attempt
 			if manifest != nil {
@@ -374,7 +552,10 @@ func sweepRunCtx(ctx context.Context, rc RunConfig) (*RunResult, error) {
 			return res, nil
 		}
 		lastErr = err
-		if ctx.Err() != nil || rc.FaultPlan == "" || journal.IsIO(err) {
+		if ctx.Err() != nil {
+			return nil, cancelErr(ctx, rc, attempt, lastErr)
+		}
+		if rc.FaultPlan == "" || journal.IsIO(err) {
 			break
 		}
 	}

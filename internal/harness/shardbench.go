@@ -142,17 +142,93 @@ func shardBenchMatch(a, b *RunResult) bool {
 	return a.DetectorStats == b.DetectorStats && a.Stats.Cycles == b.Stats.Cycles
 }
 
+// ReadShardBenchJSON parses a report previously written by
+// WriteShardBenchJSON, rejecting unknown schemas.
+func ReadShardBenchJSON(r io.Reader) (*ShardBenchReport, error) {
+	var rep ShardBenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("harness: shardbench report: %w", err)
+	}
+	if rep.Schema != shardBenchSchema {
+		return nil, fmt.Errorf("harness: shardbench report schema %q, want %q", rep.Schema, shardBenchSchema)
+	}
+	return &rep, nil
+}
+
+// CompareShardBench gates a fresh shardbench report against a pinned
+// baseline (the BENCH_PR*.json trajectory). Findings are compared
+// exactly — the race counts and the serial/sharded match bit are
+// machine-independent invariants, so any drift is a regression.
+// Wall-clock throughput is compared only when both reports came from
+// the same machine shape (equal NumCPU and GOMAXPROCS): cross-machine
+// millisecond deltas measure the hardware, not the code. When timing
+// is comparable, each benchmark's serial and sharded times may exceed
+// the baseline by at most tolerance (e.g. 0.10 for +10%).
+//
+// The returned regressions are human-readable failures (empty = gate
+// passed); notes report comparisons that were skipped and why.
+func CompareShardBench(baseline, current *ShardBenchReport, tolerance float64) (regressions, notes []string) {
+	cur := make(map[string]ShardBenchRow, len(current.Rows))
+	for _, r := range current.Rows {
+		cur[r.Bench] = r
+	}
+	timing := baseline.NumCPU == current.NumCPU && baseline.GoMaxProcs == current.GoMaxProcs &&
+		baseline.Scale == current.Scale
+	if !timing {
+		notes = append(notes, fmt.Sprintf(
+			"timing gate skipped: baseline ran on %d CPU / GOMAXPROCS %d at scale %d, current on %d / %d at scale %d",
+			baseline.NumCPU, baseline.GoMaxProcs, baseline.Scale,
+			current.NumCPU, current.GoMaxProcs, current.Scale))
+	}
+	for _, b := range baseline.Rows {
+		c, ok := cur[b.Bench]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: present in baseline but missing from current report", b.Bench))
+			continue
+		}
+		if c.Races != b.Races {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: findings changed: %d race(s), baseline %d", b.Bench, c.Races, b.Races))
+		}
+		if b.Match && !c.Match {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: sharded findings diverged from serial (baseline matched)", b.Bench))
+		}
+		if !timing {
+			continue
+		}
+		limit := 1 + tolerance
+		if b.SerialMS > 0 && c.SerialMS > b.SerialMS*limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: serial time %.1fms exceeds baseline %.1fms by more than %.0f%%",
+				b.Bench, c.SerialMS, b.SerialMS, tolerance*100))
+		}
+		if b.ParallelMS > 0 && c.ParallelMS > b.ParallelMS*limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: sharded time %.1fms exceeds baseline %.1fms by more than %.0f%%",
+				b.Bench, c.ParallelMS, b.ParallelMS, tolerance*100))
+		}
+	}
+	return regressions, notes
+}
+
 // WriteShardBenchJSON emits the machine-readable report (indented, one
 // trailing newline) — the file CI uploads and BENCH_PR4.json pins.
 func WriteShardBenchJSON(w io.Writer, scale int, rows []ShardBenchRow) error {
-	rep := ShardBenchReport{
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewShardBenchReport(scale, rows))
+}
+
+// NewShardBenchReport wraps measured rows in the versioned report
+// envelope, stamping the machine shape the numbers were taken on.
+func NewShardBenchReport(scale int, rows []ShardBenchRow) *ShardBenchReport {
+	return &ShardBenchReport{
 		Schema:     shardBenchSchema,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Scale:      scale,
 		Rows:       rows,
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(&rep)
 }

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testReport(mod func(*ShardBenchReport)) *ShardBenchReport {
+	rep := &ShardBenchReport{
+		Schema:     shardBenchSchema,
+		GoMaxProcs: 4,
+		NumCPU:     4,
+		Scale:      1,
+		Rows: []ShardBenchRow{
+			{Bench: "scan", Races: 256, SerialMS: 10, ParallelMS: 8, Match: true},
+			{Bench: "psum", Races: 0, SerialMS: 20, ParallelMS: 18, Match: true},
+		},
+	}
+	if mod != nil {
+		mod(rep)
+	}
+	return rep
+}
+
+func TestShardBenchJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rows := testReport(nil).Rows
+	if err := WriteShardBenchJSON(&buf, 1, rows); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	rep, err := ReadShardBenchJSON(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(rep.Rows) != len(rows) || rep.Rows[0].Bench != "scan" {
+		t.Fatalf("round trip lost rows: %+v", rep.Rows)
+	}
+	if _, err := ReadShardBenchJSON(strings.NewReader(`{"schema":"other/9"}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+func TestCompareShardBenchGate(t *testing.T) {
+	base := testReport(nil)
+
+	// Identical report: clean pass, timing compared.
+	reg, notes := CompareShardBench(base, testReport(nil), 0.10)
+	if len(reg) != 0 || len(notes) != 0 {
+		t.Fatalf("identical reports: regressions %v notes %v", reg, notes)
+	}
+
+	// Findings drift is always fatal.
+	reg, _ = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
+		r.Rows[0].Races = 255
+	}), 0.10)
+	if len(reg) != 1 || !strings.Contains(reg[0], "findings changed") {
+		t.Fatalf("race-count drift: regressions %v", reg)
+	}
+	reg, _ = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
+		r.Rows[1].Match = false
+	}), 0.10)
+	if len(reg) != 1 || !strings.Contains(reg[0], "diverged") {
+		t.Fatalf("match drift: regressions %v", reg)
+	}
+	reg, _ = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
+		r.Rows = r.Rows[:1]
+	}), 0.10)
+	if len(reg) != 1 || !strings.Contains(reg[0], "missing") {
+		t.Fatalf("missing bench: regressions %v", reg)
+	}
+
+	// Timing past tolerance fails on the same machine shape...
+	reg, _ = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
+		r.Rows[0].SerialMS = 11.5 // +15% over 10
+	}), 0.10)
+	if len(reg) != 1 || !strings.Contains(reg[0], "serial time") {
+		t.Fatalf("timing regression: regressions %v", reg)
+	}
+	// ...and within tolerance passes.
+	reg, _ = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
+		r.Rows[0].SerialMS = 10.9
+	}), 0.10)
+	if len(reg) != 0 {
+		t.Fatalf("within-tolerance timing flagged: %v", reg)
+	}
+
+	// A different machine shape skips the timing gate (with a note)
+	// but still enforces findings.
+	reg, notes = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
+		r.NumCPU = 16
+		r.Rows[0].SerialMS = 100 // would fail the timing gate
+		r.Rows[1].Races = 3      // findings drift must still fail
+	}), 0.10)
+	if len(notes) != 1 || !strings.Contains(notes[0], "timing gate skipped") {
+		t.Fatalf("cross-machine comparison: notes %v", notes)
+	}
+	if len(reg) != 1 || !strings.Contains(reg[0], "findings changed") {
+		t.Fatalf("cross-machine comparison: regressions %v", reg)
+	}
+}
+
+// TestSweepRunCancellationClassified pins the retry-loop fix: a sweep
+// run cut down by context cancellation must surface an error that
+// errors.Is classifies as the cancellation, not as a genuine run
+// failure — SIGTERM during a retrying sweep is resumable state.
+func TestSweepRunCancellationClassified(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rc := RunConfig{Bench: "psum", Detector: DetSharedGlobal, GPU: testGPU()}
+	if _, err := sweepRunManifest(ctx, rc, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep run: err = %v, want context.Canceled classification", err)
+	}
+}

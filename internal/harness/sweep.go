@@ -111,6 +111,18 @@ func sweepAll(cfgs []RunConfig) ([]*RunResult, error) {
 }
 
 func sweepAllCtx(ctx context.Context, cfgs []RunConfig) ([]*RunResult, error) {
+	return Sweep(ctx, cfgs, ActiveManifest())
+}
+
+// Sweep runs every configuration through the bounded worker pool
+// against an explicit manifest (nil = no manifest) and returns results
+// in input order — the entry point for callers like the haccrg-server
+// job workers that execute several manifest-backed sweeps concurrently
+// in one process and cannot share the global ActiveManifest. Completed
+// configurations the manifest already holds are served from it instead
+// of re-simulated; fresh completions are appended and synced before
+// being returned, so a kill at any point leaves resumable state.
+func Sweep(ctx context.Context, cfgs []RunConfig, m *Manifest) ([]*RunResult, error) {
 	n := len(cfgs)
 	results := make([]*RunResult, n)
 	workers := Parallelism()
@@ -119,7 +131,7 @@ func sweepAllCtx(ctx context.Context, cfgs []RunConfig) ([]*RunResult, error) {
 	}
 	if workers <= 1 {
 		for i := range cfgs {
-			r, err := sweepRunCtx(ctx, cfgs[i])
+			r, err := sweepRunManifest(ctx, cfgs[i], m)
 			if err != nil {
 				return nil, err
 			}
@@ -139,7 +151,7 @@ func sweepAllCtx(ctx context.Context, cfgs []RunConfig) ([]*RunResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				r, err := sweepRunCtx(ctx, cfgs[i])
+				r, err := sweepRunManifest(ctx, cfgs[i], m)
 				if err != nil {
 					errs[i] = err
 					cancel() // first failure stops the sweep

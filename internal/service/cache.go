@@ -1,0 +1,83 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// reportCache is the content-addressed static-analysis cache: report
+// JSON keyed on program hash, LRU-bounded so a stream of distinct
+// programs cannot grow the daemon without limit. Static analysis is a
+// pure function of the program and the analyzer configuration (both
+// folded into the key), so a hit is exact — repeat submissions skip
+// the prover entirely.
+type reportCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	m      map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key      string
+	report   json.RawMessage
+	findings int
+}
+
+// CacheStats is the cache's /statsz snapshot.
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+func newReportCache(capacity int) *reportCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &reportCache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+// get returns the cached report and finding count for a program hash.
+func (c *reportCache) get(key string) (json.RawMessage, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.report, e.findings, true
+}
+
+// put inserts (or refreshes) a report, evicting the least recently
+// used entry past capacity.
+func (c *reportCache) put(key string, report json.RawMessage, findings int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).report = report
+		el.Value.(*cacheEntry).findings = findings
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, report: report, findings: findings})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *reportCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,445 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"haccrg/internal/gpu"
+	"haccrg/internal/harness"
+	"haccrg/internal/journal"
+	"haccrg/internal/kernels"
+	"haccrg/internal/staticrace"
+)
+
+// JobKind names the three workloads the daemon executes.
+type JobKind string
+
+// Job kinds.
+const (
+	// JobBench simulates one or more benchmarks under a detector
+	// configuration — the journaled job class: every completed run is
+	// checkpointed to a per-job manifest, so a drain or crash mid-job
+	// resumes instead of restarting.
+	JobBench JobKind = "bench"
+	// JobReplay feeds an uploaded event journal through a detector
+	// offline and compares the replayed verdict with the recorded one.
+	JobReplay JobKind = "replay"
+	// JobAnalyze runs the static race analyzer (CFG, lint passes,
+	// race-freedom prover) over a benchmark's kernels without
+	// simulating; results are served from the content-addressed report
+	// cache when the program hash matches a prior submission.
+	JobAnalyze JobKind = "analyze"
+)
+
+// JobSpec is a submitted job: the client-controlled description of
+// what to execute. It is the durable identity of the job — specs are
+// spooled to disk before admission is acknowledged, so an accepted job
+// survives a daemon restart.
+type JobSpec struct {
+	Kind JobKind `json:"kind"`
+
+	// Benches are the benchmark names to run or analyze (bench and
+	// analyze kinds). A bench job runs them as one sweep under one
+	// manifest.
+	Benches []string `json:"benches,omitempty"`
+	// Detector is the harness.DetectorKind to run under (bench kind;
+	// default shared+global). For replay jobs it overrides the
+	// journaled detector when non-empty.
+	Detector string `json:"detector,omitempty"`
+
+	Scale             int      `json:"scale,omitempty"`
+	SingleBlock       bool     `json:"single_block,omitempty"`
+	Inject            []string `json:"inject,omitempty"`
+	SharedGranularity int      `json:"shared_granularity,omitempty"`
+	GlobalGranularity int      `json:"global_granularity,omitempty"`
+	DetectParallel    bool     `json:"detect_parallel,omitempty"`
+	StaticFilter      bool     `json:"static_filter,omitempty"`
+	FaultPlan         string   `json:"fault_plan,omitempty"`
+	FaultSeed         int64    `json:"fault_seed,omitempty"`
+	Degradation       string   `json:"degradation,omitempty"`
+
+	// SmallGPU runs on the 4-SM test device instead of the Table I
+	// machine.
+	SmallGPU bool `json:"small_gpu,omitempty"`
+	// MaxCycles bounds each run's simulated clock (0 = server default).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// TimeoutMS requests a per-job wall-clock deadline in milliseconds;
+	// the server clamps it to its configured maximum. 0 means the
+	// server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted" // drained mid-flight; resumes on restart
+)
+
+// RunSummary is one benchmark run's findings inside a bench job: the
+// serializable verdict the byte-identical-resume invariant is stated
+// over.
+type RunSummary struct {
+	Bench    string   `json:"bench"`
+	Detector string   `json:"detector"`
+	Cycles   int64    `json:"cycles"`
+	Races    []string `json:"races"`
+	Attempts int      `json:"attempts"`
+	// Resumed is true when this run was served from the job's manifest
+	// (a pre-drain completion) rather than simulated in this process.
+	Resumed bool `json:"resumed,omitempty"`
+	// Degraded is true when the detector's health report shows dropped
+	// checks, corruption, or quarantines — findings may under-report.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// ReplaySummary is a replay job's outcome.
+type ReplaySummary struct {
+	Detector  string   `json:"detector"`
+	Kernels   int      `json:"kernels"`
+	MemEvents int      `json:"mem_events"`
+	Truncated bool     `json:"truncated,omitempty"`
+	Races     []string `json:"races"`
+	// Match reports the replay-equals-live oracle: true when the
+	// journal recorded a verdict and the replayed one equals it byte
+	// for byte. Nil when the journal holds no verdict to compare.
+	Match *bool `json:"match,omitempty"`
+}
+
+// AnalyzeSummary is a static-analysis job's outcome.
+type AnalyzeSummary struct {
+	// ProgramHash is the content address of the analyzed kernels: the
+	// SHA-256 of their canonical disassembly plus the analyzer
+	// configuration. Identical programs hash identically, so repeat
+	// submissions are served from the report cache without re-proving.
+	ProgramHash string `json:"program_hash"`
+	Findings    int    `json:"findings"`
+	// Report is the full staticrace suite report, embedded verbatim.
+	Report json.RawMessage `json:"report"`
+}
+
+// JobStatus is the client-visible state of a job, also the durable
+// completion record the spool persists.
+type JobStatus struct {
+	ID     string  `json:"id"`
+	Tenant string  `json:"tenant"`
+	Kind   JobKind `json:"kind"`
+	State  string  `json:"state"`
+	Error  string  `json:"error,omitempty"`
+
+	Runs     []RunSummary    `json:"runs,omitempty"`
+	Replay   *ReplaySummary  `json:"replay,omitempty"`
+	Analyze  *AnalyzeSummary `json:"analyze,omitempty"`
+	CacheHit bool            `json:"cache_hit,omitempty"`
+
+	EnqueuedAt time.Time `json:"enqueued_at"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+}
+
+// validate rejects malformed specs at admission, before any resources
+// are committed to them.
+func (sp *JobSpec) validate() error {
+	switch sp.Kind {
+	case JobBench, JobAnalyze:
+		if len(sp.Benches) == 0 {
+			return fmt.Errorf("service: %s job needs at least one benchmark", sp.Kind)
+		}
+		for _, b := range sp.Benches {
+			if kernels.Get(b) == nil {
+				return fmt.Errorf("service: unknown benchmark %q", b)
+			}
+		}
+	case JobReplay:
+		// The journal body is validated at execution; nothing to check
+		// up front beyond the kind itself.
+	default:
+		return fmt.Errorf("service: unknown job kind %q", sp.Kind)
+	}
+	if sp.TimeoutMS < 0 || sp.MaxCycles < 0 || sp.Scale < 0 {
+		return fmt.Errorf("service: negative limits are not valid")
+	}
+	switch sp.Degradation {
+	case "", "quarantine", "reinit":
+	default:
+		return fmt.Errorf("service: unknown degradation policy %q", sp.Degradation)
+	}
+	return nil
+}
+
+// runConfigs expands a bench spec into the harness configurations its
+// sweep executes — deterministically, so the same spec always maps to
+// the same manifest keys and a resumed job lines up with its
+// checkpoint.
+func (sp *JobSpec) runConfigs(smallGPU bool) []harness.RunConfig {
+	det := harness.DetectorKind(sp.Detector)
+	if det == "" {
+		det = harness.DetSharedGlobal
+	}
+	var cfg *gpu.Config
+	if sp.SmallGPU || smallGPU {
+		c := gpu.TestConfig()
+		cfg = &c
+	}
+	cfgs := make([]harness.RunConfig, 0, len(sp.Benches))
+	for _, b := range sp.Benches {
+		cfgs = append(cfgs, harness.RunConfig{
+			Bench:             b,
+			Detector:          det,
+			Scale:             sp.Scale,
+			SingleBlock:       sp.SingleBlock,
+			Inject:            sp.Inject,
+			SharedGranularity: sp.SharedGranularity,
+			GlobalGranularity: sp.GlobalGranularity,
+			DetectParallel:    sp.DetectParallel,
+			StaticFilter:      sp.StaticFilter,
+			GPU:               cfg,
+			FaultPlan:         sp.FaultPlan,
+			FaultSeed:         sp.FaultSeed,
+			Degradation:       sp.Degradation,
+			MaxCycles:         sp.MaxCycles,
+		})
+	}
+	return cfgs
+}
+
+// execBench runs a bench job's sweep against its per-job manifest.
+// Completed configurations already in the manifest are served from it
+// (Resumed=true); fresh completions are appended and synced one by
+// one, so a cancellation at any point leaves resumable state.
+func execBench(ctx context.Context, sp *JobSpec, m *harness.Manifest, smallGPU bool) ([]RunSummary, error) {
+	cfgs := sp.runConfigs(smallGPU)
+	resumable := make([]bool, len(cfgs))
+	if m != nil {
+		for i, rc := range cfgs {
+			_, resumable[i] = m.Lookup(harness.WithSweepDefaults(rc))
+		}
+	}
+	results, err := harness.Sweep(ctx, cfgs, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RunSummary, 0, len(results))
+	for i, r := range results {
+		races := make([]string, 0, len(r.Races))
+		for _, race := range r.Races {
+			races = append(races, race.String())
+		}
+		out = append(out, RunSummary{
+			Bench:    r.Config.Bench,
+			Detector: string(r.Config.Detector),
+			Cycles:   r.Stats.Cycles,
+			Races:    races,
+			Attempts: r.Attempts,
+			Resumed:  resumable[i],
+			Degraded: r.Health != nil && r.Health.Degraded,
+		})
+	}
+	return out, nil
+}
+
+// execReplay replays an uploaded journal through the recorded detector
+// (or an override) and reports the oracle verdict.
+func execReplay(ctx context.Context, sp *JobSpec, journalPath string) (*ReplaySummary, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	meta, err := readJournalMeta(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	rc := harness.RunConfig{Detector: harness.DetSharedGlobal}
+	if meta != nil {
+		rc = harness.RunConfig{
+			Bench:             meta.Bench,
+			Detector:          harness.DetectorKind(meta.Detector),
+			SharedGranularity: meta.SharedGranularity,
+			GlobalGranularity: meta.GlobalGranularity,
+			FaultPlan:         meta.FaultPlan,
+			FaultSeed:         meta.FaultSeed,
+			Degradation:       meta.Degradation,
+		}
+	}
+	if sp.Detector != "" {
+		rc.Detector = harness.DetectorKind(sp.Detector)
+	}
+	det, err := harness.DetectorFor(rc)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := journal.Replay(f, det)
+	if err != nil {
+		return nil, err
+	}
+	sum := &ReplaySummary{
+		Detector:  string(rc.Detector),
+		Kernels:   res.Kernels,
+		MemEvents: res.MemEvents,
+		Truncated: res.Salvage.Truncated,
+		Races:     append([]string{}, res.Replayed...),
+	}
+	if res.Recorded != nil {
+		match := res.Match
+		sum.Match = &match
+	}
+	return sum, nil
+}
+
+// readJournalMeta scans a journal file for its meta record (nil when
+// none survived — replay still works, just with the default detector).
+func readJournalMeta(path string) (*journal.Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := journal.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		payload, err := r.Next()
+		if err != nil {
+			return nil, nil
+		}
+		rec, err := journal.DecodeRecord(payload)
+		if err != nil {
+			return nil, nil
+		}
+		if rec.Type == journal.RecMeta {
+			return rec.Meta, nil
+		}
+	}
+}
+
+// analyzeConf is the analyzer configuration a spec implies.
+func (sp *JobSpec) analyzeConf(smallGPU bool) (staticrace.Config, gpu.Config) {
+	cfg := gpu.DefaultConfig()
+	if sp.SmallGPU || smallGPU {
+		cfg = gpu.TestConfig()
+	}
+	conf := staticrace.Config{
+		WarpSize:          cfg.WarpSize,
+		SharedGranularity: sp.SharedGranularity,
+		GlobalGranularity: sp.GlobalGranularity,
+	}
+	if conf.SharedGranularity == 0 {
+		conf.SharedGranularity = 16
+	}
+	if conf.GlobalGranularity == 0 {
+		conf.GlobalGranularity = 4
+	}
+	return conf, cfg
+}
+
+// buildKernels builds the spec's benchmark plans without running them
+// and returns every kernel in deterministic (bench, plan) order.
+func (sp *JobSpec) buildKernels(cfg gpu.Config) ([]*gpu.Kernel, error) {
+	var out []*gpu.Kernel
+	scale := sp.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	p := kernels.Params{Scale: scale, SingleBlock: sp.SingleBlock}
+	if len(sp.Inject) > 0 {
+		p.Inject = make(map[string]bool, len(sp.Inject))
+		for _, id := range sp.Inject {
+			p.Inject[id] = true
+		}
+	}
+	for _, b := range sp.Benches {
+		bm := kernels.Get(b)
+		if bm == nil {
+			return nil, fmt.Errorf("service: unknown benchmark %q", b)
+		}
+		dev, err := gpu.NewDevice(cfg, bm.GlobalBytes(scale), nil)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := bm.Build(dev, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, plan.Kernels...)
+	}
+	return out, nil
+}
+
+// programHash content-addresses a set of kernels under an analyzer
+// configuration: the SHA-256 of each kernel's identity (name, launch
+// geometry, shared allocation, parameters) and canonical disassembly,
+// plus the granularities and warp size the prover models. Two
+// submissions that assemble the same programs hash identically no
+// matter which benchmark names produced them.
+func programHash(conf staticrace.Config, ks []*gpu.Kernel) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "haccrg-analyze/1 warp=%d sg=%d gg=%d\n",
+		conf.WarpSize, conf.SharedGranularity, conf.GlobalGranularity)
+	for _, k := range ks {
+		fmt.Fprintf(h, "kernel %s grid=%d block=%d shared=%d params=%v\n",
+			k.Name, k.GridDim, k.BlockDim, k.SharedBytes, k.Params)
+		for pc := range k.Prog.Code {
+			fmt.Fprintf(h, "%d %s\n", pc, k.Prog.Code[pc].String())
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// execAnalyze runs (or serves from cache) a static-analysis job.
+func execAnalyze(ctx context.Context, sp *JobSpec, cache *reportCache, smallGPU bool) (*AnalyzeSummary, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	conf, cfg := sp.analyzeConf(smallGPU)
+	ks, err := sp.buildKernels(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	hash := programHash(conf, ks)
+	if cache != nil {
+		if rep, findings, ok := cache.get(hash); ok {
+			return &AnalyzeSummary{ProgramHash: hash, Findings: findings, Report: rep}, true, nil
+		}
+	}
+	var analyses []*staticrace.Analysis
+	for _, k := range ks {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		a, err := staticrace.Analyze(k, conf)
+		if err != nil {
+			return nil, false, fmt.Errorf("service: static analysis of kernel %s: %w", k.Name, err)
+		}
+		analyses = append(analyses, a)
+	}
+	rep := staticrace.BuildReport(analyses, true)
+	raw := json.RawMessage(rep.JSON())
+	if cache != nil {
+		cache.put(hash, raw, rep.Findings)
+	}
+	return &AnalyzeSummary{ProgramHash: hash, Findings: rep.Findings, Report: raw}, false, nil
+}
+
+// BenchNames returns the simulator's benchmark suite in canonical
+// order — what a client sees on the discovery endpoint.
+func BenchNames() []string {
+	var out []string
+	for _, b := range kernels.All() {
+		out = append(out, b.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,394 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"haccrg/internal/journal"
+)
+
+func testLogger(t *testing.T) *log.Logger {
+	t.Helper()
+	return log.New(io.Discard, "", 0)
+}
+
+// openTenants is a tenant config that never rejects, for tests aimed
+// at other gates.
+var openTenants = TenantConfig{Rate: 1e6, Burst: 1000, MaxConcurrent: 0}
+
+func newTestServer(t *testing.T, mod func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		DataDir:  t.TempDir(),
+		SmallGPU: true,
+		Workers:  1,
+		Tenant:   openTenants,
+		Log:      testLogger(t),
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// expiredCtx is a context whose deadline has already passed — the
+// zero-length drain window.
+func expiredCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func analyzeSpec() *JobSpec {
+	return &JobSpec{Kind: JobAnalyze, Benches: []string{"psum"}}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, nil)
+	defer s.Drain(expiredCtx(t))
+	cases := []*JobSpec{
+		{Kind: "bogus"},
+		{Kind: JobBench},
+		{Kind: JobBench, Benches: []string{"no-such-bench"}},
+		{Kind: JobAnalyze, Benches: []string{"psum"}, TimeoutMS: -1},
+		{Kind: JobBench, Benches: []string{"psum"}, Degradation: "explode"},
+	}
+	for _, sp := range cases {
+		if _, _, err := s.Submit("t", sp); err == nil {
+			t.Errorf("Submit(%+v) accepted, want validation error", sp)
+		}
+	}
+	if n := len(s.Jobs("")); n != 0 {
+		t.Fatalf("rejected specs left %d jobs behind", n)
+	}
+}
+
+func TestQueueSaturationShedsLoad(t *testing.T) {
+	// Workers never started: everything submitted stays queued, so the
+	// third submission must hit the bounded queue, be refused with a
+	// retry hint, and leave no trace in the spool.
+	s := newTestServer(t, func(c *Config) { c.QueueDepth = 2 })
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.Submit("t", analyzeSpec()); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	_, retry, err := s.Submit("t", analyzeSpec())
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit on full queue: err = %v, want ErrQueueFull", err)
+	}
+	if retry <= 0 {
+		t.Fatalf("Submit on full queue: retry hint = %v, want > 0", retry)
+	}
+	specs, _ := filepath.Glob(filepath.Join(s.spool.dir, "jobs", "*.spec.json"))
+	if len(specs) != 2 {
+		t.Fatalf("spool holds %d specs after shed submission, want 2", len(specs))
+	}
+	st := s.Stats()
+	if st.Rejected.QueueFull != 1 {
+		t.Fatalf("Stats.Rejected.QueueFull = %d, want 1", st.Rejected.QueueFull)
+	}
+	// The shed admission was refunded: the tenant's bucket is not
+	// charged for work the daemon refused.
+	if got := st.Tenants["t"].Admitted; got != 2 {
+		t.Fatalf("tenant admitted = %d after refund, want 2", got)
+	}
+	rep := s.Drain(expiredCtx(t))
+	if rep.Requeued != 2 {
+		t.Fatalf("Drain.Requeued = %d, want 2 (accepted jobs are never dropped)", rep.Requeued)
+	}
+}
+
+func TestTenantQuotaExhaustion(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	ts := newTenants(TenantConfig{Rate: 1, Burst: 2, MaxConcurrent: 10}, func() time.Time { return clock })
+	for i := 0; i < 2; i++ {
+		if _, err := ts.admit("a"); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	retry, err := ts.admit("a")
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("admit past burst: err = %v, want ErrQuota", err)
+	}
+	if retry < time.Second {
+		t.Fatalf("quota retry hint = %v, want >= 1s", retry)
+	}
+	// Another tenant is unaffected.
+	if _, err := ts.admit("b"); err != nil {
+		t.Fatalf("tenant b: %v", err)
+	}
+	// Time refills the bucket.
+	clock = clock.Add(3 * time.Second)
+	if _, err := ts.admit("a"); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+}
+
+func TestTenantConcurrencyCap(t *testing.T) {
+	ts := newTenants(TenantConfig{Rate: 0, MaxConcurrent: 2}, nil)
+	for i := 0; i < 2; i++ {
+		if _, err := ts.admit("a"); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	if _, err := ts.admit("a"); !errors.Is(err, ErrConcurrency) {
+		t.Fatalf("admit past cap: err = %v, want ErrConcurrency", err)
+	}
+	ts.release("a")
+	if _, err := ts.admit("a"); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestAnalyzeJobAndReportCache(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.Start()
+	defer s.Drain(expiredCtx(t))
+
+	run := func() JobStatus {
+		id, _, err := s.Submit("t", analyzeSpec())
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		st, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job state %s (%s), want done", st.State, st.Error)
+		}
+		return st
+	}
+	first, second := run(), run()
+	if first.Analyze == nil || second.Analyze == nil {
+		t.Fatal("analyze summaries missing")
+	}
+	if first.CacheHit {
+		t.Fatal("first analysis claims a cache hit")
+	}
+	if !second.CacheHit {
+		t.Fatal("second identical analysis missed the cache")
+	}
+	if first.Analyze.ProgramHash != second.Analyze.ProgramHash {
+		t.Fatalf("program hashes differ: %s vs %s", first.Analyze.ProgramHash, second.Analyze.ProgramHash)
+	}
+	if string(first.Analyze.Report) != string(second.Analyze.Report) {
+		t.Fatal("cached report differs from computed report")
+	}
+	if st := s.Stats(); st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", st.Cache)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	s := newTestServer(t, nil)
+	// A job with a nil spec crashes the executor; the worker must
+	// survive and report the crash as a structured failure.
+	j := &job{done: make(chan struct{}), status: JobStatus{ID: "jpanic", Tenant: "t"}}
+	s.mu.Lock()
+	s.jobs["jpanic"] = j
+	s.outstanding++
+	s.mu.Unlock()
+	s.runJob(j)
+	st := j.snapshot()
+	if st.State != StateFailed {
+		t.Fatalf("panicked job state = %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("panicked job error = %q, want a panic report", st.Error)
+	}
+	if got := s.Stats().Panicked; got != 1 {
+		t.Fatalf("Stats.Panicked = %d, want 1", got)
+	}
+	select {
+	case <-j.done:
+	default:
+		t.Fatal("panicked job's done gate never closed")
+	}
+}
+
+func TestJobDeadlineClamp(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.DefaultDeadline = time.Minute
+		c.MaxDeadline = 2 * time.Minute
+	})
+	defer s.Drain(expiredCtx(t))
+	if d := s.jobDeadline(&JobSpec{}); d != time.Minute {
+		t.Fatalf("default deadline = %v, want 1m", d)
+	}
+	if d := s.jobDeadline(&JobSpec{TimeoutMS: 30_000}); d != 30*time.Second {
+		t.Fatalf("requested deadline = %v, want 30s", d)
+	}
+	if d := s.jobDeadline(&JobSpec{TimeoutMS: int64(time.Hour / time.Millisecond)}); d != 2*time.Minute {
+		t.Fatalf("oversized deadline = %v, want clamped to 2m", d)
+	}
+}
+
+// TestDrainCheckpointResume is the core robustness invariant: a drain
+// that cuts a bench job mid-sweep leaves resumable state, and a
+// restarted daemon finishes the job with findings byte-identical to an
+// uninterrupted run.
+func TestDrainCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	// hist finishes first and lands in the job's manifest; mcarlo is
+	// still simulating when the drain cancels it.
+	spec := &JobSpec{Kind: JobBench, Benches: []string{"hist", "mcarlo"}, Scale: 8}
+
+	// Control: the same spec run to completion without interruption.
+	control := newTestServer(t, func(c *Config) { c.SmallGPU = false })
+	control.Start()
+	cid, _, err := control.Submit("t", spec)
+	if err != nil {
+		t.Fatalf("control Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	want, err := control.Wait(ctx, cid)
+	if err != nil || want.State != StateDone {
+		t.Fatalf("control job: state %s, err %v (%s)", want.State, err, want.Error)
+	}
+	control.Drain(expiredCtx(t))
+
+	dir := t.TempDir()
+	s, err := New(Config{DataDir: dir, Workers: 1, Tenant: openTenants, Log: testLogger(t)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	id, _, err := s.Submit("t", spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Wait for the first completed run to be checkpointed — the
+	// journal header alone does not count, only an intact record —
+	// then slam the drain window shut while the second is mid-flight.
+	manifest := s.spool.manifestPath(id)
+	for deadline := time.Now().Add(time.Minute); ; {
+		if manifestRecords(manifest) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("manifest never got its first checkpoint")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep := s.Drain(expiredCtx(t))
+	st, ok := s.Job(id)
+	if !ok {
+		t.Fatal("job vanished during drain")
+	}
+	if st.State != StateInterrupted {
+		t.Fatalf("drained job state = %s (%s), want interrupted", st.State, st.Error)
+	}
+	if rep.Interrupted != 1 {
+		t.Fatalf("DrainReport.Interrupted = %d, want 1", rep.Interrupted)
+	}
+
+	// Restart over the same data directory: the job is recovered,
+	// resumed from its manifest, and completed.
+	s2, err := New(Config{DataDir: dir, Workers: 1, Tenant: openTenants, Log: testLogger(t)})
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	s2.Start()
+	defer s2.Drain(expiredCtx(t))
+	got, err := s2.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("resumed Wait: %v", err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("resumed job state = %s (%s), want done", got.State, got.Error)
+	}
+
+	if len(got.Runs) != len(want.Runs) {
+		t.Fatalf("resumed job has %d runs, control %d", len(got.Runs), len(want.Runs))
+	}
+	resumedAny := false
+	for i := range got.Runs {
+		g, w := got.Runs[i], want.Runs[i]
+		if g.Bench != w.Bench || g.Detector != w.Detector || g.Cycles != w.Cycles {
+			t.Errorf("run %d: got %s/%s %d cycles, control %s/%s %d cycles",
+				i, g.Bench, g.Detector, g.Cycles, w.Bench, w.Detector, w.Cycles)
+		}
+		if strings.Join(g.Races, "\n") != strings.Join(w.Races, "\n") {
+			t.Errorf("run %d (%s): races differ from uninterrupted control\n got: %v\nwant: %v",
+				i, g.Bench, g.Races, w.Races)
+		}
+		resumedAny = resumedAny || g.Resumed
+	}
+	if !resumedAny {
+		t.Error("no run was served from the checkpoint manifest")
+	}
+}
+
+// manifestRecords counts the intact framed records in a (possibly
+// still-growing) manifest file, without disturbing it.
+func manifestRecords(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	r, err := journal.NewReader(f)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			return n
+		}
+		n++
+	}
+}
+
+func TestRecoverRequeuesSpooledJobs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{DataDir: dir, SmallGPU: true, Workers: 1, Tenant: openTenants, Log: testLogger(t)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Accept a job but never start workers, then drain: the job stays
+	// spooled.
+	id, _, err := s.Submit("t", analyzeSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if rep := s.Drain(expiredCtx(t)); rep.Requeued != 1 {
+		t.Fatalf("Drain.Requeued = %d, want 1", rep.Requeued)
+	}
+
+	s2, err := New(Config{DataDir: dir, SmallGPU: true, Workers: 1, Tenant: openTenants, Log: testLogger(t)})
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	s2.Start()
+	defer s2.Drain(expiredCtx(t))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := s2.Wait(ctx, id)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("recovered job: state %s, err %v (%s)", st.State, err, st.Error)
+	}
+	if st.Analyze == nil || st.Analyze.ProgramHash == "" {
+		t.Fatal("recovered analyze job produced no report")
+	}
+}

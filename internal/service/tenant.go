@@ -1,0 +1,189 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TenantConfig bounds what one tenant can do to the daemon. The quota
+// is a token bucket over admissions (sustained Rate jobs/sec with
+// Burst headroom) plus a cap on jobs in flight; both exist so one
+// hot tenant degrades into its own 429s instead of starving everyone
+// else or growing the queue without bound.
+type TenantConfig struct {
+	// Rate is the sustained admission rate in jobs per second
+	// (<= 0 disables the rate quota).
+	Rate float64 `json:"rate"`
+	// Burst is the bucket capacity — how many admissions a tenant can
+	// front-load before the rate limit bites (min 1 when Rate is on).
+	Burst int `json:"burst"`
+	// MaxConcurrent caps a tenant's queued+running jobs
+	// (<= 0 = unlimited).
+	MaxConcurrent int `json:"max_concurrent"`
+}
+
+// Admission rejections, distinguished so the HTTP layer can map them
+// to precise responses and the stats can count them separately.
+var (
+	// ErrQuota: the tenant's token bucket is empty. Retryable after the
+	// hinted refill interval.
+	ErrQuota = errors.New("service: tenant admission quota exhausted")
+	// ErrConcurrency: the tenant is at its concurrent-job cap.
+	// Retryable once one of its jobs finishes.
+	ErrConcurrency = errors.New("service: tenant concurrent-job cap reached")
+)
+
+// TenantStats is one tenant's usage snapshot for /statsz.
+type TenantStats struct {
+	Active   int     `json:"active"`
+	Admitted int64   `json:"admitted"`
+	Rejected int64   `json:"rejected"`
+	Tokens   float64 `json:"tokens"`
+}
+
+// tenants is the registry of per-tenant buckets. Time is injected so
+// tests can drive refill deterministically.
+type tenants struct {
+	mu  sync.Mutex
+	cfg TenantConfig
+	m   map[string]*tenant
+	now func() time.Time
+}
+
+type tenant struct {
+	tokens   float64
+	last     time.Time
+	active   int
+	admitted int64
+	rejected int64
+}
+
+func newTenants(cfg TenantConfig, now func() time.Time) *tenants {
+	if cfg.Rate > 0 && cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &tenants{cfg: cfg, m: map[string]*tenant{}, now: now}
+}
+
+// refill advances t's bucket to the current instant.
+func (ts *tenants) refill(t *tenant, at time.Time) {
+	if ts.cfg.Rate <= 0 {
+		return
+	}
+	dt := at.Sub(t.last).Seconds()
+	if dt > 0 {
+		t.tokens = math.Min(float64(ts.cfg.Burst), t.tokens+dt*ts.cfg.Rate)
+		t.last = at
+	}
+}
+
+// admit charges one admission to name. On success the tenant holds an
+// active slot until release. On failure it returns ErrQuota or
+// ErrConcurrency plus the interval after which retrying could succeed
+// (the Retry-After hint).
+func (ts *tenants) admit(name string) (time.Duration, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	at := ts.now()
+	t := ts.m[name]
+	if t == nil {
+		t = &tenant{tokens: float64(ts.cfg.Burst), last: at}
+		ts.m[name] = t
+	}
+	ts.refill(t, at)
+	if ts.cfg.MaxConcurrent > 0 && t.active >= ts.cfg.MaxConcurrent {
+		t.rejected++
+		// No refill schedule to predict: a slot opens when a job ends.
+		return time.Second, fmt.Errorf("%w (%d in flight)", ErrConcurrency, t.active)
+	}
+	if ts.cfg.Rate > 0 && t.tokens < 1 {
+		t.rejected++
+		wait := time.Duration((1 - t.tokens) / ts.cfg.Rate * float64(time.Second))
+		if wait < time.Second {
+			wait = time.Second
+		}
+		return wait, ErrQuota
+	}
+	if ts.cfg.Rate > 0 {
+		t.tokens--
+	}
+	t.active++
+	t.admitted++
+	return 0, nil
+}
+
+// refund undoes an admit whose job was never accepted (e.g. the global
+// queue was full): the token goes back and the active slot frees, so a
+// shed job does not burn the tenant's quota.
+func (ts *tenants) refund(name string) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t := ts.m[name]; t != nil {
+		if ts.cfg.Rate > 0 {
+			t.tokens = math.Min(float64(ts.cfg.Burst), t.tokens+1)
+		}
+		if t.active > 0 {
+			t.active--
+		}
+		t.admitted--
+		t.rejected++
+	}
+}
+
+// release frees the active slot admit took, when its job finishes (in
+// any terminal state).
+func (ts *tenants) release(name string) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t := ts.m[name]; t != nil && t.active > 0 {
+		t.active--
+	}
+}
+
+// restore re-registers an active job after a daemon restart (spooled
+// jobs re-enter the queue already admitted; their tenants must still
+// count them against the concurrency cap).
+func (ts *tenants) restore(name string) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	at := ts.now()
+	t := ts.m[name]
+	if t == nil {
+		t = &tenant{tokens: float64(ts.cfg.Burst), last: at}
+		ts.m[name] = t
+	}
+	t.active++
+	t.admitted++
+}
+
+// snapshot renders per-tenant usage with names sorted for stable
+// output.
+func (ts *tenants) snapshot() map[string]TenantStats {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	at := ts.now()
+	names := make([]string, 0, len(ts.m))
+	for n := range ts.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make(map[string]TenantStats, len(names))
+	for _, n := range names {
+		t := ts.m[n]
+		ts.refill(t, at)
+		out[n] = TenantStats{
+			Active:   t.active,
+			Admitted: t.admitted,
+			Rejected: t.rejected,
+			Tokens:   math.Round(t.tokens*100) / 100,
+		}
+	}
+	return out
+}
