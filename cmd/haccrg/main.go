@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"haccrg"
+	"haccrg/internal/journal"
 	"haccrg/internal/service"
 	"haccrg/internal/version"
 )
@@ -179,20 +180,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var journalFile *os.File
+	var journalFile *journal.FileWriter
 	if *record != "" {
-		f, err := os.Create(*record)
-		if err != nil {
-			fatalf("-record: %v", err)
+		fw, ferr := journal.CreateFile(nil, *record)
+		if ferr != nil {
+			fatalf("-record: %v", ferr)
 		}
-		journalFile = f
-		opts.Record = f
+		journalFile = fw
+		opts.Record = fw
 	}
 
 	res, err := haccrg.RunBenchmarkContext(ctx, *bench, opts)
 	if journalFile != nil {
+		// Close syncs first: an fsync failure here means the journal may
+		// not be on disk, and that must fail the run loudly rather than
+		// let a later replay quietly come up short.
 		if cerr := journalFile.Close(); cerr != nil && err == nil {
-			err = cerr
+			err = fmt.Errorf("-record %s: %w", *record, cerr)
 		}
 	}
 	if err != nil {

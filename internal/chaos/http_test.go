@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustHTTPSchedule(t *testing.T, spec string) *HTTPSchedule {
+	t.Helper()
+	s, err := ParseHTTPSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func backend(t *testing.T) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"id":"j1","state":"queued"}`)
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+func TestFaultTransportReset(t *testing.T) {
+	hs := backend(t)
+	cl := &http.Client{Transport: NewFaultTransport(nil, mustHTTPSchedule(t, "reset:nth=2"))}
+	if _, err := cl.Get(hs.URL); err != nil {
+		t.Fatalf("request 1: %v", err)
+	}
+	_, err := cl.Get(hs.URL)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("request 2: want injected reset, got %v", err)
+	}
+	resp, err := cl.Get(hs.URL)
+	if err != nil {
+		t.Fatalf("request 3: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestFaultTransportBurst503(t *testing.T) {
+	hs := backend(t)
+	ft := NewFaultTransport(nil, mustHTTPSchedule(t, "burst503:from=1,count=2"))
+	cl := &http.Client{Transport: ft}
+	for i := 0; i < 2; i++ {
+		resp, err := cl.Get(hs.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want 503", i+1, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "0" {
+			t.Fatalf("request %d: Retry-After %q, want 0", i+1, ra)
+		}
+		resp.Body.Close()
+	}
+	resp, err := cl.Get(hs.URL)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("request 3 after burst: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	if n := len(ft.Fired()); n != 2 {
+		t.Fatalf("fired %d faults, want 2: %v", n, ft.Fired())
+	}
+}
+
+func TestFaultTransportStall(t *testing.T) {
+	hs := backend(t)
+	cl := &http.Client{Transport: NewFaultTransport(nil, mustHTTPSchedule(t, "stall:nth=1"))}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, hs.URL, nil)
+	resp, err := cl.Do(req)
+	if err != nil {
+		t.Fatalf("headers should arrive: %v", err)
+	}
+	defer resp.Body.Close()
+	start := time.Now()
+	_, rerr := io.ReadAll(resp.Body)
+	if rerr == nil {
+		t.Fatal("stalled body delivered data")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("stalled read did not honor the context deadline")
+	}
+}
+
+func TestFaultTransportCorrupt(t *testing.T) {
+	hs := backend(t)
+	cl := &http.Client{Transport: NewFaultTransport(nil, mustHTTPSchedule(t, "corrupt:nth=1"))}
+	resp, err := cl.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasSuffix(string(data), "}") {
+		t.Fatalf("body %q should be truncated mid-JSON", data)
+	}
+}

@@ -122,6 +122,12 @@ type Detector struct {
 	inj        *fault.Injector
 	health     gpu.DetectorHealth
 	quarShared map[uint64]struct{} // quarantined shared cells, (sm<<40 | granule)
+
+	// Self-healing state (see sentinel.go): the online divergence
+	// sentinel, and the fallback switch it (or the drain-stall
+	// watchdog) throws to permanently degrade to the serial engine.
+	sent           *sentinel
+	engineFallback bool
 }
 
 // New builds a detector; options must validate.
@@ -248,6 +254,8 @@ func (d *Detector) Reset() {
 	d.gunits = nil // rebuilt (against the fresh injector) at next KernelStart
 	d.gworkers = nil
 	d.workerOf = nil
+	d.sent = nil
+	d.engineFallback = false
 }
 
 // KernelStart implements gpu.Detector: kernel launch is an implicit
@@ -307,13 +315,17 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 	if d.parMode {
 		d.startWorkers()
 	}
+	d.sentinelStart(env, kernelName)
 }
 
 // KernelEnd implements gpu.Detector: bring the sharded engine to
 // quiescence — drain the rings, merge buffered reports in serial
-// order, collect the fence-read log — and park the workers.
+// order, collect the fence-read log — and park the workers. An
+// observed kernel's divergence-sentinel verdict lands here, after the
+// primary engine has fully settled.
 func (d *Detector) KernelEnd() {
 	d.Quiesce()
+	d.sentinelEnd()
 }
 
 func resetShared(es []sharedEntry) {
@@ -326,6 +338,9 @@ func resetShared(es []sharedEntry) {
 // fresh; its slot's shadow entries reset (block start is an implicit
 // barrier, and the region may be inherited from a retired block).
 func (d *Detector) BlockStart(sm int, sharedBase, sharedSize int) {
+	if s := d.sent; s != nil && s.active {
+		s.ref.BlockStart(sm, sharedBase, sharedSize)
+	}
 	if !d.opt.Shared || sharedSize == 0 || d.sharedShadow == nil {
 		return
 	}
@@ -346,6 +361,9 @@ func (d *Detector) Barrier(sm, blockID int, sharedBase, sharedSize int, cycle in
 	// in-flight global checks drain and buffered reports merge, keeping
 	// race visibility bounded by barrier intervals.
 	d.quiesce()
+	if s := d.sent; s != nil && s.active {
+		s.ref.Barrier(sm, blockID, sharedBase, sharedSize, cycle)
+	}
 	if !d.opt.Shared || sharedSize == 0 {
 		return 0
 	}
@@ -398,21 +416,31 @@ func (d *Detector) sharedShadowBase(sm int) uint64 {
 }
 
 // WarpMem implements gpu.Detector: dispatch one warp memory
-// instruction to the shared- or global-memory RDU.
+// instruction to the shared- or global-memory RDU. On sentinel-
+// observed kernels the event is also forwarded (as a copy) to the
+// serial reference after the primary dispatch — the primary's
+// parallel path has already detached the lanes into owned batches by
+// the time it returns, so the caller's storage is intact.
 func (d *Detector) WarpMem(ev *gpu.WarpMemEvent) int64 {
+	var stall int64
 	switch ev.Space {
 	case isa.SpaceShared:
 		if !d.opt.Shared {
 			return 0
 		}
-		return d.sharedRDU(ev)
+		stall = d.sharedRDU(ev)
 	case isa.SpaceGlobal:
 		if !d.opt.Global {
 			return 0
 		}
-		return d.globalRDU(ev)
+		stall = d.globalRDU(ev)
+	default:
+		return 0
 	}
-	return 0
+	if s := d.sent; s != nil && s.active {
+		s.observe(ev)
+	}
+	return stall
 }
 
 // report records one dynamic race occurrence from the simulation

@@ -59,7 +59,8 @@ func (d *Detector) Health() *gpu.DetectorHealth {
 	}
 	h.Degraded = h.DroppedChecks|h.InjectedFlips|h.StuckReads|
 		h.QuarantinedGranules|h.QuarantineSkips|h.ReinitGranules|
-		h.SaturatedSigs|h.LatencySpikes != 0
+		h.SaturatedSigs|h.LatencySpikes|
+		h.SentinelMismatches|h.StalledDrains|h.EngineFallbacks != 0
 	return &h
 }
 

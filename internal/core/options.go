@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"haccrg/internal/bloom"
 	"haccrg/internal/fault"
@@ -114,6 +115,51 @@ type Options struct {
 	// Degradation selects the corrupt-granule policy (quarantine by
 	// default).
 	Degradation DegradationPolicy
+
+	// SentinelEvery arms the online divergence sentinel: every Nth
+	// kernel the sharded engine's findings are cross-checked against a
+	// private serial reference detector fed copies of the same event
+	// stream (see sentinel.go). On a mismatch the engine records the
+	// incident in DetectorHealth and permanently degrades to the serial
+	// engine for subsequent kernels. 0 disables the sentinel. With a
+	// fault plan attached every kernel is observed regardless of N —
+	// the injector's PRNG streams advance per event, so the reference
+	// must see the full stream to draw identical fault decisions. The
+	// sentinel is inert when MaxRaces > 0 (the cap makes the two
+	// engines' recorded sets legitimately diverge) and when the engine
+	// runs serial anyway.
+	SentinelEvery int
+	// StallBudget bounds how long a quiescent-point drain waits on a
+	// shard worker before declaring it stalled: the incident is
+	// recorded in DetectorHealth and the engine degrades to serial at
+	// the next kernel launch (the drain still waits for the real
+	// acknowledgement — abandoning a worker would corrupt the merge).
+	// 0 disables the watchdog.
+	StallBudget time.Duration
+	// Chaos optionally installs chaos-engineering perturbation points
+	// (see ChaosHooks). nil in production.
+	Chaos *ChaosHooks
+}
+
+// ChaosHooks are deliberate perturbation points for chaos campaigns
+// and tests: they let a harness manufacture the failure modes — a hung
+// shard worker, a divergent engine — that the self-healing machinery
+// exists to catch, without planting a real bug. All hooks are nil in
+// production builds.
+type ChaosHooks struct {
+	// WorkerStall, when set, is called by a shard worker before it
+	// processes each batch, with the partition of the batch's first
+	// segment. Campaigns block in it to model a hung worker and
+	// exercise the StallBudget watchdog. Called off the simulation
+	// thread; implementations must be safe for concurrent use.
+	WorkerStall func(part int)
+	// DropSentinelEvent, when set, is consulted once per WarpMem event
+	// forwarded to the divergence sentinel's reference detector, with
+	// the launching kernel's name and the event's index within the
+	// kernel (from 0). Returning true drops the event from the
+	// reference's view, manufacturing a divergence the sentinel must
+	// catch.
+	DropSentinelEvent func(kernel string, n int) bool
 }
 
 // DefaultOptions returns the configuration evaluated in the paper:
@@ -156,6 +202,12 @@ func (o *Options) Validate() error {
 		if err := o.Fault.Validate(); err != nil {
 			return err
 		}
+	}
+	if o.SentinelEvery < 0 {
+		return fmt.Errorf("core: SentinelEvery %d is negative", o.SentinelEvery)
+	}
+	if o.StallBudget < 0 {
+		return fmt.Errorf("core: StallBudget %v is negative", o.StallBudget)
 	}
 	return nil
 }

@@ -1,0 +1,182 @@
+package core
+
+import "haccrg/internal/gpu"
+
+// This file is the self-healing layer of the detection pipeline: an
+// online divergence sentinel that cross-checks the sharded engine
+// against a private serial reference on sampled kernels, and the
+// engine-fallback switch both it and the drain-stall watchdog
+// (sharded.go) throw when the sharded engine can no longer be trusted.
+//
+// The sharded engine's determinism contract says its findings are
+// byte-identical to the serial engine. The sentinel enforces that
+// contract at runtime instead of only in tests: every observed kernel
+// is fed — as defensive copies, the reference never touches
+// caller-owned lanes — to a serial Detector built from the same
+// options (Parallel off, ModelTraffic off; timing is irrelevant to
+// findings), and at KernelEnd the kernel's race deltas are compared by
+// raceKey membership. A divergence increments
+// DetectorHealth.SentinelMismatches and EngineFallbacks and flips
+// engineFallback, which parallelFeasible consults: from the next
+// kernel launch on, the detector runs the serial engine — correct by
+// construction — instead of the suspect sharded one. The incident is
+// loud (Health().Degraded) and permanent until Reset.
+//
+// Why raceKey membership rather than comparing race lists: the seen
+// map dedups across launches of a same-named kernel, so a sampled
+// window's delta can legitimately be empty on one side when the other
+// side first saw the race in an unobserved earlier launch. Each
+// side's per-kernel delta is therefore checked for membership in the
+// other side's full seen map. Race counts are not compared — the
+// reference misses unobserved kernels' increments by design.
+//
+// Fence reads: the reference must NOT read fence IDs through the
+// detector's Env — under journal recording that would append spurious
+// fence records and break replay-equals-live. sentinelEnv overrides
+// CurrentFenceID to read the primary's fenceTab mirror, which on the
+// simulation thread holds exactly the serially-consistent value.
+type sentinel struct {
+	d   *Detector
+	ref *Detector
+
+	every    int
+	always   bool // fault plan attached: every kernel must be observed
+	kernels  int  // parallel kernels seen since the sentinel was armed
+	active   bool // observing the current kernel
+	disabled bool // permanently retired (fallback fired or infeasible)
+
+	priMark int // len(d.races) at the observed kernel's start
+	refMark int // len(ref.races) at the observed kernel's start
+	evCount int // events forwarded this kernel (chaos drop hook counter)
+
+	evCopy  gpu.WarpMemEvent
+	laneBuf []gpu.LaneAccess
+}
+
+// sentinelEnv is the reference detector's device view: everything
+// forwards to the real Env except the race-register-file lookup, which
+// reads the primary's fence mirror (see the file comment).
+type sentinelEnv struct {
+	gpu.Env
+	d *Detector
+}
+
+func (e *sentinelEnv) CurrentFenceID(block, warpInBlock int) uint32 {
+	return e.d.fenceTab[fenceTabKey(block, warpInBlock)]
+}
+
+// sentinelStart decides whether the launching kernel is observed and,
+// if so, starts the reference detector on it. Called at the end of
+// KernelStart, after the engine mode for the kernel is settled.
+func (d *Detector) sentinelStart(env gpu.Env, kernel string) {
+	if d.opt.SentinelEvery <= 0 || d.opt.MaxRaces > 0 {
+		return
+	}
+	s := d.sent
+	if s == nil {
+		s = &sentinel{d: d, every: d.opt.SentinelEvery, always: d.inj != nil}
+		d.sent = s
+	}
+	s.active = false
+	if s.disabled {
+		return
+	}
+	if !d.parMode {
+		// Serial engine: correct by construction, nothing to check. In
+		// always mode the reference's fault streams would desynchronize
+		// across the unobserved kernel, so the sentinel retires rather
+		// than resuming later with misaligned streams.
+		if s.always {
+			s.disabled = true
+		}
+		return
+	}
+	s.kernels++
+	if !s.always && (s.kernels-1)%s.every != 0 {
+		return
+	}
+	if s.ref == nil {
+		ro := d.opt
+		ro.Parallel = false
+		ro.ModelTraffic = false // findings are timing-independent
+		ro.SentinelEvery = 0
+		ro.StallBudget = 0
+		ro.Chaos = nil
+		ref, err := New(ro)
+		if err != nil {
+			s.disabled = true
+			return
+		}
+		s.ref = ref
+	}
+	s.active = true
+	s.evCount = 0
+	s.priMark = len(d.races)
+	s.refMark = len(s.ref.races)
+	s.ref.KernelStart(&sentinelEnv{Env: env, d: d}, kernel)
+}
+
+// observe forwards one warp memory event to the reference as a
+// defensive copy: the reference's serial fault path mutates lane
+// lockset signatures in place, and the event storage belongs to the
+// simulator.
+func (s *sentinel) observe(ev *gpu.WarpMemEvent) {
+	if h := s.d.opt.Chaos; h != nil && h.DropSentinelEvent != nil {
+		n := s.evCount
+		s.evCount++
+		if h.DropSentinelEvent(s.d.kernel, n) {
+			return
+		}
+	}
+	c := &s.evCopy
+	*c = *ev
+	s.laneBuf = append(s.laneBuf[:0], ev.Lanes...)
+	c.Lanes = s.laneBuf
+	s.ref.WarpMem(c)
+}
+
+// sentinelEnd closes an observed kernel: end the reference, compare
+// the two engines' race deltas, and on divergence record the incident
+// and throw the fallback switch. Called from KernelEnd after the
+// primary has fully quiesced.
+func (d *Detector) sentinelEnd() {
+	s := d.sent
+	if s == nil || !s.active {
+		return
+	}
+	s.active = false
+	s.ref.KernelEnd()
+	d.health.SentinelChecks++
+	if !s.diverged() {
+		return
+	}
+	d.health.SentinelMismatches++
+	d.health.EngineFallbacks++
+	d.engineFallback = true
+	s.disabled = true
+}
+
+// diverged compares the observed kernel's findings by raceKey
+// membership (see the file comment for why not list equality).
+func (s *sentinel) diverged() bool {
+	for _, r := range s.d.races[s.priMark:] {
+		if _, ok := s.ref.seen[keyOfRace(r)]; !ok {
+			return true
+		}
+	}
+	for _, r := range s.ref.races[s.refMark:] {
+		if _, ok := s.d.seen[keyOfRace(r)]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+func keyOfRace(r *Race) raceKey {
+	return raceKey{r.Kernel, r.Space, r.Kind, r.Category, r.PC, r.Granule}
+}
+
+// EngineFallback reports whether the detector has permanently degraded
+// to the serial engine (sentinel mismatch or stalled drain). Cleared
+// by Reset.
+func (d *Detector) EngineFallback() bool { return d.engineFallback }

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"haccrg/internal/fault"
+)
+
+// runSentinelStream drives a parallel detector with the sentinel armed
+// through the sharded_test event stream and returns it for inspection.
+func runSentinelStream(t *testing.T, opt Options, kernels int) *Detector {
+	t.Helper()
+	d := MustNew(opt)
+	env := newFakeEnv()
+	for k := 0; k < kernels; k++ {
+		rng := rand.New(rand.NewSource(1234))
+		env.fenceIDs = map[[2]int]uint32{}
+		d.KernelStart(env, fmt.Sprintf("stream%d", k))
+		for i := 0; i < 400; i++ {
+			cycle := int64(100 + i)
+			d.WarpMem(streamEvent(rng, cycle))
+			if i%97 == 0 {
+				block, warp := i%3, i%2
+				id := uint32(i/97 + 1)
+				env.fenceIDs[[2]int{block, warp}] = id
+				d.FenceAdvance(block, warp, id)
+			}
+			if i%151 == 0 {
+				d.Barrier(0, 0, 0, 0, cycle)
+			}
+		}
+		d.KernelEnd()
+	}
+	return d
+}
+
+func sentinelBaseOptions() Options {
+	opt := DefaultOptions()
+	opt.Shared = false
+	opt.ModelTraffic = false
+	opt.Parallel = true
+	opt.SentinelEvery = 1
+	return opt
+}
+
+// TestSentinelCleanRun: on a healthy engine the sentinel observes
+// kernels, finds no divergence, and perturbs nothing — findings stay
+// byte-identical to a sentinel-free run.
+func TestSentinelCleanRun(t *testing.T) {
+	d := runSentinelStream(t, sentinelBaseOptions(), 2)
+	h := d.Health()
+	if h.SentinelChecks != 2 {
+		t.Errorf("SentinelChecks = %d, want 2", h.SentinelChecks)
+	}
+	if h.SentinelMismatches != 0 || h.EngineFallbacks != 0 {
+		t.Errorf("clean run recorded incidents: %+v", *h)
+	}
+	if h.Degraded {
+		t.Errorf("clean sentinel run reports Degraded")
+	}
+	if d.EngineFallback() {
+		t.Errorf("clean run fell back to serial")
+	}
+
+	got, want := "", ""
+	for _, r := range d.SortedRaces() {
+		got += fmt.Sprintf("%s count=%d\n", r, r.Count)
+	}
+	for _, r := range runShardedStreamDetector(t, true, 2).SortedRaces() {
+		want += fmt.Sprintf("%s count=%d\n", r, r.Count)
+	}
+	if got != want {
+		t.Errorf("sentinel perturbed findings:\n--- without\n%s\n--- with\n%s", want, got)
+	}
+}
+
+// runShardedStreamDetector is runShardedStream returning the detector
+// (sentinel off) for race-list comparison.
+func runShardedStreamDetector(t *testing.T, parallel bool, kernels int) *Detector {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.Shared = false
+	opt.ModelTraffic = false
+	opt.Parallel = parallel
+	return runSentinelStream(t, opt, kernels)
+}
+
+// TestSentinelSamplingSkipsKernels: SentinelEvery=3 observes kernels
+// 0 and 3 of four.
+func TestSentinelSamplingSkipsKernels(t *testing.T) {
+	opt := sentinelBaseOptions()
+	opt.SentinelEvery = 3
+	d := runSentinelStream(t, opt, 4)
+	if h := d.Health(); h.SentinelChecks != 2 {
+		t.Errorf("SentinelChecks = %d, want 2 (kernels 0 and 3)", h.SentinelChecks)
+	}
+}
+
+// TestSentinelWithFaultPlan: with a fault plan attached the sentinel
+// must observe every kernel (stream alignment) and still agree — the
+// reference draws the identical fault decisions from its own
+// identically-seeded injector.
+func TestSentinelWithFaultPlan(t *testing.T) {
+	opt := sentinelBaseOptions()
+	opt.SentinelEvery = 5 // ignored: fault plan forces every kernel
+	p, err := fault.Parse("queue:cap=8,drain=1;flip:rate=2e-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Fault = p
+	opt.FaultSeed = 42
+	d := runSentinelStream(t, opt, 3)
+	h := d.Health()
+	if h.SentinelChecks != 3 {
+		t.Errorf("SentinelChecks = %d, want 3 (fault plans observe every kernel)", h.SentinelChecks)
+	}
+	if h.SentinelMismatches != 0 {
+		t.Errorf("false sentinel mismatch under fault plan: %+v", *h)
+	}
+	if d.EngineFallback() {
+		t.Errorf("false fallback under fault plan")
+	}
+}
+
+// TestSentinelCatchesDivergence plants a divergence with the chaos
+// drop hook — the reference misses the whole first kernel — and
+// requires the sentinel to catch it, record it, and degrade the engine
+// to serial for subsequent kernels.
+func TestSentinelCatchesDivergence(t *testing.T) {
+	opt := sentinelBaseOptions()
+	opt.Chaos = &ChaosHooks{
+		DropSentinelEvent: func(kernel string, n int) bool { return kernel == "stream0" },
+	}
+	d := runSentinelStream(t, opt, 3)
+	h := d.Health()
+	if h.SentinelMismatches != 1 {
+		t.Fatalf("SentinelMismatches = %d, want 1", h.SentinelMismatches)
+	}
+	if h.EngineFallbacks != 1 {
+		t.Errorf("EngineFallbacks = %d, want 1", h.EngineFallbacks)
+	}
+	if !h.Degraded {
+		t.Errorf("caught divergence did not set Degraded")
+	}
+	if !d.EngineFallback() {
+		t.Fatalf("engine did not fall back after mismatch")
+	}
+	if d.parMode {
+		t.Errorf("engine still sharded after fallback")
+	}
+	// The degraded (serial) engine still detects: kernels 1 and 2 ran
+	// serial and their races are present.
+	if len(d.SortedRaces()) == 0 {
+		t.Errorf("no races recorded after fallback — serial engine not working")
+	}
+	// Exactly one kernel was checked: the mismatch retires the sentinel.
+	if h.SentinelChecks != 1 {
+		t.Errorf("SentinelChecks = %d, want 1 (sentinel retires after mismatch)", h.SentinelChecks)
+	}
+}
+
+// TestStallWatchdog wedges a shard worker past the stall budget and
+// requires the watchdog to record the stall, complete the drain
+// correctly anyway, and degrade to serial at the next launch.
+func TestStallWatchdog(t *testing.T) {
+	opt := sentinelBaseOptions()
+	opt.SentinelEvery = 0
+	opt.StallBudget = 5 * time.Millisecond
+	var once sync.Once
+	opt.Chaos = &ChaosHooks{
+		WorkerStall: func(part int) {
+			once.Do(func() { time.Sleep(150 * time.Millisecond) })
+		},
+	}
+	d := runSentinelStream(t, opt, 2)
+	h := d.Health()
+	if h.StalledDrains == 0 {
+		t.Fatalf("watchdog recorded no stalled drains")
+	}
+	if h.EngineFallbacks != 1 {
+		t.Errorf("EngineFallbacks = %d, want 1", h.EngineFallbacks)
+	}
+	if !h.Degraded {
+		t.Errorf("stall did not set Degraded")
+	}
+	if !d.EngineFallback() {
+		t.Fatalf("engine did not fall back after stall")
+	}
+	if d.parMode {
+		t.Errorf("engine still sharded after stall fallback")
+	}
+	// The stalled drain still completed: kernel 0's findings must equal
+	// the serial reference (merge integrity preserved under the stall).
+	want := runShardedStreamDetector(t, false, 2)
+	got, ref := "", ""
+	for _, r := range d.SortedRaces() {
+		got += fmt.Sprintf("%s count=%d\n", r, r.Count)
+	}
+	for _, r := range want.SortedRaces() {
+		ref += fmt.Sprintf("%s count=%d\n", r, r.Count)
+	}
+	if got != ref {
+		t.Errorf("stalled run's findings diverged from serial:\n--- serial\n%s\n--- stalled\n%s", ref, got)
+	}
+}
+
+// TestSentinelReset: Reset clears the fallback and re-arms the engine.
+func TestSentinelReset(t *testing.T) {
+	opt := sentinelBaseOptions()
+	opt.Chaos = &ChaosHooks{
+		DropSentinelEvent: func(kernel string, n int) bool { return kernel == "stream0" },
+	}
+	d := runSentinelStream(t, opt, 1)
+	if !d.EngineFallback() {
+		t.Fatalf("setup: no fallback")
+	}
+	d.Reset()
+	if d.EngineFallback() {
+		t.Errorf("Reset did not clear the engine fallback")
+	}
+	if d.Health().SentinelMismatches != 0 {
+		t.Errorf("Reset did not clear sentinel health counters")
+	}
+}

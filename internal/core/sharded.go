@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"haccrg/internal/bloom"
 	"haccrg/internal/fault"
@@ -207,11 +208,13 @@ const gbatchLanes = 2048
 const gsegCap = 256
 
 // parallelFeasible reports whether the sharded engine can run under
-// this configuration: more than one partition, and granules that never
+// this configuration: more than one partition, granules that never
 // straddle a coalescing segment (so every granule maps to exactly one
-// partition — the disjointness the shards rely on).
+// partition — the disjointness the shards rely on), and no standing
+// engine fallback (a sentinel mismatch or stalled drain permanently
+// degrades the detector to the serial engine; see sentinel.go).
 func (d *Detector) parallelFeasible(cfg *gpu.Config) bool {
-	return d.opt.Parallel && d.opt.Global &&
+	return d.opt.Parallel && d.opt.Global && !d.engineFallback &&
 		cfg.NumPartitions > 1 &&
 		d.opt.GlobalGranularity <= cfg.SegmentBytes
 }
@@ -323,6 +326,9 @@ func (w *gworker) run(wg *sync.WaitGroup) {
 // segment's partition shard: the same admit/saturate/check sequence as
 // the serial per-lane loop, touching that shard's state only.
 func (w *gworker) process(b *gbatch) {
+	if h := w.d.opt.Chaos; h != nil && h.WorkerStall != nil && len(b.segs) > 0 {
+		h.WorkerStall(int(b.segs[0].part))
+	}
 	gran := uint64(w.d.opt.GlobalGranularity)
 	units := w.d.gunits
 	for s := range b.segs {
@@ -368,10 +374,32 @@ func (d *Detector) drainDirty() {
 		return
 	}
 	for _, w := range d.gworkers {
-		if w.dirty {
-			<-w.drainDone
-			w.dirty = false
+		if !w.dirty {
+			continue
 		}
+		if budget := d.opt.StallBudget; budget > 0 {
+			// Stall watchdog: a worker that overruns the budget is
+			// recorded and the engine falls back to serial at the next
+			// kernel launch. The drain still waits for the real
+			// acknowledgement — walking away from a live worker would
+			// corrupt the sequence merge; the budget makes the stall
+			// loud, it does not cap the wait.
+			t := time.NewTimer(budget)
+			select {
+			case <-w.drainDone:
+				t.Stop()
+			case <-t.C:
+				d.health.StalledDrains++
+				if !d.engineFallback {
+					d.health.EngineFallbacks++
+					d.engineFallback = true
+				}
+				<-w.drainDone
+			}
+		} else {
+			<-w.drainDone
+		}
+		w.dirty = false
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"haccrg/internal/journal"
+	"haccrg/internal/vfs"
 )
 
 // Manifest is the sweep engine's durable completion log: every
@@ -20,7 +21,7 @@ import (
 // appends stay well-framed.
 type Manifest struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       vfs.File
 	w       *journal.Writer
 	entries map[string]*RunResult
 	path    string
@@ -43,17 +44,26 @@ func configKey(rc RunConfig) (string, error) {
 	return string(b), nil
 }
 
-// OpenManifest opens (or creates) a sweep manifest at path. With
-// resume false any existing file is truncated and a fresh journal
-// started. With resume true the intact prefix of an existing file is
-// loaded — completed runs become lookup hits — and the file is
-// truncated to the last intact record so appends continue cleanly;
-// the returned Salvage says what was recovered.
+// OpenManifest opens (or creates) a sweep manifest at path on the real
+// filesystem. See OpenManifestFS.
 func OpenManifest(path string, resume bool) (*Manifest, journal.Salvage, error) {
+	return OpenManifestFS(nil, path, resume)
+}
+
+// OpenManifestFS opens (or creates) a sweep manifest at path on fsys
+// (vfs.OS when nil — the seam exists so chaos campaigns can run the
+// manifest over a fault-injecting filesystem). With resume false any
+// existing file is truncated and a fresh journal started. With resume
+// true the intact prefix of an existing file is loaded — completed
+// runs become lookup hits — and the file is truncated to the last
+// intact record so appends continue cleanly; the returned Salvage
+// says what was recovered.
+func OpenManifestFS(fsys vfs.FS, path string, resume bool) (*Manifest, journal.Salvage, error) {
+	fsys = vfs.Default(fsys)
 	var salvage journal.Salvage
 	m := &Manifest{entries: map[string]*RunResult{}, path: path}
 	if !resume {
-		f, err := os.Create(path)
+		f, err := fsys.Create(path)
 		if err != nil {
 			return nil, salvage, &journal.IOError{Op: "create manifest", Err: err}
 		}
@@ -66,7 +76,7 @@ func OpenManifest(path string, resume bool) (*Manifest, journal.Salvage, error) 
 		return m, salvage, nil
 	}
 
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, salvage, &journal.IOError{Op: "open manifest", Err: err}
 	}
@@ -146,7 +156,9 @@ func (m *Manifest) Lookup(rc RunConfig) (*RunResult, bool) {
 // Append journals one completed run under rc — the configuration as
 // the sweep requested it, before any retry re-seeding — and syncs it
 // to stable storage, so a kill arriving any time later cannot lose it.
-// Failures are journal I/O errors — non-retryable by the sweep runner.
+// An fsync failure is a hard write failure: the entry is not admitted
+// to the in-memory index and the error is surfaced as a journal I/O
+// error — non-retryable by the sweep runner.
 func (m *Manifest) Append(rc RunConfig, res *RunResult) error {
 	key, err := configKey(rc)
 	if err != nil {

@@ -65,6 +65,14 @@ type RunConfig struct {
 	// stable across versions.
 	StaticFilter bool `json:"StaticFilter,omitempty"`
 
+	// SentinelEvery arms the core engine's online divergence sentinel:
+	// every Nth kernel of a parallel run is cross-checked against a
+	// serial reference, and on mismatch the detector degrades to the
+	// serial engine with the incident in its health report (see
+	// core.Options.SentinelEvery). 0 = off. omitempty keeps manifest
+	// keys of sentinel-free configs stable across versions.
+	SentinelEvery int `json:"SentinelEvery,omitempty"`
+
 	// GPU overrides the device configuration (nil = paper's Table I).
 	GPU *gpu.Config
 
@@ -128,6 +136,7 @@ func detectorFor(rc RunConfig) (gpu.Detector, *core.Detector, *swdetect.Detector
 		opt.GlobalGranularity = rc.GlobalGranularity
 	}
 	opt.Parallel = rc.DetectParallel
+	opt.SentinelEvery = rc.SentinelEvery
 	if rc.FaultPlan != "" {
 		p, err := fault.Parse(rc.FaultPlan)
 		if err != nil {
@@ -235,6 +244,9 @@ type ExecOptions struct {
 func execDetector(rc RunConfig, opt core.Options) (*core.Detector, error) {
 	if rc.DetectParallel {
 		opt.Parallel = true
+	}
+	if rc.SentinelEvery > 0 {
+		opt.SentinelEvery = rc.SentinelEvery
 	}
 	if rc.FaultPlan != "" {
 		p, err := fault.Parse(rc.FaultPlan)

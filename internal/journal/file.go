@@ -1,0 +1,85 @@
+package journal
+
+import (
+	"errors"
+
+	"haccrg/internal/vfs"
+)
+
+// FileWriter is the durable sink every file-backed journal goes
+// through: an io.Writer over a vfs.FS file (hand it to NewRecorder or
+// NewWriter) that adds the two durability obligations a bare file
+// handle leaves to chance:
+//
+//   - Sync surfaces fsync failures as hard write failures (*IOError)
+//     and sticky-fails the writer — after a failed sync the bytes on
+//     disk are unknowable, so continuing to append would silently
+//     build a journal nobody can trust;
+//   - Close syncs first, so "the run finished and the journal file is
+//     closed without error" implies the whole journal is on stable
+//     storage.
+type FileWriter struct {
+	f   vfs.File
+	err error
+}
+
+// CreateFile opens a fresh journal sink at path on fsys (vfs.OS when
+// fsys is nil).
+func CreateFile(fsys vfs.FS, path string) (*FileWriter, error) {
+	f, err := vfs.Default(fsys).Create(path)
+	if err != nil {
+		return nil, &IOError{Op: "create " + path, Err: err}
+	}
+	return &FileWriter{f: f}, nil
+}
+
+// Write implements io.Writer. After a failed Sync (or Close) every
+// write fails with the sticky error.
+func (fw *FileWriter) Write(p []byte) (int, error) {
+	if fw.err != nil {
+		return 0, fw.err
+	}
+	n, err := fw.f.Write(p)
+	if err != nil {
+		fw.err = &IOError{Op: "write", Err: err}
+		return n, fw.err
+	}
+	return n, nil
+}
+
+// Sync flushes the journal to stable storage. A failure is a hard
+// write failure: it is returned as an *IOError and sticky-fails the
+// writer.
+func (fw *FileWriter) Sync() error {
+	if fw.err != nil {
+		return fw.err
+	}
+	if err := fw.f.Sync(); err != nil {
+		fw.err = &IOError{Op: "sync", Err: err}
+		return fw.err
+	}
+	return nil
+}
+
+// Close syncs and closes the file. The first failure — an earlier
+// sticky write error, the final sync, or the close itself — is
+// returned, so a caller that checks Close cannot mistake a lost
+// journal for a recorded one.
+func (fw *FileWriter) Close() error {
+	sticky := fw.err
+	serr := fw.Sync()
+	cerr := fw.f.Close()
+	if fw.err == nil {
+		fw.err = &IOError{Op: "write", Err: errors.New("journal closed")}
+	}
+	if sticky != nil {
+		return sticky
+	}
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return &IOError{Op: "close", Err: cerr}
+	}
+	return nil
+}

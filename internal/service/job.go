@@ -59,6 +59,7 @@ type JobSpec struct {
 	SharedGranularity int      `json:"shared_granularity,omitempty"`
 	GlobalGranularity int      `json:"global_granularity,omitempty"`
 	DetectParallel    bool     `json:"detect_parallel,omitempty"`
+	SentinelEvery     int      `json:"sentinel_every,omitempty"`
 	StaticFilter      bool     `json:"static_filter,omitempty"`
 	FaultPlan         string   `json:"fault_plan,omitempty"`
 	FaultSeed         int64    `json:"fault_seed,omitempty"`
@@ -99,6 +100,12 @@ type RunSummary struct {
 	// Degraded is true when the detector's health report shows dropped
 	// checks, corruption, or quarantines — findings may under-report.
 	Degraded bool `json:"degraded,omitempty"`
+	// Self-healing incident counters from the detector's health report:
+	// divergence-sentinel mismatches, drain-stall watchdog firings, and
+	// permanent fallbacks to the serial engine during this run.
+	SentinelMismatches int64 `json:"sentinel_mismatches,omitempty"`
+	StalledDrains      int64 `json:"stalled_drains,omitempty"`
+	EngineFallbacks    int64 `json:"engine_fallbacks,omitempty"`
 }
 
 // ReplaySummary is a replay job's outcome.
@@ -164,7 +171,7 @@ func (sp *JobSpec) validate() error {
 	default:
 		return fmt.Errorf("service: unknown job kind %q", sp.Kind)
 	}
-	if sp.TimeoutMS < 0 || sp.MaxCycles < 0 || sp.Scale < 0 {
+	if sp.TimeoutMS < 0 || sp.MaxCycles < 0 || sp.Scale < 0 || sp.SentinelEvery < 0 {
 		return fmt.Errorf("service: negative limits are not valid")
 	}
 	switch sp.Degradation {
@@ -200,6 +207,7 @@ func (sp *JobSpec) runConfigs(smallGPU bool) []harness.RunConfig {
 			SharedGranularity: sp.SharedGranularity,
 			GlobalGranularity: sp.GlobalGranularity,
 			DetectParallel:    sp.DetectParallel,
+			SentinelEvery:     sp.SentinelEvery,
 			StaticFilter:      sp.StaticFilter,
 			GPU:               cfg,
 			FaultPlan:         sp.FaultPlan,
@@ -233,7 +241,7 @@ func execBench(ctx context.Context, sp *JobSpec, m *harness.Manifest, smallGPU b
 		for _, race := range r.Races {
 			races = append(races, race.String())
 		}
-		out = append(out, RunSummary{
+		sum := RunSummary{
 			Bench:    r.Config.Bench,
 			Detector: string(r.Config.Detector),
 			Cycles:   r.Stats.Cycles,
@@ -241,7 +249,13 @@ func execBench(ctx context.Context, sp *JobSpec, m *harness.Manifest, smallGPU b
 			Attempts: r.Attempts,
 			Resumed:  resumable[i],
 			Degraded: r.Health != nil && r.Health.Degraded,
-		})
+		}
+		if r.Health != nil {
+			sum.SentinelMismatches = r.Health.SentinelMismatches
+			sum.StalledDrains = r.Health.StalledDrains
+			sum.EngineFallbacks = r.Health.EngineFallbacks
+		}
+		out = append(out, sum)
 	}
 	return out, nil
 }

@@ -36,6 +36,7 @@ import (
 
 	"haccrg/internal/harness"
 	"haccrg/internal/version"
+	"haccrg/internal/vfs"
 )
 
 // Config parameterizes the daemon. Zero values select the documented
@@ -44,6 +45,10 @@ type Config struct {
 	// DataDir is the durable root: job spool, manifests, uploaded
 	// journals. Required.
 	DataDir string
+	// FS is the filesystem the spool and job manifests live on (nil =
+	// the real one). Chaos campaigns inject a fault-carrying FS here to
+	// harden the durability paths.
+	FS vfs.FS
 	// QueueDepth bounds the admission queue (default 64). A full queue
 	// is the backpressure signal: submissions get 429 + Retry-After.
 	QueueDepth int
@@ -158,6 +163,22 @@ type Server struct {
 	rejDraining  atomic.Int64
 	healthRuns   atomic.Int64
 	degradedRuns atomic.Int64
+
+	// self-healing roll-up across every bench run's detector health
+	sentinelMismatches atomic.Int64
+	engineFallbacks    atomic.Int64
+	stalledDrains      atomic.Int64
+
+	// seq is the admission sequence counter: each accepted job records
+	// the next value in its spool spec so recovery preserves FIFO order.
+	// Initialized past the largest recovered Seq.
+	seq atomic.Int64
+
+	// recoveredOrder is the IDs of unfinished jobs re-admitted at
+	// startup, in re-admission order — the observable the FIFO-recovery
+	// contract (and the chaos campaign's job-drop invariant) is checked
+	// against.
+	recoveredOrder []string
 }
 
 // New builds a Server over DataDir, recovering any jobs a previous
@@ -168,7 +189,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("service: Config.DataDir is required")
 	}
-	sp, err := openSpool(cfg.DataDir)
+	sp, err := openSpool(cfg.FS, cfg.DataDir)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +213,8 @@ func New(cfg Config) (*Server, error) {
 }
 
 // recover reloads the spool: finished jobs become queryable history,
-// unfinished ones are re-admitted ahead of any new traffic.
+// unfinished ones are re-admitted — in original submission order, the
+// spool's Seq ordering — ahead of any new traffic.
 func (s *Server) recover() error {
 	entries, skipped, err := s.spool.load()
 	if err != nil {
@@ -203,6 +225,9 @@ func (s *Server) recover() error {
 	}
 	requeued := 0
 	for _, e := range entries {
+		if e.Seq > s.seq.Load() {
+			s.seq.Store(e.Seq)
+		}
 		j := &job{
 			spec: e.Spec,
 			done: make(chan struct{}),
@@ -226,12 +251,21 @@ func (s *Server) recover() error {
 		s.tenants.restore(e.Tenant)
 		s.outstanding++
 		s.queue <- j
+		s.recoveredOrder = append(s.recoveredOrder, e.ID)
 		requeued++
 	}
 	if requeued > 0 {
 		s.cfg.Log.Printf("service: recovered %d unfinished job(s) from spool; resuming", requeued)
 	}
 	return nil
+}
+
+// RecoveredOrder returns the IDs of the unfinished jobs this process
+// re-admitted at startup, in re-admission order. The contract is FIFO:
+// original submission order (the spool's Seq), not directory-listing
+// order of the random job IDs.
+func (s *Server) RecoveredOrder() []string {
+	return append([]string(nil), s.recoveredOrder...)
 }
 
 // Start launches the worker pool.
@@ -327,12 +361,12 @@ func (s *Server) submit(tenant string, spec *JobSpec, journalBody io.Reader) (id
 	// orphaned journal without a spec is inert, while a spec whose
 	// journal vanished would fail its job.
 	if journalBody != nil {
-		if err := spoolJournal(s.spool.journalPath(id), journalBody); err != nil {
+		if err := spoolJournal(s.spool.fsys, s.spool.journalPath(id), journalBody); err != nil {
 			s.tenants.refund(tenant)
 			return "", 0, err
 		}
 	}
-	if err := s.spool.putSpec(id, tenant, spec); err != nil {
+	if err := s.spool.putSpec(id, s.seq.Add(1), tenant, spec); err != nil {
 		s.spool.dropJournal(id)
 		s.tenants.refund(tenant)
 		return "", 0, err
@@ -493,7 +527,7 @@ func (s *Server) runJob(j *job) {
 // checkpoint manifest and folds health into the daemon roll-up.
 func (s *Server) runBenchJob(ctx context.Context, j *job) error {
 	st := j.snapshot()
-	m, salvage, err := harness.OpenManifest(s.spool.manifestPath(st.ID), true)
+	m, salvage, err := harness.OpenManifestFS(s.spool.fsys, s.spool.manifestPath(st.ID), true)
 	if err != nil {
 		return err
 	}
@@ -510,6 +544,9 @@ func (s *Server) runBenchJob(ctx context.Context, j *job) error {
 		if r.Degraded {
 			s.degradedRuns.Add(1)
 		}
+		s.sentinelMismatches.Add(r.SentinelMismatches)
+		s.engineFallbacks.Add(r.EngineFallbacks)
+		s.stalledDrains.Add(r.StalledDrains)
 	}
 	j.mu.Lock()
 	j.status.Runs = runs
@@ -661,11 +698,16 @@ type Stats struct {
 	Tenants map[string]TenantStats `json:"tenants"`
 
 	// Health is the DetectorHealth roll-up over every bench run the
-	// daemon executed: how many ran, and how many ran degraded (their
-	// findings may under-report).
+	// daemon executed: how many ran, how many ran degraded (their
+	// findings may under-report), and the self-healing incident
+	// counters — divergence-sentinel mismatches, drain-stall watchdog
+	// firings, and engine fallbacks to serial.
 	Health struct {
-		Runs     int64 `json:"runs"`
-		Degraded int64 `json:"degraded"`
+		Runs               int64 `json:"runs"`
+		Degraded           int64 `json:"degraded"`
+		SentinelMismatches int64 `json:"sentinel_mismatches"`
+		StalledDrains      int64 `json:"stalled_drains"`
+		EngineFallbacks    int64 `json:"engine_fallbacks"`
 	} `json:"health"`
 }
 
@@ -692,6 +734,9 @@ func (s *Server) Stats() Stats {
 	st.Rejected.Draining = s.rejDraining.Load()
 	st.Health.Runs = s.healthRuns.Load()
 	st.Health.Degraded = s.degradedRuns.Load()
+	st.Health.SentinelMismatches = s.sentinelMismatches.Load()
+	st.Health.StalledDrains = s.stalledDrains.Load()
+	st.Health.EngineFallbacks = s.engineFallbacks.Load()
 	s.mu.Lock()
 	st.InFlight = s.outstanding
 	st.KnownJobs = len(s.jobs)
