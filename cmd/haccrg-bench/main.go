@@ -276,7 +276,7 @@ func main() {
 	}
 
 	if *all || *exp == "shardbench" {
-		run("Sharded per-partition RDU engine: serial vs parallel wall clock (extension)", func() (string, error) {
+		run("Sharded RDU engines: serial vs global-sharded vs fully-sharded wall clock (extension)", func() (string, error) {
 			rows, txt, err := e.ShardBench(*scale)
 			if err != nil {
 				return "", err
@@ -284,6 +284,9 @@ func main() {
 			for _, r := range rows {
 				if !r.Match {
 					return "", fmt.Errorf("shardbench: %s: sharded findings diverged from serial", r.Bench)
+				}
+				if !r.FullMatch {
+					return "", fmt.Errorf("shardbench: %s: fully-sharded findings diverged from serial", r.Bench)
 				}
 			}
 			if *jsonOut != "" {

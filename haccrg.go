@@ -166,6 +166,12 @@ type RunOptions struct {
 	// serial engine, only wall-clock time changes. Requires Detection.
 	DetectParallel bool
 
+	// DetectParallelShared does the same for the shared-memory RDUs:
+	// one engine per SM (see DetectionOptions.ParallelShared). Findings
+	// remain byte-identical in every engine combination. Requires
+	// Detection.
+	DetectParallelShared bool
+
 	// StaticFilter runs the static race prover (internal/staticrace)
 	// over the benchmark's kernels and lets the RDUs skip shadow checks
 	// at sites proven race-free. Findings and cycle counts are
@@ -261,19 +267,20 @@ func RunBenchmarkContext(ctx context.Context, name string, opts RunOptions) (*Ru
 		return nil, fmt.Errorf("haccrg: unknown degradation policy %q (want quarantine or reinit)", opts.Degradation)
 	}
 	rc := harness.RunConfig{
-		Bench:          name,
-		Detector:       detectorKind(opts.Detection),
-		Scale:          opts.Scale,
-		SingleBlock:    opts.SingleBlock,
-		Inject:         opts.Inject,
-		DetectParallel: opts.DetectParallel,
-		StaticFilter:   opts.StaticFilter,
-		GPU:            opts.GPU,
-		FaultPlan:      opts.FaultPlan,
-		FaultSeed:      opts.FaultSeed,
-		Degradation:    opts.Degradation,
-		MaxCycles:      opts.MaxCycles,
-		Timeout:        opts.Timeout,
+		Bench:                name,
+		Detector:             detectorKind(opts.Detection),
+		Scale:                opts.Scale,
+		SingleBlock:          opts.SingleBlock,
+		Inject:               opts.Inject,
+		DetectParallel:       opts.DetectParallel,
+		DetectParallelShared: opts.DetectParallelShared,
+		StaticFilter:         opts.StaticFilter,
+		GPU:                  opts.GPU,
+		FaultPlan:            opts.FaultPlan,
+		FaultSeed:            opts.FaultSeed,
+		Degradation:          opts.Degradation,
+		MaxCycles:            opts.MaxCycles,
+		Timeout:              opts.Timeout,
 	}
 	xo := harness.ExecOptions{
 		Detection: opts.Detection,

@@ -5,6 +5,13 @@ import "haccrg/internal/gpu"
 // HardwareCost reports the control-logic and storage overhead of
 // HAccRG for a given machine, reproducing the arithmetic of Section
 // VI-C2. All byte figures are exact (fractional KB kept as bytes).
+//
+// The bit widths are not re-derived from the device configuration:
+// they are the architectural field widths of the packed shadow words
+// the engine actually implements (packed.go's arch* constants), so the
+// cost model, the fault injector's corruption masks and the hot-path
+// encodings can never disagree about the entry layout. Entry and
+// comparator counts remain configuration-derived.
 type HardwareCost struct {
 	// Shared-memory RDU.
 	SharedEntryBits        int // 1 modified + 1 shared + tid bits
@@ -15,7 +22,7 @@ type HardwareCost struct {
 	// Global-memory RDU.
 	GlobalEntryBitsBase       int // modified + shared + tid + bid + sid + sync ID
 	GlobalEntryBitsFence      int // base + fence ID
-	GlobalEntryBitsAtomic     int // base + atomic ID
+	GlobalEntryBitsAtomic     int // base + fence ID + atomic-ID low bits
 	GlobalComparatorsPerSlice int
 	IDComparatorsPerSlice     int
 
@@ -29,22 +36,12 @@ type HardwareCost struct {
 	RaceRegisterFileBytes int
 }
 
-// bitsFor returns the minimum number of bits addressing n values.
-func bitsFor(n int) int {
-	b := 0
-	for (1 << b) < n {
-		b++
-	}
-	return b
-}
-
 // ComputeHardwareCost evaluates the overhead model for a device
 // configuration and detector options.
 func ComputeHardwareCost(cfg *gpu.Config, opt Options) HardwareCost {
 	var c HardwareCost
 
-	tidBits := bitsFor(cfg.MaxThreadsPerSM) // 10 for 1024 threads/SM
-	c.SharedEntryBits = 2 + tidBits
+	c.SharedEntryBits = sharedEntryBits // 2 + archTidBits
 	c.SharedEntries = cfg.Shared.SizeBytes / opt.SharedGranularity
 	c.SharedShadowBytesPerSM = (c.SharedEntries*c.SharedEntryBits + 7) / 8
 	// One comparator per bank at the tracking granularity; the paper's
@@ -54,35 +51,35 @@ func ComputeHardwareCost(cfg *gpu.Config, opt Options) HardwareCost {
 		c.SharedComparatorsPerSM = 1
 	}
 
-	const syncIDBits, fenceIDBits = 8, 8
-	atomicIDBits := opt.Bloom.SizeBits
-	bidBits := bitsFor(cfg.MaxBlocksPerSM) // 3 for 8 blocks
-	sidBits := bitsFor(cfg.NumSMs)         // 5 for 30 SMs
-	c.GlobalEntryBitsBase = 2 + tidBits + bidBits + sidBits + syncIDBits
-	c.GlobalEntryBitsFence = c.GlobalEntryBitsBase + fenceIDBits
-	c.GlobalEntryBitsAtomic = c.GlobalEntryBitsBase + fenceIDBits + atomicIDBits
+	c.GlobalEntryBitsBase = 2 + archTidBits + archBidBits + archSidBits + archSyncBits
+	c.GlobalEntryBitsFence = c.GlobalEntryBitsBase + archFenceBits
+	c.GlobalEntryBitsAtomic = c.GlobalEntryBitsFence + archSigBits // == globalEntryBits
 	// One comparator per granule in a cache line for the base entries,
 	// plus one per two granules for fence/atomic IDs (Section VI-C2).
 	granulesPerLine := cfg.SegmentBytes / opt.GlobalGranularity
 	c.GlobalComparatorsPerSlice = granulesPerLine
 	c.IDComparatorsPerSlice = granulesPerLine / 2
 
+	// The per-SM ID tables hold the full-width IDs the RDUs compare
+	// entry fields against: architectural sync/fence widths, and the
+	// configured Bloom signature for atomic IDs (only its low
+	// archSigBits land in the shadow entry).
 	warpsPerSM := cfg.MaxThreadsPerSM / cfg.WarpSize
-	c.SyncIDBytesPerSM = cfg.MaxBlocksPerSM * syncIDBits / 8
-	c.FenceIDBytesPerSM = warpsPerSM * fenceIDBits / 8
-	c.AtomicIDBytesPerSM = cfg.MaxThreadsPerSM * atomicIDBits / 8
+	c.SyncIDBytesPerSM = cfg.MaxBlocksPerSM * archSyncBits / 8
+	c.FenceIDBytesPerSM = warpsPerSM * archFenceBits / 8
+	c.AtomicIDBytesPerSM = cfg.MaxThreadsPerSM * opt.Bloom.SizeBits / 8
 	c.IDBytesPerSM = c.SyncIDBytesPerSM + c.FenceIDBytesPerSM + c.AtomicIDBytesPerSM
 
-	c.RaceRegisterFileBytes = cfg.NumSMs * warpsPerSM * fenceIDBits / 8
+	c.RaceRegisterFileBytes = cfg.NumSMs * warpsPerSM * archFenceBits / 8
 	return c
 }
 
 // GlobalShadowBytes returns the device-memory footprint of the global
 // shadow entries for a kernel touching appBytes of global data at the
 // configured granularity (Table IV). Entries are stored packed at the
-// full 52-bit (fence+atomic) format's byte-rounded size.
+// full fence+atomic format's byte-rounded size.
 func GlobalShadowBytes(appBytes int, opt Options) int64 {
-	entryBytes := (52 + 7) / 8 // 6.5 bits rounded: 7 bytes packed
+	entryBytes := int64((globalEntryBits + 7) / 8) // 52 bits -> 7 bytes packed
 	granules := (appBytes + opt.GlobalGranularity - 1) / opt.GlobalGranularity
-	return int64(granules) * int64(entryBytes)
+	return int64(granules) * entryBytes
 }

@@ -27,23 +27,35 @@ func TestHardwareCostGT200(t *testing.T) {
 	if c.SharedComparatorsPerSM < 1 {
 		t.Errorf("no shared comparators")
 	}
-	// Base global entry: 2 + 10 tid + 3 bid + 5 sid + 8 sync = 28 bits.
-	if c.GlobalEntryBitsBase != 28 {
-		t.Errorf("global entry bits = %d, want 28", c.GlobalEntryBitsBase)
+	// Base global entry, from the packed architectural layout:
+	// 2 + 10 tid + 12 bid + 5 sid + 10 sync = 39 bits.
+	if c.GlobalEntryBitsBase != 39 {
+		t.Errorf("global entry bits = %d, want 39", c.GlobalEntryBitsBase)
 	}
-	if c.GlobalEntryBitsFence != 36 {
-		t.Errorf("global+fence bits = %d, want 36", c.GlobalEntryBitsFence)
+	if c.GlobalEntryBitsFence != 49 {
+		t.Errorf("global+fence bits = %d, want 49", c.GlobalEntryBitsFence)
 	}
-	if c.GlobalEntryBitsAtomic != 52 {
-		t.Errorf("global+fence+atomic bits = %d, want 52", c.GlobalEntryBitsAtomic)
+	// The full word is the engine's architectural 52-bit entry — the
+	// same constant the fault injector's corruption masks span.
+	if c.GlobalEntryBitsAtomic != globalEntryBits {
+		t.Errorf("global+fence+atomic bits = %d, want %d", c.GlobalEntryBitsAtomic, globalEntryBits)
+	}
+	if globalEntryBits != 52 {
+		t.Errorf("architectural global entry = %d bits, want 52", globalEntryBits)
 	}
 	// 128B line / 4B granularity = 32 base comparators, 16 ID ones.
 	if c.GlobalComparatorsPerSlice != 32 || c.IDComparatorsPerSlice != 16 {
 		t.Errorf("comparators = %d/%d, want 32/16", c.GlobalComparatorsPerSlice, c.IDComparatorsPerSlice)
 	}
-	// Race register file: 30 SMs x 32 warps x 1B = 960B (~0.75-1KB).
-	if c.RaceRegisterFileBytes != 960 {
-		t.Errorf("race register file = %dB, want 960", c.RaceRegisterFileBytes)
+	// Per-SM ID storage at architectural widths: 8 blocks x 10b sync =
+	// 10B, 32 warps x 10b fence = 40B, 1024 threads x 16b sigs = 2048B.
+	if c.SyncIDBytesPerSM != 10 || c.FenceIDBytesPerSM != 40 || c.AtomicIDBytesPerSM != 2048 {
+		t.Errorf("ID bytes = %d/%d/%d, want 10/40/2048",
+			c.SyncIDBytesPerSM, c.FenceIDBytesPerSM, c.AtomicIDBytesPerSM)
+	}
+	// Race register file: 30 SMs x 32 warps x 10 bits = 1200B (~1.2KB).
+	if c.RaceRegisterFileBytes != 1200 {
+		t.Errorf("race register file = %dB, want 1200", c.RaceRegisterFileBytes)
 	}
 }
 
@@ -57,19 +69,20 @@ func TestHardwareCostFermi(t *testing.T) {
 	opt := DefaultOptions()
 	c := ComputeHardwareCost(&cfg, opt)
 
-	// 48KB/16B = 3072 entries; tid needs 11 bits for 1536 threads, but
-	// the paper keeps 12-bit entries (10-bit tid) — our model derives
-	// 13 bits; verify the byte count tracks entries*bits/8.
-	wantBytes := (c.SharedEntries*c.SharedEntryBits + 7) / 8
-	if c.SharedShadowBytesPerSM != wantBytes {
-		t.Errorf("shadow bytes inconsistent: %d vs %d", c.SharedShadowBytesPerSM, wantBytes)
-	}
+	// 48KB/16B = 3072 entries at the architectural 12-bit width (the
+	// paper keeps 10-bit tids even on Fermi's 1536-thread SMs): 4.5KB.
 	if c.SharedEntries != 3072 {
 		t.Errorf("Fermi shared entries = %d, want 3072", c.SharedEntries)
 	}
-	// IDs: 8 sync bytes + 48 fence bytes + 1536*2 atomic bytes = 3128B.
-	if c.IDBytesPerSM != 8+48+3072 {
-		t.Errorf("ID bytes per SM = %d, want 3128", c.IDBytesPerSM)
+	if c.SharedEntryBits != 12 {
+		t.Errorf("Fermi shared entry bits = %d, want 12 (architectural)", c.SharedEntryBits)
+	}
+	if c.SharedShadowBytesPerSM != 4608 {
+		t.Errorf("Fermi shadow bytes = %d, want 4608", c.SharedShadowBytesPerSM)
+	}
+	// IDs: 10 sync bytes + 60 fence bytes + 1536*2 atomic bytes = 3142B.
+	if c.IDBytesPerSM != 10+60+3072 {
+		t.Errorf("ID bytes per SM = %d, want 3142", c.IDBytesPerSM)
 	}
 }
 

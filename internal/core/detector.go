@@ -5,56 +5,32 @@ import (
 	"sort"
 	"sync"
 
-	"haccrg/internal/bloom"
 	"haccrg/internal/fault"
 	"haccrg/internal/gpu"
 	"haccrg/internal/isa"
 )
 
-// sharedEntry is one shared-memory shadow entry: the paper's 12-bit
-// format (1-bit modified, 1-bit shared, 10-bit tid). The zero value is
-// NOT the reset state; reset() puts entries into the "no prior access"
-// state (M=true, S=true).
-type sharedEntry struct {
-	tid      uint16
-	modified bool
-	shared   bool
-	fresh    bool // M=true ∧ S=true encoding of "no access yet"
-}
-
-// globalEntry is one global-memory shadow entry: modified, shared,
-// tid, bid, sid, sync ID, fence ID and the atomic-ID lockset signature
-// (Section IV-B). present is the simulator-side "this granule has been
-// claimed" marker — the flat-array shadow's replacement for map
-// membership; it is not part of the architectural 52-bit word.
-type globalEntry struct {
-	tid      uint16
-	bid      uint32
-	sid      uint16
-	modified bool
-	shared   bool
-	present  bool
-	syncID   uint32
-	fenceID  uint32
-	sig      bloom.Sig
-	wcycle   int64 // issue cycle of the recorded write (stale-L1 check)
-}
-
 // Detector is the HAccRG race-detection engine, implementing
 // gpu.Detector. One Detector instance models all RDUs of the device:
 // the per-SM shared-memory units and the per-partition global units.
 // With Options.Parallel the global units run as asynchronous
-// per-partition shards (see sharded.go); findings stay byte-identical
-// to the serial engine.
+// per-partition shards (sharded.go); with Options.ParallelShared the
+// shared-memory units do the same per SM (shared_sharded.go). Findings
+// stay byte-identical to the serial engine in every combination.
 type Detector struct {
 	opt Options
 	env gpu.Env
 
 	kernel   string
 	warpSize int
+	// warpShift strength-reduces the warp-ID division on the check hot
+	// path: tid>>warpShift when the warp size is a power of two (every
+	// shipped config), -1 to fall back to division when it is not.
+	warpShift int
 
-	// sharedShadow[sm][granule]; covers each SM's full shared tile.
-	sharedShadow [][]sharedEntry
+	// sharedShadow[sm][granule] of packed 12-bit entries; covers each
+	// SM's full shared tile. The per-SM units alias these slices.
+	sharedShadow [][]sharedWord
 
 	// Cached partition mapping (the line-interleaved contract
 	// documented on gpu.Env.PartitionFor): partition = (addr >>
@@ -67,13 +43,34 @@ type Detector struct {
 	// gunits are the global-memory RDU units: one serial unit, or one
 	// shard per memory partition when the parallel engine is active.
 	// Each unit owns its slice of the global shadow. gworkers are the
-	// goroutines servicing them — min(partitions, GOMAXPROCS-1), with
-	// workerOf mapping each partition to its (fixed) worker.
+	// goroutines servicing them, with workerOf mapping each partition
+	// to its (fixed) worker.
 	gunits   []*gshard
 	gworkers []*gworker
 	workerOf []*gworker
-	parMode  bool // the engine was built sharded for this device
-	running  bool // shard workers are live (between KernelStart and end)
+	parMode  bool // the global engine was built sharded for this device
+
+	// sunits are the per-SM shared-memory RDU units (built in both
+	// serial and sharded modes — the serial engine runs them inline on
+	// the sim thread). sworkers/sworkerOf mirror the global layout when
+	// Options.ParallelShared shards them.
+	sunits    []*sshard
+	sworkers  []*gworker
+	sworkerOf []*gworker
+	sparMode  bool // the shared engine was built sharded for this device
+
+	// Per-kernel engine state. gact/sact arm the async dispatch paths
+	// at KernelStart; grunning/srunning flip when a kernel's lane volume
+	// crosses engageLanes and the rings actually engage (tiny kernels
+	// stay inline on the sim thread — ring hand-off costs more than it
+	// buys below a few thousand lanes). glanes/slanes count dispatched
+	// lanes toward that threshold.
+	gact     bool
+	sact     bool
+	grunning bool
+	srunning bool
+	glanes   int
+	slanes   int
 	wg       sync.WaitGroup
 
 	// Sequence-tagged report merging (sharded.go): the sim thread
@@ -116,12 +113,11 @@ type Detector struct {
 	// Fault-injection state (see health.go). inj is non-nil only when
 	// Options.Fault holds a non-empty plan; all fault hooks are gated
 	// on it so the fault-free path stays byte-identical to a build
-	// without the subsystem. Global-side fault state lives in the
-	// gunits; this injector serves the shared-memory RDUs and the
-	// sim-thread latency spikes.
-	inj        *fault.Injector
-	health     gpu.DetectorHealth
-	quarShared map[uint64]struct{} // quarantined shared cells, (sm<<40 | granule)
+	// without the subsystem. Per-unit fault state (quarantine sets,
+	// incident counters) lives in the gunits and sunits; this injector
+	// backs the serial-mode units and the sim-thread latency spikes.
+	inj    *fault.Injector
+	health gpu.DetectorHealth
 
 	// Self-healing state (see sentinel.go): the online divergence
 	// sentinel, and the fallback switch it (or the drain-stall
@@ -190,6 +186,9 @@ func (d *Detector) Stats() Stats {
 		s.GlobalChecks += u.checks
 		s.FenceLookups += u.fenceLookups
 	}
+	for _, u := range d.sunits {
+		s.SharedChecks += u.checks
+	}
 	return s
 }
 
@@ -254,6 +253,9 @@ func (d *Detector) Reset() {
 	d.gunits = nil // rebuilt (against the fresh injector) at next KernelStart
 	d.gworkers = nil
 	d.workerOf = nil
+	d.sunits = nil
+	d.sworkers = nil
+	d.sworkerOf = nil
 	d.sent = nil
 	d.engineFallback = false
 }
@@ -266,6 +268,10 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 	d.env = env
 	d.kernel = kernelName
 	d.warpSize = env.Config().WarpSize
+	d.warpShift = -1
+	if d.warpSize&(d.warpSize-1) == 0 {
+		d.warpShift = bits.TrailingZeros(uint(d.warpSize))
+	}
 	d.siteFilter = nil
 	if f := d.opt.StaticFilter; f != nil && d.inj == nil {
 		d.siteFilter = f.FilterSites(kernelName)
@@ -279,22 +285,34 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 	nsm := env.Config().NumSMs
 	entries := env.Config().Shared.SizeBytes / d.opt.SharedGranularity
 	if d.sharedShadow == nil || len(d.sharedShadow) != nsm || len(d.sharedShadow[0]) != entries {
-		d.sharedShadow = make([][]sharedEntry, nsm)
+		d.sharedShadow = make([][]sharedWord, nsm)
 		for i := range d.sharedShadow {
-			d.sharedShadow[i] = make([]sharedEntry, entries)
+			d.sharedShadow[i] = make([]sharedWord, entries)
 		}
+		d.sunits = nil // shadow geometry changed; units alias stale slices
 	}
 	for i := range d.sharedShadow {
 		resetShared(d.sharedShadow[i])
 	}
 	par := d.parallelFeasible(env.Config())
+	spar := d.sharedParallelFeasible(env.Config())
 	want := 1
 	if par {
 		want = env.Config().NumPartitions
 	}
 	if d.gunits == nil || d.parMode != par || len(d.gunits) != want {
-		d.buildUnits(env.Config(), par)
+		d.buildUnits(env.Config(), par, spar)
 		d.parMode = par
+	}
+	if d.sunits == nil || d.sparMode != spar || len(d.sunits) != nsm {
+		d.buildSharedUnits(nsm, par, spar)
+		d.sparMode = spar
+	}
+	for sm, u := range d.sunits {
+		u.shadow = d.sharedShadow[sm]
+		if u.inj != nil && u.inj != d.inj {
+			u.inj.Reset()
+		}
 	}
 	for _, u := range d.gunits {
 		u.shadow.reset()
@@ -303,6 +321,9 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 		}
 	}
 	d.fenceLog = nil
+	if (par || spar) && d.fenceTab == nil {
+		d.fenceTab = make(map[uint64]uint32)
+	}
 	for k := range d.fenceTab {
 		delete(d.fenceTab, k)
 	}
@@ -312,9 +333,12 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 		// quarantine sets persist (stuck cells are physical).
 		d.inj.Reset()
 	}
-	if d.parMode {
-		d.startWorkers()
-	}
+	// Arm the async engines; the rings engage lazily once the kernel's
+	// lane volume proves it is worth it (see engageLanes).
+	d.gact = par
+	d.sact = spar
+	d.glanes, d.slanes = 0, 0
+	d.resetQueueStats()
 	d.sentinelStart(env, kernelName)
 }
 
@@ -328,15 +352,12 @@ func (d *Detector) KernelEnd() {
 	d.sentinelEnd()
 }
 
-func resetShared(es []sharedEntry) {
-	for i := range es {
-		es[i] = sharedEntry{fresh: true, modified: true, shared: true}
-	}
-}
-
 // BlockStart implements gpu.Detector: a new block's shared region is
 // fresh; its slot's shadow entries reset (block start is an implicit
 // barrier, and the region may be inherited from a retired block).
+// Under the sharded shared engine with live workers the reset rides
+// the owning SM's ring in stream order — a drain here would serialize
+// on every block rotation.
 func (d *Detector) BlockStart(sm int, sharedBase, sharedSize int) {
 	if s := d.sent; s != nil && s.active {
 		s.ref.BlockStart(sm, sharedBase, sharedSize)
@@ -349,6 +370,10 @@ func (d *Detector) BlockStart(sm int, sharedBase, sharedSize int) {
 	shadow := d.sharedShadow[sm]
 	if hi > len(shadow) {
 		hi = len(shadow)
+	}
+	if d.srunning {
+		d.enqueueSharedReset(sm, lo, hi)
+		return
 	}
 	resetShared(shadow[lo:hi])
 }
@@ -459,7 +484,7 @@ func (d *Detector) report(space isa.Space, kind Kind, cat Category, pc int, stmt
 		cycle: cycle,
 	}
 	d.seq++
-	if d.running {
+	if d.gact || d.sact {
 		d.simPending = append(d.simPending, c)
 		return
 	}

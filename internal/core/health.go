@@ -17,40 +17,28 @@ import (
 // Health().Degraded is true. ECC-corrected flips are the one
 // non-perturbing event and are counted separately.
 
-// Shadow-entry bit widths for corruption purposes: the paper's 12-bit
-// shared entry (M, S, 10-bit tid) and the 52-bit global entry base
-// (M, S, 10-bit tid, 12-bit bid, 5-bit sid, 10-bit sync ID, 10-bit
-// fence ID, low atomic-ID bits).
-const (
-	sharedEntryBits = 12
-	globalEntryBits = 52
-)
-
 // Health implements gpu.HealthReporter. Counters accumulate across the
-// detector's launches until Reset. Global-side fault accounting lives
-// in the per-partition units (sharded.go) and is folded in here after
-// a drain.
+// detector's launches until Reset. Fault accounting lives in the
+// per-partition and per-SM units (sharded.go, shared_sharded.go) and
+// is folded in here after a drain.
 func (d *Detector) Health() *gpu.DetectorHealth {
 	d.quiesce()
 	h := d.health
 	var checks, fillBits, fillN int64
 	for _, u := range d.gunits {
-		h.DroppedChecks += u.health.DroppedChecks
-		h.InjectedFlips += u.health.InjectedFlips
-		h.CorrectedFlips += u.health.CorrectedFlips
-		h.StuckReads += u.health.StuckReads
-		h.QuarantinedGranules += u.health.QuarantinedGranules
-		h.QuarantineSkips += u.health.QuarantineSkips
-		h.ReinitGranules += u.health.ReinitGranules
-		h.SaturatedSigs += u.health.SaturatedSigs
-		h.LatencySpikes += u.health.LatencySpikes
+		foldHealth(&h, &u.health)
 		checks += u.checks
 		fillBits += u.fillBits
 		fillN += u.fillN
 	}
+	var schecks int64
+	for _, u := range d.sunits {
+		foldHealth(&h, &u.health)
+		schecks += u.checks
+	}
 	// Dropped checks never reached the RDU, so they are not in the
 	// check counters; the exposure denominator is demand, not service.
-	h.TotalChecks = d.stats.SharedChecks + checks + h.DroppedChecks
+	h.TotalChecks = d.stats.SharedChecks + schecks + checks + h.DroppedChecks
 	if fillN > 0 {
 		// Summed popcounts instead of summed ratios: integer
 		// accumulation is order-independent, so the shard-partitioned
@@ -64,23 +52,26 @@ func (d *Detector) Health() *gpu.DetectorHealth {
 	return &h
 }
 
+// foldHealth accumulates one unit's fault counters into the aggregate.
+func foldHealth(h, u *gpu.DetectorHealth) {
+	h.DroppedChecks += u.DroppedChecks
+	h.InjectedFlips += u.InjectedFlips
+	h.CorrectedFlips += u.CorrectedFlips
+	h.StuckReads += u.StuckReads
+	h.QuarantinedGranules += u.QuarantinedGranules
+	h.QuarantineSkips += u.QuarantineSkips
+	h.ReinitGranules += u.ReinitGranules
+	h.SaturatedSigs += u.SaturatedSigs
+	h.LatencySpikes += u.LatencySpikes
+}
+
 // resetFaultState restores the injector and health accounting to a
 // just-constructed detector's (used by Reset for reproducible reruns).
-// The global-side units are rebuilt separately (Reset drops them).
+// The per-unit fault state is rebuilt separately (Reset drops the
+// units).
 func (d *Detector) resetFaultState() {
 	d.inj = fault.New(d.opt.Fault, d.opt.FaultSeed)
 	d.health = gpu.DetectorHealth{}
-	d.quarShared = nil
-}
-
-// admit runs one lane check through the RDU check queue; false means
-// the queue overflowed and the check is dropped (and counted).
-func (d *Detector) admit(unit fault.Unit, id int, cycle int64) bool {
-	if d.inj.Admit(unit, id, cycle, 1) == 1 {
-		return true
-	}
-	d.health.DroppedChecks++
-	return false
 }
 
 // spiked returns cycle plus any injected shadow-fetch latency spike at
@@ -93,100 +84,43 @@ func (d *Detector) spiked(unit fault.Unit, id int, cycle int64) int64 {
 	return cycle
 }
 
-// faultShared is faultGlobal's shared-memory counterpart; quarantine is
-// per physical cell, keyed by (SM, granule index).
-func (d *Detector) faultShared(sm int, g uint64, e *sharedEntry) (skip bool) {
-	key := uint64(sm)<<40 | g
-	if _, q := d.quarShared[key]; q {
-		d.health.QuarantineSkips++
-		return true
-	}
-	if pat, stuck := d.inj.Stuck(fault.UnitShared, key); stuck {
-		if d.inj.ECC() {
-			if d.opt.Degradation == DegradeReinit {
-				*e = sharedEntry{fresh: true, modified: true, shared: true}
-				d.health.ReinitGranules++
-				return false
-			}
-			if d.quarShared == nil {
-				d.quarShared = make(map[uint64]struct{})
-			}
-			d.quarShared[key] = struct{}{}
-			d.health.QuarantinedGranules++
-			d.health.QuarantineSkips++
-			return true
-		}
-		stuckSharedEntry(e, pat)
-		d.health.StuckReads++
-		return false
-	}
-	if bit, hit := d.inj.FlipBit(fault.UnitShared, sm, sharedEntryBits); hit {
-		if d.inj.ECC() {
-			d.health.CorrectedFlips++
-		} else {
-			flipSharedEntry(e, bit)
-			d.health.InjectedFlips++
-		}
-	}
-	return false
-}
-
 // flipGlobalEntry flips one bit of the architectural 52-bit entry
-// layout: [0]=M, [1]=S, [2..11]=tid, [12..23]=bid, [24..28]=sid,
-// [29..38]=sync ID, [39..48]=fence ID, [49..51]=atomic-ID low bits.
-func flipGlobalEntry(e *globalEntry, bit int) {
+// layout (see packed.go's arch* constants): [0]=M, [1]=S, [2..11]=tid,
+// [12..23]=bid, [24..28]=sid, [29..38]=sync ID, [39..48]=fence ID,
+// [49..51]=atomic-ID low bits. The architectural bit index is mapped
+// onto whichever packed word holds that field.
+func flipGlobalEntry(e *packedGlobal, bit int) {
 	switch {
 	case bit == 0:
-		e.modified = !e.modified
+		e.meta ^= gwM
 	case bit == 1:
-		e.shared = !e.shared
-	case bit < 12:
-		e.tid ^= 1 << (bit - 2)
-	case bit < 24:
-		e.bid ^= 1 << (bit - 12)
-	case bit < 29:
-		e.sid ^= 1 << (bit - 24)
-	case bit < 39:
-		e.syncID ^= 1 << (bit - 29)
-	case bit < 49:
-		e.fenceID ^= 1 << (bit - 39)
+		e.meta ^= gwS
+	case bit < archBidShift:
+		e.meta ^= 1 << (gwTid + bit - archTidShift)
+	case bit < archSidShift:
+		e.meta ^= 1 << (gwBid + bit - archBidShift)
+	case bit < archSyncShift:
+		e.meta ^= 1 << (gwSid + bit - archSidShift)
+	case bit < archFenceShift:
+		e.sync ^= 1 << (bit - archSyncShift)
+	case bit < archSigShift:
+		e.sync ^= 1 << (32 + bit - archFenceShift)
 	default:
-		e.sig ^= 1 << (bit - 49)
+		e.sig ^= 1 << (bit - archSigShift)
 	}
 }
 
 // stuckGlobalEntry overwrites the entry's architectural fields with the
 // cell's stuck-at pattern (the lockset signature and the simulator-side
-// wcycle bookkeeping are outside the modeled 52-bit word).
-func stuckGlobalEntry(e *globalEntry, pat uint64) {
-	e.modified = pat&1 != 0
-	e.shared = pat&2 != 0
-	e.tid = uint16(pat>>2) & 1023
-	e.bid = uint32(pat>>12) & 4095
-	e.sid = uint16(pat>>24) & 31
-	e.syncID = uint32(pat>>29) & 1023
-	e.fenceID = uint32(pat>>39) & 1023
-}
-
-// flipSharedEntry flips one bit of the 12-bit shared entry layout:
-// [0]=M, [1]=S, [2..11]=tid. fresh is the M=S=1 encoding, recomputed
-// so the corrupted entry stays in a representable state.
-func flipSharedEntry(e *sharedEntry, bit int) {
-	switch {
-	case bit == 0:
-		e.modified = !e.modified
-	case bit == 1:
-		e.shared = !e.shared
-	default:
-		e.tid ^= 1 << (bit - 2)
-	}
-	e.fresh = e.modified && e.shared
-}
-
-// stuckSharedEntry overwrites the entry from the stuck-at pattern.
-func stuckSharedEntry(e *sharedEntry, pat uint64) {
-	e.modified = pat&1 != 0
-	e.shared = pat&2 != 0
-	e.tid = uint16(pat>>2) & 1023
-	e.fresh = e.modified && e.shared
+// wcyc bookkeeping are outside the modeled 52-bit word; the present
+// bit is simulator-side too and survives).
+func stuckGlobalEntry(e *packedGlobal, pat uint64) {
+	e.meta = e.meta&^(gwM|gwS|gwTidField|gwBidField|gwSidField) |
+		pat&(gwM|gwS) |
+		(pat>>archTidShift)&(1<<archTidBits-1)<<gwTid |
+		(pat>>archBidShift)&(1<<archBidBits-1)<<gwBid |
+		(pat>>archSidShift)&(1<<archSidBits-1)<<gwSid
+	e.sync = packSync(
+		uint32(pat>>archSyncShift)&(1<<archSyncBits-1),
+		uint32(pat>>archFenceShift)&(1<<archFenceBits-1))
 }

@@ -89,6 +89,16 @@ type Options struct {
 	// granule can straddle a coalescing segment.
 	Parallel bool
 
+	// ParallelShared does the same for the shared-memory RDUs: one
+	// engine per SM (the paper's one-RDU-per-SM layout), fed over the
+	// same ring machinery and merged through the same sequence-tagged
+	// report path, so findings stay byte-identical to the serial engine
+	// in every engine combination. Ignored (serial fallback) when the
+	// device has a single SM or the Figure 8 shared-shadow-in-global
+	// layout is active (its shadow fetches thread through the timing
+	// model on the simulation thread).
+	ParallelShared bool
+
 	// ModelTraffic injects the hardware RDUs' shadow-memory traffic
 	// and barrier-invalidation stalls into the timing model. Software
 	// reimplementations (internal/swdetect, internal/grace) disable it

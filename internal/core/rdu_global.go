@@ -105,7 +105,7 @@ func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 		return 0
 	}
 
-	if d.running {
+	if d.gact {
 		return d.globalRDUAsync(ev, gran)
 	}
 
@@ -126,6 +126,7 @@ func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 	for i := range ev.Lanes {
 		la := &ev.Lanes[i]
 		part := -1
+		lv := glane{addr: la.Addr, fill: la.L1Fill, sig: la.AtomicSig, tid: int32(la.Tid), flags: laneFlags(la)}
 		if u.inj != nil {
 			// Each lane check queues at the partition its address maps
 			// to; burst overflow drops the check, never the access.
@@ -133,13 +134,13 @@ func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 			if !u.admit(part, la.Arrival) {
 				continue
 			}
-			u.saturate(part, la)
+			lv.sig = u.saturate(part, lv.sig, lv.flags&laneCrit != 0)
 		}
 		u.checks++
 		if ev.Atomic {
 			continue // atomic operations are synchronization accesses
 		}
-		u.globalCheck(&h, la, part, gran)
+		u.globalCheck(&h, lv, part, gran)
 	}
 	return 0
 }
@@ -185,9 +186,11 @@ func (d *Detector) modelGlobalTraffic(ev *gpu.WarpMemEvent, gran uint64) {
 // machine, fence-ID validation of RAW pairs, and the stale-L1 check.
 // It touches only shard-local state (shadow slice, injector streams,
 // health) plus the immutable options — the property that lets one
-// shard per partition run it concurrently.
-func (u *gshard) globalCheck(h *gev, la *gpu.LaneAccess, part int, gran uint64) {
-	g := la.Addr / gran
+// shard per partition run it concurrently. The entry's state lives in
+// one packed meta word (packed.go), so the membership, same-thread and
+// state tests below are mask/shift/compare ops on a register.
+func (u *gshard) globalCheck(h *gev, la glane, part int, gran uint64) {
+	g := la.addr / gran
 	li := u.lidx(g)
 	write := h.write
 
@@ -195,80 +198,75 @@ func (u *gshard) globalCheck(h *gev, la *gpu.LaneAccess, part int, gran uint64) 
 		return // granule quarantined by the degradation policy
 	}
 
-	e := u.shadow.lookup(li)
-	if e == nil {
+	e := u.shadow.entry(li)
+	m := e.meta
+	if m&gwPresent == 0 {
 		// State 1: first access claims the entry; a protected access
-		// stores its lockset, an unprotected one stores the null set.
-		e = u.shadow.entry(li)
-		*e = globalEntry{
-			tid: uint16(la.Tid), bid: uint32(h.block), sid: uint16(h.sm),
-			modified: write, shared: false, present: true,
-			syncID: h.syncID, fenceID: h.fenceID,
-		}
+		// stores its lockset, an unprotected one stores the null set
+		// (cleared slots are all-zero, so sig needs no store here).
+		m = gwPresent | gwPack(uint16(la.tid), uint32(h.block), uint16(h.sm))
 		if write {
-			e.wcycle = h.cycle
+			m |= gwM
+			e.wcyc = h.cycle
 		}
-		if la.InCrit {
-			e.sig = la.AtomicSig
+		e.meta = m
+		e.sync = packSync(h.syncID, h.fenceID)
+		if la.flags&laneCrit != 0 {
+			e.sig = la.sig
 		}
 		return
 	}
 
-	sameBlock := e.bid == uint32(h.block)
-	sameThread := sameBlock && e.tid == uint16(la.Tid)
-	sameWarp := u.d.opt.WarpAware && sameBlock && int(e.tid)/u.d.warpSize == la.Tid/u.d.warpSize
+	etid := uint16(m >> gwTid)
+	ebid := uint32(m >> gwBid)
+	sameBlock := ebid == uint32(h.block)
+	sameThread := sameBlock && etid == uint16(la.tid)
+	sameWarp := u.d.opt.WarpAware && sameBlock && u.d.sameWarpID(int(etid), int(la.tid))
 
 	// Sync-ID ordering (Section IV-B): accesses from the entry's own
 	// block with a newer sync ID are barrier-ordered after the
 	// recorded access — refresh the entry, no race possible.
-	if sameBlock && e.syncID != h.syncID {
+	if sameBlock && e.syncID() != h.syncID {
 		claimEntry(e, h, la, write)
 		return
 	}
 
 	// Lockset has priority in critical sections (Section III-B).
 	entryProtected := e.sig != 0
-	if entryProtected || la.InCrit {
+	if entryProtected || la.flags&laneCrit != 0 {
 		u.locksetCheck(e, h, la, g, write, sameThread, sameWarp)
 		return
 	}
 
 	// Happens-before machine (Figure 3, with bid/sid extensions).
-	switch {
-	case !e.modified && !e.shared:
+	switch m & (gwM | gwS) {
+	case 0:
 		// State 2: reads from one thread.
 		if !write {
 			if !sameThread && !sameWarp {
-				e.shared = true
+				e.meta = m | gwS
 			}
 			return
 		}
 		if sameThread || sameWarp {
-			e.modified = true
-			e.tid = uint16(la.Tid)
-			e.sid = uint16(h.sm)
-			e.fenceID = h.fenceID
-			e.wcycle = h.cycle
+			e.setWriter(uint16(la.tid), uint16(h.sm), h.fenceID, h.cycle)
 			return
 		}
-		u.report(isa.SpaceGlobal, KindWAR, hbCategory(sameBlock), h.pc, h.stmt, g, la.Addr,
-			int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+		u.report(isa.SpaceGlobal, KindWAR, hbCategory(sameBlock), h.pc, h.stmt, g, la.addr,
+			int(etid), int(ebid), int(la.tid), h.block, h.cycle)
 		claimEntry(e, h, la, true)
 
-	case e.modified && !e.shared:
+	case gwM:
 		// State 3: written by the recorded thread.
 		if sameThread || sameWarp {
 			if write {
-				e.tid = uint16(la.Tid)
-				e.sid = uint16(h.sm)
-				e.fenceID = h.fenceID
-				e.wcycle = h.cycle
+				e.setWriter(uint16(la.tid), uint16(h.sm), h.fenceID, h.cycle)
 			}
 			return
 		}
 		if write {
-			u.report(isa.SpaceGlobal, KindWAW, hbCategory(sameBlock), h.pc, h.stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+			u.report(isa.SpaceGlobal, KindWAW, hbCategory(sameBlock), h.pc, h.stmt, g, la.addr,
+				int(etid), int(ebid), int(la.tid), h.block, h.cycle)
 			claimEntry(e, h, la, true)
 			return
 		}
@@ -276,53 +274,53 @@ func (u *gshard) globalCheck(h *gev, la *gpu.LaneAccess, part int, gran uint64) 
 		// regardless of the producer's fence), then the fence-ID
 		// comparison against the race register file.
 		// A hit is stale only when the cached copy predates the write.
-		if u.d.opt.DetectStaleL1 && la.L1Hit && e.sid != uint16(h.sm) && la.L1Fill < e.wcycle {
-			u.report(isa.SpaceGlobal, KindRAW, CatStaleL1, h.pc, h.stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+		if u.d.opt.DetectStaleL1 && la.flags&laneHit != 0 && uint16(m>>gwSid) != uint16(h.sm) && la.fill < e.wcyc {
+			u.report(isa.SpaceGlobal, KindRAW, CatStaleL1, h.pc, h.stmt, g, la.addr,
+				int(etid), int(ebid), int(la.tid), h.block, h.cycle)
 			claimEntry(e, h, la, false)
 			return
 		}
-		cur := u.fenceRead(int(e.bid), int(e.tid)/u.d.warpSize)
-		if cur == e.fenceID {
+		cur := u.fenceRead(int(ebid), u.d.warpOf(int(etid)))
+		if cur == e.fenceID() {
 			// The producer has not fenced since its write: the
 			// consumer may observe a partial update.
 			cat := CatFence
 			if sameBlock {
 				cat = CatBarrier
 			}
-			u.report(isa.SpaceGlobal, KindRAW, cat, h.pc, h.stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+			u.report(isa.SpaceGlobal, KindRAW, cat, h.pc, h.stmt, g, la.addr,
+				int(etid), int(ebid), int(la.tid), h.block, h.cycle)
 		}
 		// Fenced or not, the consumer now owns the entry as a reader.
 		claimEntry(e, h, la, false)
 
 	default:
-		// State 4: read by multiple warps/blocks.
+		// State 4: read by multiple warps/blocks (any state with S set,
+		// including fault-corrupted M+S patterns — same treatment as
+		// the struct encoding gave them).
 		if !write {
 			return
 		}
-		u.report(isa.SpaceGlobal, KindWAR, hbCategory(sameBlock), h.pc, h.stmt, g, la.Addr,
-			int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+		u.report(isa.SpaceGlobal, KindWAR, hbCategory(sameBlock), h.pc, h.stmt, g, la.addr,
+			int(etid), int(ebid), int(la.tid), h.block, h.cycle)
 		claimEntry(e, h, la, true)
 	}
 }
 
 // claimEntry refreshes a shadow entry with the current access (used
 // after barrier-ordered handoffs, reported races, and safe
-// consumptions).
-func claimEntry(e *globalEntry, h *gev, la *gpu.LaneAccess, write bool) {
-	e.tid = uint16(la.Tid)
-	e.bid = uint32(h.block)
-	e.sid = uint16(h.sm)
-	e.modified = write
-	e.shared = false
-	e.syncID = h.syncID
-	e.fenceID = h.fenceID
+// consumptions). The write cycle is preserved on reads — only a write
+// moves the stale-L1 horizon.
+func claimEntry(e *packedGlobal, h *gev, la glane, write bool) {
+	m := gwPresent | gwPack(uint16(la.tid), uint32(h.block), uint16(h.sm))
 	if write {
-		e.wcycle = h.cycle
+		m |= gwM
+		e.wcyc = h.cycle
 	}
-	if la.InCrit {
-		e.sig = la.AtomicSig
+	e.meta = m
+	e.sync = packSync(h.syncID, h.fenceID)
+	if la.flags&laneCrit != 0 {
+		e.sig = la.sig
 	} else {
 		e.sig = 0
 	}
@@ -339,55 +337,59 @@ func hbCategory(sameBlock bool) Category {
 
 // locksetCheck implements Section III-B's two racy scenarios:
 // disjoint locksets, and mixed protected/unprotected access.
-func (u *gshard) locksetCheck(e *globalEntry, h *gev, la *gpu.LaneAccess,
+func (u *gshard) locksetCheck(e *packedGlobal, h *gev, la glane,
 	g uint64, write, sameThread, sameWarp bool) {
-	racy := e.modified || write
+	m := e.meta
+	entryModified := m&gwM != 0
+	racy := entryModified || write
 	entryProtected := e.sig != 0
-	u.observeFill(e.sig, la.AtomicSig)
+	inCrit := la.flags&laneCrit != 0
+	u.observeFill(e.sig, la.sig)
 
 	if sameThread {
 		// Same thread: refresh.
-		e.modified = e.modified || write
 		if write {
-			e.fenceID = h.fenceID
-			e.wcycle = h.cycle
+			e.meta = m | gwM
+			e.sync = e.sync&((1<<32)-1) | uint64(h.fenceID)<<32
+			e.wcyc = h.cycle
 		}
-		if la.InCrit {
+		if inCrit {
 			if entryProtected {
-				e.sig = u.d.opt.Bloom.Intersect(e.sig, la.AtomicSig)
+				e.sig = u.d.opt.Bloom.Intersect(e.sig, la.sig)
 			} else {
-				e.sig = la.AtomicSig
+				e.sig = la.sig
 			}
 		}
 		return
 	}
 
+	etid := uint16(m >> gwTid)
+	ebid := uint32(m >> gwBid)
+
 	switch {
-	case entryProtected && la.InCrit:
+	case entryProtected && inCrit:
 		// Both protected: race iff the lockset intersection is null.
-		if racy && !u.d.opt.Bloom.MayIntersect(e.sig, la.AtomicSig) && !sameWarp {
-			u.report(isa.SpaceGlobal, locksetKind(e.modified, write), CatLockset, h.pc, h.stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+		if racy && !u.d.opt.Bloom.MayIntersect(e.sig, la.sig) && !sameWarp {
+			u.report(isa.SpaceGlobal, locksetKind(entryModified, write), CatLockset, h.pc, h.stmt, g, la.addr,
+				int(etid), int(ebid), int(la.tid), h.block, h.cycle)
 			claimEntry(e, h, la, write)
 			return
 		}
 		// The intersection — the set of locks that protected every
 		// access so far — is what the shadow entry keeps.
-		e.sig = u.d.opt.Bloom.Intersect(e.sig, la.AtomicSig)
-		e.modified = e.modified || write
+		e.sig = u.d.opt.Bloom.Intersect(e.sig, la.sig)
 		if write {
-			e.tid = uint16(la.Tid)
-			e.bid = uint32(h.block)
-			e.sid = uint16(h.sm)
-			e.fenceID = h.fenceID
-			e.wcycle = h.cycle
+			e.meta = m&^(gwTidField|gwBidField|gwSidField) | gwM |
+				gwPack(uint16(la.tid), uint32(h.block), uint16(h.sm))
+			e.sync = e.sync&((1<<32)-1) | uint64(h.fenceID)<<32
+			e.wcyc = h.cycle
 		}
 
 	default:
 		// Mixed protected/unprotected access from different threads.
 		if racy && !sameWarp {
-			u.report(isa.SpaceGlobal, locksetKind(e.modified, write), CatLockset, h.pc, h.stmt, g, la.Addr,
-				int(e.tid), int(e.bid), la.Tid, h.block, h.cycle)
+			u.report(isa.SpaceGlobal, locksetKind(entryModified, write), CatLockset, h.pc, h.stmt, g, la.addr,
+				int(etid), int(ebid), int(la.tid), h.block, h.cycle)
 		}
 		claimEntry(e, h, la, write)
 	}

@@ -15,7 +15,6 @@ import (
 // shared-shadow-in-global configuration of Figure 8, where shadow
 // entries must be fetched from device memory through the L1.
 func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
-	shadow := d.sharedShadow[ev.SM]
 	gran := uint64(d.opt.SharedGranularity)
 
 	// Statically-proven race-free site: skip every check. In hardware
@@ -28,6 +27,15 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 		d.stats.FilteredChecks += int64(len(ev.Lanes))
 		return 0
 	}
+
+	// Sharded shared engine: the event's lanes detach onto the owning
+	// SM's shard (feasibility excludes Figure 8 mode, so no stall).
+	if d.sact {
+		return d.sharedRDUAsync(ev, gran)
+	}
+
+	u := d.sunits[ev.SM]
+	shadow := u.shadow
 
 	// Intra-warp WAW: two lanes of this instruction writing the same
 	// byte address, checked before the request issues.
@@ -52,25 +60,34 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 			}
 			continue
 		}
-		if d.inj != nil && !d.admit(fault.UnitShared, ev.SM, ev.Cycle) {
+		if !inGlobal {
+			u.checkLane(la.Addr, uint16(la.Tid), ev.Write, ev.Atomic, ev.PC, ev.Stmt, ev.Block, ev.Cycle, gran)
+			continue
+		}
+		// Fig. 8 mode interleaves the shadow-line collection into the
+		// per-lane sequence, so it keeps the expanded form.
+		if u.inj != nil && !u.admit(ev.Cycle) {
 			continue // check-queue overflow: dropped, counted, access unaffected
 		}
-		d.stats.SharedChecks++
+		u.checks++
 		g := la.Addr / gran
 		if g >= uint64(len(shadow)) {
 			continue // engine bounds-checks; stay safe
 		}
-		if inGlobal {
-			entryAddr := d.sharedShadowBase(ev.SM) + g*2
-			shadowLines = insertLine(shadowLines, entryAddr&^uint64(d.env.Config().SegmentBytes-1))
-		}
+		entryAddr := d.sharedShadowBase(ev.SM) + g*2
+		shadowLines = insertLine(shadowLines, entryAddr&^uint64(d.env.Config().SegmentBytes-1))
 		if ev.Atomic {
 			continue // atomics are synchronization operations
 		}
-		if d.inj != nil && d.faultShared(ev.SM, g, &shadow[g]) {
+		if u.inj != nil && u.faultShared(g) {
 			continue // cell quarantined by the degradation policy
 		}
-		d.sharedCheck(shadow, g, ev, la)
+		nw, kind, first, raced := d.sharedCheckWord(shadow[g], uint16(la.Tid), ev.Write)
+		shadow[g] = nw
+		if raced {
+			u.report(isa.SpaceShared, kind, CatBarrier, ev.PC, ev.Stmt, g, la.Addr,
+				int(first), ev.Block, la.Tid, ev.Block, ev.Cycle)
+		}
 	}
 
 	d.scratch.lines = shadowLines
@@ -97,73 +114,6 @@ func (d *Detector) sharedRDU(ev *gpu.WarpMemEvent) int64 {
 		}
 	}
 	return done - ev.Cycle
-}
-
-// sharedCheck applies the state machine to one lane access.
-func (d *Detector) sharedCheck(shadow []sharedEntry, g uint64, ev *gpu.WarpMemEvent, la *gpu.LaneAccess) {
-	e := &shadow[g]
-	write := ev.Write
-	tid := uint16(la.Tid)
-
-	// State 1: no prior access.
-	if e.fresh {
-		e.fresh = false
-		e.shared = false
-		e.modified = write
-		e.tid = tid
-		return
-	}
-
-	sameThread := e.tid == tid
-	sameWarp := d.opt.WarpAware && int(e.tid)/d.warpSize == la.Tid/d.warpSize
-
-	switch {
-	case !e.modified && !e.shared:
-		// State 2: reads from a single thread so far.
-		if !write {
-			if !sameThread && !sameWarp {
-				e.shared = true
-			}
-			return
-		}
-		if sameThread || sameWarp {
-			e.modified = true
-			e.tid = tid
-			return
-		}
-		d.report(isa.SpaceShared, KindWAR, CatBarrier, ev.PC, ev.Stmt, g, la.Addr,
-			int(e.tid), ev.Block, la.Tid, ev.Block, ev.Cycle)
-		e.modified = true
-		e.tid = tid
-
-	case e.modified && !e.shared:
-		// State 3: written by thread tid.
-		if sameThread || sameWarp {
-			if write {
-				e.tid = tid
-			}
-			return
-		}
-		if write {
-			d.report(isa.SpaceShared, KindWAW, CatBarrier, ev.PC, ev.Stmt, g, la.Addr,
-				int(e.tid), ev.Block, la.Tid, ev.Block, ev.Cycle)
-			e.tid = tid
-		} else {
-			d.report(isa.SpaceShared, KindRAW, CatBarrier, ev.PC, ev.Stmt, g, la.Addr,
-				int(e.tid), ev.Block, la.Tid, ev.Block, ev.Cycle)
-		}
-
-	default:
-		// State 4: read by multiple warps (modified=false, shared=true).
-		if !write {
-			return
-		}
-		d.report(isa.SpaceShared, KindWAR, CatBarrier, ev.PC, ev.Stmt, g, la.Addr,
-			int(e.tid), ev.Block, la.Tid, ev.Block, ev.Cycle)
-		e.modified = true
-		e.shared = false
-		e.tid = tid
-	}
 }
 
 // intraWarpWAW reports same-address writes by different lanes of one

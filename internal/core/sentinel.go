@@ -81,11 +81,11 @@ func (d *Detector) sentinelStart(env gpu.Env, kernel string) {
 	if s.disabled {
 		return
 	}
-	if !d.parMode {
-		// Serial engine: correct by construction, nothing to check. In
-		// always mode the reference's fault streams would desynchronize
-		// across the unobserved kernel, so the sentinel retires rather
-		// than resuming later with misaligned streams.
+	if !d.parMode && !d.sparMode {
+		// Both engines serial: correct by construction, nothing to
+		// check. In always mode the reference's fault streams would
+		// desynchronize across the unobserved kernel, so the sentinel
+		// retires rather than resuming later with misaligned streams.
 		if s.always {
 			s.disabled = true
 		}
@@ -98,6 +98,7 @@ func (d *Detector) sentinelStart(env gpu.Env, kernel string) {
 	if s.ref == nil {
 		ro := d.opt
 		ro.Parallel = false
+		ro.ParallelShared = false
 		ro.ModelTraffic = false // findings are timing-independent
 		ro.SentinelEvery = 0
 		ro.StallBudget = 0
@@ -117,9 +118,9 @@ func (d *Detector) sentinelStart(env gpu.Env, kernel string) {
 }
 
 // observe forwards one warp memory event to the reference as a
-// defensive copy: the reference's serial fault path mutates lane
-// lockset signatures in place, and the event storage belongs to the
-// simulator.
+// defensive copy: the event storage belongs to the simulator, and the
+// WarpMemEvent ownership contract forbids handing a second detector a
+// borrowed event whose lanes the primary may still reference.
 func (s *sentinel) observe(ev *gpu.WarpMemEvent) {
 	if h := s.d.opt.Chaos; h != nil && h.DropSentinelEvent != nil {
 		n := s.evCount

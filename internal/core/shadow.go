@@ -22,9 +22,9 @@ const (
 )
 
 // shadowPage is one fixed-size block of shadow entries. Pages never
-// move once allocated, so *globalEntry pointers into them stay valid
+// move once allocated, so *packedGlobal pointers into them stay valid
 // across later insertions (unlike map entries).
-type shadowPage [shadowPageLen]globalEntry
+type shadowPage [shadowPageLen]packedGlobal
 
 // pagedShadow is the paged flat-array global shadow. The zero value is
 // an empty shadow ready for use.
@@ -34,7 +34,7 @@ type pagedShadow struct {
 
 // lookup returns granule g's entry, or nil when no access has claimed
 // it (the map version's "not in the map").
-func (s *pagedShadow) lookup(g uint64) *globalEntry {
+func (s *pagedShadow) lookup(g uint64) *packedGlobal {
 	idx := g >> shadowPageShift
 	if idx >= uint64(len(s.pages)) {
 		return nil
@@ -44,7 +44,7 @@ func (s *pagedShadow) lookup(g uint64) *globalEntry {
 		return nil
 	}
 	e := &p[g&shadowPageMask]
-	if !e.present {
+	if e.meta&gwPresent == 0 {
 		return nil
 	}
 	return e
@@ -52,8 +52,8 @@ func (s *pagedShadow) lookup(g uint64) *globalEntry {
 
 // entry returns a pointer to granule g's slot, allocating its page on
 // first touch. The slot may hold a cleared entry; the caller claims it
-// by storing a value with present=true.
-func (s *pagedShadow) entry(g uint64) *globalEntry {
+// by storing a meta word with the present bit set.
+func (s *pagedShadow) entry(g uint64) *packedGlobal {
 	idx := g >> shadowPageShift
 	if idx >= uint64(len(s.pages)) {
 		grown := make([]*shadowPage, idx+1)
@@ -73,7 +73,7 @@ func (s *pagedShadow) entry(g uint64) *globalEntry {
 // access).
 func (s *pagedShadow) clear(g uint64) {
 	if e := s.lookup(g); e != nil {
-		*e = globalEntry{}
+		*e = packedGlobal{}
 	}
 }
 
@@ -100,7 +100,7 @@ func (s *pagedShadow) entries() int {
 			continue
 		}
 		for i := range p {
-			if p[i].present {
+			if p[i].meta&gwPresent != 0 {
 				n++
 			}
 		}

@@ -100,12 +100,13 @@ type gshard struct {
 }
 
 // gworker is one detection goroutine: an SPSC ring of batches from the
-// simulation thread, multiplexing the shards of the partitions
-// assigned to it. The rings are rebuilt at each kernel launch
-// (KernelEnd parks the workers by closing them); the batch storage
-// itself persists, so the steady state never allocates.
+// simulation thread, multiplexing the shards of the partitions — or,
+// with shared set, the SMs — assigned to it. The rings are rebuilt on
+// engagement (KernelEnd parks the workers by closing them); the batch
+// storage itself persists, so the steady state never allocates.
 type gworker struct {
-	d *Detector
+	d      *Detector
+	shared bool // services per-SM shared shards instead of partitions
 
 	// SPSC rings. free holds recycled batches (capacity = ring size,
 	// prefilled); work holds batches in flight plus one slot for the
@@ -136,30 +137,59 @@ type gev struct {
 	cycle   int64
 }
 
-// gseg is one partition-contiguous run of one warp instruction's
-// lanes: the shared header, the owning partition, the index of the
-// run's first lane (its lanes extend to the next segment's start, or
-// the end of the batch), and the report sequence number of that first
-// lane. A run's lanes are consecutive in the original instruction, so
-// their sequence numbers are consecutive from seq0 — one tag replaces
-// a per-lane array.
+// gseg is one unit-contiguous run of one warp instruction's lanes:
+// the shared header, the owning unit (partition, or SM for shared
+// batches), the index of the run's first lane (its lanes extend to
+// the next segment's start, or the end of the batch), and the report
+// sequence number of that first lane. A run's lanes are consecutive
+// in the original instruction, so their sequence numbers are
+// consecutive from seq0 — one tag replaces a per-lane array. A
+// segReset segment carries no lanes; it is a block-start shadow reset
+// riding the ring in stream order ([lo, hi) granules of the unit).
 type gseg struct {
-	ev    gev
-	seq0  uint64
-	part  int32
-	start int32
+	ev     gev
+	seq0   uint64
+	part   int32
+	start  int32
+	lo, hi int32
+	kind   uint8
 }
 
+const (
+	segLanes uint8 = iota
+	segReset
+)
+
 // gbatch is one enqueued unit of work: many consecutive warp
-// instructions' lanes with their partition runs. Batching across
-// events is what makes the pipeline pay: handing a goroutine one
-// instruction at a time loses more to the wakeup than the checks
-// cost. Lane storage is owned by the batch and recycled through the
-// free ring.
+// instructions' lanes with their unit runs. Batching across events is
+// what makes the pipeline pay: handing a goroutine one instruction at
+// a time loses more to the wakeup than the checks cost. Lane storage
+// is owned by the batch, laid out SoA-style — parallel per-lane
+// arrays instead of an array of LaneAccess structs, so the check loop
+// streams the two or three fields it reads (addresses, tids) without
+// dragging the rest of the 56-byte struct through the cache — and
+// recycled through the free ring. Shared-memory batches fill only
+// addr and tid.
 type gbatch struct {
 	drain bool
 	segs  []gseg
-	lanes []gpu.LaneAccess
+	addr  []uint64
+	tid   []int32
+	arr   []int64 // lane arrival cycles (queue-admission fault hook)
+	fill  []int64 // L1 fill cycles (stale-L1 check)
+	sig   []bloom.Sig
+	flags []uint8 // laneCrit | laneHit
+}
+
+// reset empties a recycled batch for refill (capacities persist).
+func (b *gbatch) reset() {
+	b.segs = b.segs[:0]
+	b.addr = b.addr[:0]
+	b.tid = b.tid[:0]
+	b.arr = b.arr[:0]
+	b.fill = b.fill[:0]
+	b.sig = b.sig[:0]
+	b.flags = b.flags[:0]
 }
 
 // raceCand is a buffered race report: everything applyCand needs to
@@ -207,6 +237,16 @@ const gbatchLanes = 2048
 // allocation-free.
 const gsegCap = 256
 
+// engageLanes is the per-kernel lane volume below which an armed async
+// engine keeps its checks inline on the sim thread (against the same
+// shard units, with the same sequence tags and injector draws, so
+// findings cannot depend on whether the threshold is crossed). A ring
+// hand-off costs a goroutine wakeup — tens of microseconds on a loaded
+// host — which a kernel issuing a few hundred warp events never earns
+// back; BENCH_PR6's hash row (0.47x) was exactly this tax. Workers
+// launch at the first event that pushes the kernel past the threshold.
+const engageLanes = 4096
+
 // parallelFeasible reports whether the sharded engine can run under
 // this configuration: more than one partition, granules that never
 // straddle a coalescing segment (so every granule maps to exactly one
@@ -221,10 +261,11 @@ func (d *Detector) parallelFeasible(cfg *gpu.Config) bool {
 
 // buildUnits (re)creates the global RDU units for the current mode:
 // one serial unit (part = -1) sharing the detector's injector, or one
-// shard per partition with private injectors, serviced by
-// min(partitions, GOMAXPROCS-1) workers. The worker count is an
-// execution detail — findings do not depend on it.
-func (d *Detector) buildUnits(cfg *gpu.Config, parallel bool) {
+// shard per partition with private injectors, serviced by dedicated
+// workers. The worker count is an execution detail — findings do not
+// depend on it. splitBudget is set when the shared engine also shards,
+// so the two engines divide the available processors between them.
+func (d *Detector) buildUnits(cfg *gpu.Config, parallel, splitBudget bool) {
 	if !parallel {
 		d.gunits = []*gshard{{d: d, part: -1, inj: d.inj}}
 		d.gworkers = nil
@@ -248,25 +289,8 @@ func (d *Detector) buildUnits(cfg *gpu.Config, parallel bool) {
 			inj: fault.New(d.opt.Fault, d.opt.FaultSeed),
 		}
 	}
-	nw := nparts
-	if avail := runtime.GOMAXPROCS(0) - 1; avail < nw {
-		nw = avail
-	}
-	if nw < 1 {
-		nw = 1
-	}
-	d.gworkers = make([]*gworker, nw)
-	for i := range d.gworkers {
-		w := &gworker{d: d, drainBatch: &gbatch{drain: true}}
-		w.batches = make([]*gbatch, gringBatches)
-		for j := range w.batches {
-			w.batches[j] = &gbatch{
-				segs:  make([]gseg, 0, gsegCap),
-				lanes: make([]gpu.LaneAccess, 0, gbatchLanes),
-			}
-		}
-		d.gworkers[i] = w
-	}
+	nw := workerBudget(nparts, splitBudget, true)
+	d.gworkers = newWorkers(d, nw, false)
 	d.workerOf = make([]*gworker, nparts)
 	for p := 0; p < nparts; p++ {
 		d.workerOf[p] = d.gworkers[p%nw]
@@ -274,6 +298,50 @@ func (d *Detector) buildUnits(cfg *gpu.Config, parallel bool) {
 	if d.fenceTab == nil {
 		d.fenceTab = make(map[uint64]uint32)
 	}
+}
+
+// workerBudget sizes one engine's worker pool: the sim thread keeps a
+// processor, and when both engines shard they split the remainder
+// (global rounds up — it is the heavier path on every bench).
+func workerBudget(units int, split, roundUp bool) int {
+	avail := runtime.GOMAXPROCS(0) - 1
+	if split {
+		if roundUp {
+			avail = (avail + 1) / 2
+		} else {
+			avail = avail / 2
+		}
+	}
+	if avail < 1 {
+		avail = 1
+	}
+	if avail > units {
+		avail = units
+	}
+	return avail
+}
+
+// newWorkers allocates n parked workers with their persistent batch
+// storage.
+func newWorkers(d *Detector, n int, shared bool) []*gworker {
+	ws := make([]*gworker, n)
+	for i := range ws {
+		w := &gworker{d: d, shared: shared, drainBatch: &gbatch{drain: true}}
+		w.batches = make([]*gbatch, gringBatches)
+		for j := range w.batches {
+			w.batches[j] = &gbatch{
+				segs:  make([]gseg, 0, gsegCap),
+				addr:  make([]uint64, 0, gbatchLanes),
+				tid:   make([]int32, 0, gbatchLanes),
+				arr:   make([]int64, 0, gbatchLanes),
+				fill:  make([]int64, 0, gbatchLanes),
+				sig:   make([]bloom.Sig, 0, gbatchLanes),
+				flags: make([]uint8, 0, gbatchLanes),
+			}
+		}
+		ws[i] = w
+	}
+	return ws
 }
 
 // lidx maps a real granule number to this shard's local shadow index.
@@ -288,26 +356,30 @@ func (u *gshard) lidx(g uint64) uint64 {
 	return (line/u.nparts)<<u.gplShift | (g & u.gplMask)
 }
 
-// startWorkers launches the worker goroutines with fresh rings;
-// KernelEnd (or Quiesce) joins them. The rings are per-kernel —
-// stopWorkers closes them — but the batches they circulate persist on
-// the worker, so relaunching costs two channel allocations and no
-// batch storage.
+// startWorkers launches the global worker goroutines with fresh rings
+// (the engagement point once a kernel's lane volume crosses
+// engageLanes); KernelEnd (or Quiesce) joins them. The rings are
+// per-engagement — stopWorkers closes them — but the batches they
+// circulate persist on the worker, so relaunching costs two channel
+// allocations and no batch storage.
 func (d *Detector) startWorkers() {
-	d.running = true
+	d.grunning = true
 	for _, w := range d.gworkers {
-		w.work = make(chan *gbatch, gringBatches+1)
-		w.free = make(chan *gbatch, gringBatches)
-		w.drainDone = make(chan struct{}, 1)
-		for _, b := range w.batches {
-			w.free <- b
-		}
-		w.open = nil
-		w.dirty = false
-		w.qpeak = 0
-		d.wg.Add(1)
-		go w.run(&d.wg)
+		w.start(&d.wg)
 	}
+}
+
+func (w *gworker) start(wg *sync.WaitGroup) {
+	w.work = make(chan *gbatch, gringBatches+1)
+	w.free = make(chan *gbatch, gringBatches)
+	w.drainDone = make(chan struct{}, 1)
+	for _, b := range w.batches {
+		w.free <- b
+	}
+	w.open = nil
+	w.dirty = false
+	wg.Add(1)
+	go w.run(wg)
 }
 
 func (w *gworker) run(wg *sync.WaitGroup) {
@@ -317,9 +389,25 @@ func (w *gworker) run(wg *sync.WaitGroup) {
 			w.drainDone <- struct{}{}
 			continue
 		}
-		w.process(b)
+		if w.shared {
+			w.processShared(b)
+		} else {
+			w.process(b)
+		}
 		w.free <- b
 	}
+}
+
+// openBatch returns the worker's open batch, pulling a recycled one
+// from the free ring (backpressure point) when none is open.
+func (w *gworker) openBatch() *gbatch {
+	b := w.open
+	if b == nil {
+		b = <-w.free // ring-full backpressure
+		b.reset()
+		w.open = b
+	}
+	return b
 }
 
 // process services one batch, segment by segment, against the
@@ -333,47 +421,49 @@ func (w *gworker) process(b *gbatch) {
 	units := w.d.gunits
 	for s := range b.segs {
 		seg := &b.segs[s]
-		end := len(b.lanes)
+		end := len(b.addr)
 		if s+1 < len(b.segs) {
 			end = int(b.segs[s+1].start)
 		}
 		u := units[seg.part]
 		for i := int(seg.start); i < end; i++ {
-			la := &b.lanes[i]
 			u.curSeq = seg.seq0 + uint64(i-int(seg.start))
+			if u.inj != nil && !u.admit(u.part, b.arr[i]) {
+				continue
+			}
+			lv := glane{addr: b.addr[i], fill: b.fill[i], sig: b.sig[i], tid: b.tid[i], flags: b.flags[i]}
 			if u.inj != nil {
-				if !u.admit(u.part, la.Arrival) {
-					continue
-				}
-				u.saturate(u.part, la)
+				lv.sig = u.saturate(u.part, lv.sig, lv.flags&laneCrit != 0)
 			}
 			u.checks++
 			if seg.ev.atomic {
 				continue // atomic operations are synchronization accesses
 			}
-			u.globalCheck(&seg.ev, la, u.part, gran)
+			u.globalCheck(&seg.ev, lv, u.part, gran)
 		}
 	}
 }
 
-// drainDirty brings every worker with in-flight work to quiescence:
-// flush the open batches, send the drain sentinel to all dirty
-// workers, then wait for each — the rings are FIFO, so the
-// acknowledgement means every batch enqueued before it has been fully
-// processed.
-func (d *Detector) drainDirty() {
+// flushAndSignal flushes the open batches of a worker set and sends
+// the drain sentinel to every dirty worker; true means at least one
+// acknowledgement is owed.
+func flushAndSignal(ws []*gworker) bool {
 	any := false
-	for _, w := range d.gworkers {
+	for _, w := range ws {
 		w.flush()
 		if w.dirty {
 			w.work <- w.drainBatch
 			any = true
 		}
 	}
-	if !any {
-		return
-	}
-	for _, w := range d.gworkers {
+	return any
+}
+
+// awaitDrain collects the drain acknowledgements of a worker set —
+// the rings are FIFO, so an acknowledgement means every batch
+// enqueued before it has been fully processed.
+func (d *Detector) awaitDrain(ws []*gworker) {
+	for _, w := range ws {
 		if !w.dirty {
 			continue
 		}
@@ -403,11 +493,30 @@ func (d *Detector) drainDirty() {
 	}
 }
 
+// drainDirty brings every engaged worker of both engines to
+// quiescence. Sentinels go out to all dirty workers before any wait,
+// so the two engines drain concurrently.
+func (d *Detector) drainDirty() {
+	anyG, anyS := false, false
+	if d.grunning {
+		anyG = flushAndSignal(d.gworkers)
+	}
+	if d.srunning {
+		anyS = flushAndSignal(d.sworkers)
+	}
+	if anyG {
+		d.awaitDrain(d.gworkers)
+	}
+	if anyS {
+		d.awaitDrain(d.sworkers)
+	}
+}
+
 // quiesce is the mid-kernel drain point: all enqueued checks applied,
-// all buffered reports merged. A no-op when the engine is serial or
+// all buffered reports merged. A no-op when the engines are serial or
 // between kernels.
 func (d *Detector) quiesce() {
-	if !d.running {
+	if !d.gact && !d.sact {
 		return
 	}
 	d.drainDirty()
@@ -418,27 +527,53 @@ func (d *Detector) quiesce() {
 // pipeline. The device calls it in finalize so aborted launches —
 // which never reach KernelEnd — still settle before stats are read.
 func (d *Detector) Quiesce() {
-	if !d.running {
+	if !d.gact && !d.sact {
 		return
 	}
 	d.drainDirty()
 	d.mergePending()
 	d.collectFences()
 	d.stopWorkers()
+	d.gact, d.sact = false, false
 }
 
 func (d *Detector) stopWorkers() {
-	for _, w := range d.gworkers {
-		close(w.work)
+	if d.grunning {
+		for _, w := range d.gworkers {
+			close(w.work)
+		}
+	}
+	if d.srunning {
+		for _, w := range d.sworkers {
+			close(w.work)
+		}
 	}
 	d.wg.Wait()
-	d.running = false
+	d.grunning, d.srunning = false, false
 }
 
-// DetectQueuePeak implements gpu.AsyncDetector.
+// resetQueueStats clears the queue-peak gauges at kernel launch (the
+// workers themselves may never engage for a tiny kernel, so the reset
+// cannot live in start()).
+func (d *Detector) resetQueueStats() {
+	for _, w := range d.gworkers {
+		w.qpeak = 0
+	}
+	for _, w := range d.sworkers {
+		w.qpeak = 0
+	}
+}
+
+// DetectQueuePeak implements gpu.AsyncDetector. Zero for kernels that
+// never engaged the rings (the inline phase below engageLanes).
 func (d *Detector) DetectQueuePeak() int {
 	p := 0
 	for _, w := range d.gworkers {
+		if w.qpeak > p {
+			p = w.qpeak
+		}
+	}
+	for _, w := range d.sworkers {
 		if w.qpeak > p {
 			p = w.qpeak
 		}
@@ -448,16 +583,19 @@ func (d *Detector) DetectQueuePeak() int {
 
 // FenceAdvance implements gpu.FenceObserver: the device announces a
 // warp's fence-clock increment on the simulation thread. Draining the
-// dirty workers first preserves the serial semantics — checks enqueued
-// before the fence read the old value, checks after read the new one —
-// and establishes the happens-before edge that makes the plain map
-// below safe (all workers are parked between the drain acknowledgement
-// and their next channel receive).
+// dirty global workers first preserves the serial semantics — checks
+// enqueued before the fence read the old value, checks after read the
+// new one — and establishes the happens-before edge that makes the
+// plain map below safe (all global workers are parked between the
+// drain acknowledgement and their next channel receive). Shared-memory
+// checks never consult fences, so the shared rings keep flowing.
 func (d *Detector) FenceAdvance(block, warpInBlock int, id uint32) {
-	if !d.running {
+	if !d.gact && !d.sact {
 		return
 	}
-	d.drainDirty()
+	if d.grunning && flushAndSignal(d.gworkers) {
+		d.awaitDrain(d.gworkers)
+	}
 	d.fenceTab[fenceTabKey(block, warpInBlock)] = id
 }
 
@@ -505,6 +643,10 @@ func (d *Detector) mergePending() {
 	buf = append(buf, d.simPending...)
 	d.simPending = d.simPending[:0]
 	for _, u := range d.gunits {
+		buf = append(buf, u.pending...)
+		u.pending = u.pending[:0]
+	}
+	for _, u := range d.sunits {
 		buf = append(buf, u.pending...)
 		u.pending = u.pending[:0]
 	}
@@ -569,19 +711,28 @@ func (d *Detector) globalRDUAsync(ev *gpu.WarpMemEvent, gran uint64) int64 {
 		d.modelGlobalTraffic(ev, gran)
 	}
 
+	base := evBase + lcount
+	if !d.grunning {
+		d.glanes += len(ev.Lanes)
+		if d.glanes < engageLanes {
+			d.globalInline(ev, base, gran)
+			return 0
+		}
+		d.startWorkers()
+	}
+
 	h := gev{
 		write: ev.Write, atomic: ev.Atomic, pc: ev.PC, stmt: ev.Stmt,
 		sm: ev.SM, block: ev.Block, syncID: ev.SyncID, fenceID: ev.FenceID,
 		cycle: ev.Cycle,
 	}
 	// Scatter by partition in runs: coalesced warps keep consecutive
-	// lanes on one line, so the common case is one segment and one bulk
-	// copy per event (the event is borrowed; the copy detaches the
-	// batch from caller-owned lane storage). A batch stays open across
-	// events until the next warp might not fit; only then does it cross
-	// to the worker. Drain points flush the open batches regardless of
-	// fill.
-	base := evBase + lcount
+	// lanes on one line, so the common case is one segment and one
+	// field-wise copy per event (the event is borrowed; the copy
+	// detaches the batch from caller-owned lane storage). A batch stays
+	// open across events until the next warp might not fit; only then
+	// does it cross to the worker. Drain points flush the open batches
+	// regardless of fill.
 	lanes := ev.Lanes
 	for i := 0; i < len(lanes); {
 		p := d.partitionOf(lanes[i].Addr)
@@ -590,16 +741,18 @@ func (d *Detector) globalRDUAsync(ev *gpu.WarpMemEvent, gran uint64) int64 {
 			j++
 		}
 		w := d.workerOf[p]
-		b := w.open
-		if b == nil {
-			b = <-w.free // ring-full backpressure
-			b.segs = b.segs[:0]
-			b.lanes = b.lanes[:0]
-			w.open = b
+		b := w.openBatch()
+		b.segs = append(b.segs, gseg{ev: h, seq0: base + uint64(i), part: int32(p), start: int32(len(b.addr))})
+		for k := i; k < j; k++ {
+			la := &lanes[k]
+			b.addr = append(b.addr, la.Addr)
+			b.tid = append(b.tid, int32(la.Tid))
+			b.arr = append(b.arr, la.Arrival)
+			b.fill = append(b.fill, la.L1Fill)
+			b.sig = append(b.sig, la.AtomicSig)
+			b.flags = append(b.flags, laneFlags(la))
 		}
-		b.segs = append(b.segs, gseg{ev: h, seq0: base + uint64(i), part: int32(p), start: int32(len(b.lanes))})
-		b.lanes = append(b.lanes, lanes[i:j]...)
-		if len(b.lanes)+d.warpSize > cap(b.lanes) || len(b.segs)+d.warpSize > cap(b.segs) {
+		if len(b.addr)+d.warpSize > cap(b.addr) || len(b.segs)+d.warpSize > cap(b.segs) {
 			w.flush()
 		}
 		i = j
@@ -607,11 +760,54 @@ func (d *Detector) globalRDUAsync(ev *gpu.WarpMemEvent, gran uint64) int64 {
 	return 0
 }
 
+// globalInline services one event's lane checks on the sim thread
+// against the per-partition shards — the armed engine's phase before
+// the rings engage. The per-lane sequence, seq tags and injector
+// draws are identical to the worker loop's, so findings cannot depend
+// on when (or whether) the kernel crosses the engagement threshold.
+func (d *Detector) globalInline(ev *gpu.WarpMemEvent, base uint64, gran uint64) {
+	h := gev{
+		write: ev.Write, atomic: ev.Atomic, pc: ev.PC, stmt: ev.Stmt,
+		sm: ev.SM, block: ev.Block, syncID: ev.SyncID, fenceID: ev.FenceID,
+		cycle: ev.Cycle,
+	}
+	for i := range ev.Lanes {
+		la := &ev.Lanes[i]
+		p := d.partitionOf(la.Addr)
+		u := d.gunits[p]
+		u.curSeq = base + uint64(i)
+		if u.inj != nil && !u.admit(p, la.Arrival) {
+			continue
+		}
+		lv := glane{addr: la.Addr, fill: la.L1Fill, sig: la.AtomicSig, tid: int32(la.Tid), flags: laneFlags(la)}
+		if u.inj != nil {
+			lv.sig = u.saturate(p, lv.sig, lv.flags&laneCrit != 0)
+		}
+		u.checks++
+		if ev.Atomic {
+			continue
+		}
+		u.globalCheck(&h, lv, p, gran)
+	}
+}
+
+// laneFlags packs a lane's booleans for batch storage.
+func laneFlags(la *gpu.LaneAccess) uint8 {
+	var f uint8
+	if la.InCrit {
+		f |= laneCrit
+	}
+	if la.L1Hit {
+		f |= laneHit
+	}
+	return f
+}
+
 // flush hands the worker's open batch to its goroutine (a no-op when
 // nothing is buffered).
 func (w *gworker) flush() {
 	b := w.open
-	if b == nil || len(b.lanes) == 0 {
+	if b == nil || (len(b.addr) == 0 && len(b.segs) == 0) {
 		return
 	}
 	w.work <- b
@@ -634,14 +830,19 @@ func (u *gshard) admit(part int, cycle int64) bool {
 	return false
 }
 
-func (u *gshard) saturate(part int, la *gpu.LaneAccess) {
-	if !la.InCrit {
-		return
+// saturate returns the lane's signature, possibly saturated by the
+// injector. Pure — the caller-owned lane is never mutated, so the
+// sentinel's observed copy and the recorded journal always carry the
+// original signature regardless of engine or engagement phase.
+func (u *gshard) saturate(part int, sig bloom.Sig, inCrit bool) bloom.Sig {
+	if !inCrit {
+		return sig
 	}
-	if sat, changed := u.inj.Saturate(fault.UnitGlobal, part, uint64(la.AtomicSig), uint64(u.d.opt.Bloom.Mask())); changed {
-		la.AtomicSig = bloom.Sig(sat)
+	if sat, changed := u.inj.Saturate(fault.UnitGlobal, part, uint64(sig), uint64(u.d.opt.Bloom.Mask())); changed {
 		u.health.SaturatedSigs++
+		return bloom.Sig(sat)
 	}
+	return sig
 }
 
 func (u *gshard) observeFill(sigs ...bloom.Sig) {

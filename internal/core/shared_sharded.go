@@ -1,0 +1,303 @@
+package core
+
+import (
+	"haccrg/internal/fault"
+	"haccrg/internal/gpu"
+	"haccrg/internal/isa"
+)
+
+// This file is the sharded per-SM shared-memory RDU engine — the
+// shared-memory counterpart of sharded.go's per-partition global
+// engine, mirroring its architecture one level up the memory
+// hierarchy.
+//
+// HAccRG puts one shared-memory RDU beside each SM's scratchpad banks;
+// the units share nothing — an SM's shadow tile is touched only by
+// warps resident on that SM. sshard is the determinism unit: one per
+// SM, owning that SM's slice of the shared shadow, quarantine set,
+// fault-injector streams, health counters and report buffer. The
+// execution units are the same gworker goroutines as the global
+// engine (with the shared flag set), fed SoA batches of (addr, tid)
+// pairs over the same bounded SPSC rings, drained at the same
+// quiescent points, with reports merged through the same
+// sequence-tagged raceCand machinery.
+//
+// The determinism contract is inherited verbatim: findings are
+// byte-identical to the serial engine and independent of the worker
+// count. Disjointness comes from the per-SM shadow tiles; ordering
+// from the sim-thread sequence reservation; and the injector draws
+// from per-(mechanism, UnitShared, sm) streams, so the serial and
+// sharded layouts consume identical random decisions.
+//
+// Block-start shadow resets are the one event class the global engine
+// does not have: a retiring block's shared region must read as fresh
+// to its successor. With live workers the reset rides the owning SM's
+// ring as a segReset segment — in stream order with the lane checks,
+// so no drain (and no pipeline bubble) per block rotation.
+type sshard struct {
+	d  *Detector
+	sm int
+
+	// shadow aliases d.sharedShadow[sm]; refreshed every KernelStart
+	// (the backing slices reallocate when the device geometry changes).
+	shadow []sharedWord
+
+	quar map[uint64]struct{} // quarantined granules (keyed by granule)
+
+	// inj is this shard's fault injector: the serial layout shares the
+	// detector's, the sharded layout owns an identically-seeded instance
+	// (per-key streams make the two draw identical decisions).
+	inj *fault.Injector
+
+	checks int64 // lane checks serviced (Stats.SharedChecks share)
+	health gpu.DetectorHealth
+
+	curSeq  uint64     // sequence number of the lane being checked
+	pending []raceCand // buffered reports, ascending curSeq order
+}
+
+// sharedParallelFeasible reports whether the sharded shared engine can
+// run under this configuration: more than one SM, hardware-mode shadow
+// (the Figure 8 shared-shadow-in-global layout threads shadow fetches
+// through the timing model on the sim thread, so it stays serial), and
+// no standing engine fallback.
+func (d *Detector) sharedParallelFeasible(cfg *gpu.Config) bool {
+	return d.opt.ParallelShared && d.opt.Shared && !d.opt.SharedShadowInGlobal &&
+		!d.engineFallback && cfg.NumSMs > 1
+}
+
+// buildSharedUnits (re)creates the per-SM shared RDU units. Unlike the
+// global engine, the units exist in both layouts — the serial engine
+// runs them inline on the sim thread — so only the injector ownership
+// and the worker pool differ. splitBudget is set when the global
+// engine also shards (the two engines divide the processors; global
+// rounds up as the heavier path).
+func (d *Detector) buildSharedUnits(nsm int, splitBudget, parallel bool) {
+	d.sunits = make([]*sshard, nsm)
+	for sm := 0; sm < nsm; sm++ {
+		u := &sshard{d: d, sm: sm, inj: d.inj}
+		if parallel {
+			u.inj = fault.New(d.opt.Fault, d.opt.FaultSeed)
+		}
+		d.sunits[sm] = u
+	}
+	if !parallel {
+		d.sworkers = nil
+		d.sworkerOf = nil
+		return
+	}
+	nw := workerBudget(nsm, splitBudget, false)
+	d.sworkers = newWorkers(d, nw, true)
+	d.sworkerOf = make([]*gworker, nsm)
+	for sm := 0; sm < nsm; sm++ {
+		d.sworkerOf[sm] = d.sworkers[sm%nw]
+	}
+}
+
+// startSharedWorkers launches the shared worker goroutines with fresh
+// rings — the engagement point once a kernel's shared lane volume
+// crosses engageLanes.
+func (d *Detector) startSharedWorkers() {
+	d.srunning = true
+	for _, w := range d.sworkers {
+		w.start(&d.wg)
+	}
+}
+
+// sharedRDUAsync is the parallel enqueue path of sharedRDU: reserve
+// report sequence numbers, run the intra-warp check on the simulation
+// thread, then hand the lanes to the owning SM's worker. All lanes of
+// a shared-memory instruction live on one SM, so an event is always a
+// single segment. Hardware-mode shared checks are free, so the stall
+// is always zero here (feasibility excludes the Figure 8 layout).
+func (d *Detector) sharedRDUAsync(ev *gpu.WarpMemEvent, gran uint64) int64 {
+	// Sequence reservation, identical to the global engine's: WAW
+	// reports first (evBase…), then lane reports ascending from
+	// evBase+L — merged order equals serial report order.
+	evBase := d.seq
+	lcount := uint64(len(ev.Lanes))
+	if ev.Write || ev.Atomic {
+		d.intraWarpWAW(ev, isa.SpaceShared, gran)
+	}
+	d.seq = evBase + 2*lcount
+	base := evBase + lcount
+
+	u := d.sunits[ev.SM]
+	if !d.srunning {
+		d.slanes += len(ev.Lanes)
+		if d.slanes < engageLanes {
+			// Inline phase: same units, same seq tags, same injector
+			// draws as the worker loop — findings cannot depend on
+			// whether the kernel ever crosses the threshold.
+			for i := range ev.Lanes {
+				la := &ev.Lanes[i]
+				u.curSeq = base + uint64(i)
+				u.checkLane(la.Addr, uint16(la.Tid), ev.Write, ev.Atomic,
+					ev.PC, ev.Stmt, ev.Block, ev.Cycle, gran)
+			}
+			return 0
+		}
+		d.startSharedWorkers()
+	}
+
+	w := d.sworkerOf[ev.SM]
+	b := w.openBatch()
+	b.segs = append(b.segs, gseg{
+		ev: gev{
+			write: ev.Write, atomic: ev.Atomic, pc: ev.PC, stmt: ev.Stmt,
+			sm: ev.SM, block: ev.Block, cycle: ev.Cycle,
+		},
+		seq0: base, part: int32(ev.SM), start: int32(len(b.addr)),
+	})
+	for i := range ev.Lanes {
+		la := &ev.Lanes[i]
+		b.addr = append(b.addr, la.Addr)
+		b.tid = append(b.tid, int32(la.Tid))
+	}
+	if len(b.addr)+d.warpSize > cap(b.addr) || len(b.segs)+d.warpSize > cap(b.segs) {
+		w.flush()
+	}
+	return 0
+}
+
+// enqueueSharedReset rides a block-start shadow reset down the owning
+// SM's ring in stream order: checks enqueued before it see the old
+// entries, checks after it see fresh ones — exactly the serial
+// interleaving.
+func (d *Detector) enqueueSharedReset(sm, lo, hi int) {
+	w := d.sworkerOf[sm]
+	b := w.openBatch()
+	b.segs = append(b.segs, gseg{
+		kind: segReset, part: int32(sm),
+		start: int32(len(b.addr)), lo: int32(lo), hi: int32(hi),
+	})
+	if len(b.segs)+d.warpSize > cap(b.segs) {
+		w.flush()
+	}
+}
+
+// processShared services one batch against the per-SM shared shards:
+// the same admit/fault/check sequence as the serial per-lane loop,
+// touching the segment's shard alone.
+func (w *gworker) processShared(b *gbatch) {
+	if h := w.d.opt.Chaos; h != nil && h.WorkerStall != nil && len(b.segs) > 0 {
+		h.WorkerStall(int(b.segs[0].part))
+	}
+	gran := uint64(w.d.opt.SharedGranularity)
+	units := w.d.sunits
+	for s := range b.segs {
+		seg := &b.segs[s]
+		u := units[seg.part]
+		if seg.kind == segReset {
+			resetShared(u.shadow[seg.lo:seg.hi])
+			continue
+		}
+		end := len(b.addr)
+		if s+1 < len(b.segs) {
+			end = int(b.segs[s+1].start)
+		}
+		for i := int(seg.start); i < end; i++ {
+			u.curSeq = seg.seq0 + uint64(i-int(seg.start))
+			u.checkLane(b.addr[i], uint16(b.tid[i]), seg.ev.write, seg.ev.atomic,
+				seg.ev.pc, seg.ev.stmt, seg.ev.block, seg.ev.cycle, gran)
+		}
+	}
+}
+
+// checkLane runs one shared-memory lane check against this SM's
+// shadow: queue admission, bounds, shadow-cell faults, then the packed
+// Figure 3 state machine. Identical across the serial inline path and
+// the worker loop — the engine layouts differ only in where it runs.
+func (u *sshard) checkLane(addr uint64, tid uint16, write, atomic bool,
+	pc int, stmt string, block int, cycle int64, gran uint64) {
+	if u.inj != nil && !u.admit(cycle) {
+		return // check-queue overflow: dropped, counted, access unaffected
+	}
+	u.checks++
+	g := addr / gran
+	if g >= uint64(len(u.shadow)) {
+		return // engine bounds-checks; stay safe
+	}
+	if atomic {
+		return // atomics are synchronization operations
+	}
+	if u.inj != nil && u.faultShared(g) {
+		return // cell quarantined by the degradation policy
+	}
+	nw, kind, first, raced := u.d.sharedCheckWord(u.shadow[g], tid, write)
+	u.shadow[g] = nw
+	if raced {
+		u.report(isa.SpaceShared, kind, CatBarrier, pc, stmt, g, addr,
+			int(first), block, int(tid), block, cycle)
+	}
+}
+
+// admit runs one lane check through the RDU check queue; false means
+// the queue overflowed and the check is dropped (and counted). The
+// stream key (UnitShared, sm) is identical in both engine layouts.
+func (u *sshard) admit(cycle int64) bool {
+	if u.inj.Admit(fault.UnitShared, u.sm, cycle, 1) == 1 {
+		return true
+	}
+	u.health.DroppedChecks++
+	return false
+}
+
+// report buffers (sharded layout) or applies (serial layout) one race
+// report.
+func (u *sshard) report(space isa.Space, kind Kind, cat Category, pc int, stmt string, granule, addr uint64,
+	firstTid, firstBlock, secondTid, secondBlock int, cycle int64) {
+	if !u.d.sact {
+		u.d.report(space, kind, cat, pc, stmt, granule, addr,
+			firstTid, firstBlock, secondTid, secondBlock, cycle)
+		return
+	}
+	u.pending = append(u.pending, raceCand{
+		seq: u.curSeq, kernel: u.d.kernel,
+		space: space, kind: kind, cat: cat, pc: pc, stmt: stmt,
+		granule: granule, addr: addr,
+		firstTid: firstTid, firstBlock: firstBlock,
+		secondTid: secondTid, secondBlock: secondBlock,
+		cycle: cycle,
+	})
+}
+
+// faultShared applies shadow-cell faults to granule g before its check
+// runs; true means the check is skipped. Quarantine is per physical
+// cell; the stuck-cell stream key (sm<<40 | g) and the flip stream key
+// (UnitShared, sm) match the serial engine's bit for bit.
+func (u *sshard) faultShared(g uint64) (skip bool) {
+	if _, q := u.quar[g]; q {
+		u.health.QuarantineSkips++
+		return true
+	}
+	key := uint64(u.sm)<<40 | g
+	if pat, stuck := u.inj.Stuck(fault.UnitShared, key); stuck {
+		if u.inj.ECC() {
+			if u.d.opt.Degradation == DegradeReinit {
+				u.shadow[g] = swFresh
+				u.health.ReinitGranules++
+				return false
+			}
+			if u.quar == nil {
+				u.quar = make(map[uint64]struct{})
+			}
+			u.quar[g] = struct{}{}
+			u.health.QuarantinedGranules++
+			u.health.QuarantineSkips++
+			return true
+		}
+		u.shadow[g] = sharedWord(pat) & (1<<sharedEntryBits - 1)
+		u.health.StuckReads++
+		return false
+	}
+	if bit, hit := u.inj.FlipBit(fault.UnitShared, u.sm, sharedEntryBits); hit {
+		if u.inj.ECC() {
+			u.health.CorrectedFlips++
+		} else {
+			u.shadow[g] ^= 1 << bit
+			u.health.InjectedFlips++
+		}
+	}
+	return false
+}

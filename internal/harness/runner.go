@@ -57,6 +57,12 @@ type RunConfig struct {
 	// engine; only wall-clock time changes.
 	DetectParallel bool
 
+	// DetectParallelShared does the same for the shared-memory RDUs:
+	// one engine per SM (see core.Options.ParallelShared). The omitempty
+	// tag keeps manifest keys of shared-serial configs stable across
+	// versions.
+	DetectParallelShared bool `json:"DetectParallelShared,omitempty"`
+
 	// StaticFilter analyzes the plan's kernels with the static race
 	// prover (internal/staticrace) and lets the RDUs skip checks at
 	// provably race-free sites. Findings and cycle counts stay
@@ -136,6 +142,7 @@ func detectorFor(rc RunConfig) (gpu.Detector, *core.Detector, *swdetect.Detector
 		opt.GlobalGranularity = rc.GlobalGranularity
 	}
 	opt.Parallel = rc.DetectParallel
+	opt.ParallelShared = rc.DetectParallelShared
 	opt.SentinelEvery = rc.SentinelEvery
 	if rc.FaultPlan != "" {
 		p, err := fault.Parse(rc.FaultPlan)
@@ -225,7 +232,7 @@ type ExecOptions struct {
 	// facade path, which admits configurations — custom Bloom layouts,
 	// shared-shadow-in-global with odd granularities — that no
 	// DetectorKind names). rc's FaultPlan/FaultSeed, Degradation and
-	// DetectParallel are still merged in.
+	// DetectParallel/DetectParallelShared are still merged in.
 	Detection *core.Options
 	// Verify checks kernel output against the host reference where the
 	// benchmark defines one.
@@ -244,6 +251,9 @@ type ExecOptions struct {
 func execDetector(rc RunConfig, opt core.Options) (*core.Detector, error) {
 	if rc.DetectParallel {
 		opt.Parallel = true
+	}
+	if rc.DetectParallelShared {
+		opt.ParallelShared = true
 	}
 	if rc.SentinelEvery > 0 {
 		opt.SentinelEvery = rc.SentinelEvery

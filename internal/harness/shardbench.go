@@ -8,11 +8,12 @@ import (
 	"time"
 )
 
-// This file is the wall-clock study of the sharded per-partition RDU
-// engine: the same benchmark runs once with the serial global-memory
-// engine and once with the per-partition goroutine engine, and the two
-// are compared for speed (the point of the sharding) and for findings
-// (which the engine contract says must be byte-identical).
+// This file is the wall-clock study of the sharded RDU engines: the
+// same benchmark runs with the serial engine, with the per-partition
+// global engine, and with the full pipeline (global per partition +
+// shared per SM), and the three are compared for speed (the point of
+// the sharding) and for findings (which the engine contract says must
+// be byte-identical).
 
 // shardBenchBenches are the workloads timed: the detection-heavy end
 // of the suite (global-memory traffic dominating the event stream), so
@@ -21,7 +22,7 @@ var shardBenchBenches = []string{"scan", "psum", "hash", "reduce"}
 
 // shardBenchReps is how many times each configuration runs; the fastest
 // repetition is reported, discarding scheduler and allocator noise.
-const shardBenchReps = 2
+const shardBenchReps = 3
 
 // ShardBenchRow is one benchmark's serial-vs-sharded comparison.
 type ShardBenchRow struct {
@@ -37,6 +38,15 @@ type ShardBenchRow struct {
 	// the sharded run (at ring capacity the sim thread was
 	// backpressured; see gpu.LaunchStats.DetectQueuePeak).
 	QueuePeak int `json:"queue_peak"`
+
+	// Full* describe the fully-sharded pipeline (global engine per
+	// partition AND shared engine per SM) against the same serial
+	// baseline. Zero-valued in schema/1 reports, which predate the
+	// shared engine.
+	FullMS        float64 `json:"full_ms,omitempty"`
+	FullSpeedup   float64 `json:"full_speedup,omitempty"`
+	FullMatch     bool    `json:"full_match,omitempty"`
+	FullQueuePeak int     `json:"full_queue_peak,omitempty"`
 }
 
 // ShardBenchReport is the machine-readable result set the -json flag
@@ -55,13 +65,18 @@ type ShardBenchReport struct {
 }
 
 // shardBenchSchema versions the JSON layout so downstream tooling can
-// reject files it does not understand.
-const shardBenchSchema = "haccrg-shardbench/1"
+// reject files it does not understand. Schema /2 adds the Full* row
+// fields (fully-sharded pipeline); /1 reports remain readable — their
+// Full* fields decode zero and the comparators skip them.
+const (
+	shardBenchSchema   = "haccrg-shardbench/2"
+	shardBenchSchemaV1 = "haccrg-shardbench/1"
+)
 
-// ShardBench times the serial and sharded global-memory RDU engines on
-// detection-bound benchmarks and verifies their findings agree. The
-// runs execute on this goroutine (never through the sweep manifest,
-// which would serve cached results and destroy the timing).
+// ShardBench times the serial, global-sharded and fully-sharded RDU
+// engines on detection-bound benchmarks and verifies their findings
+// agree. The runs execute on this goroutine (never through the sweep
+// manifest, which would serve cached results and destroy the timing).
 func ShardBench(scale int) ([]ShardBenchRow, string, error) {
 	var rows []ShardBenchRow
 	var txt [][]string
@@ -76,20 +91,31 @@ func ShardBench(scale int) ([]ShardBenchRow, string, error) {
 		if err != nil {
 			return nil, "", fmt.Errorf("harness: shardbench %s sharded: %w", bench, err)
 		}
+		rc.DetectParallelShared = true
+		full, fullT, err := shardBenchRun(rc)
+		if err != nil {
+			return nil, "", fmt.Errorf("harness: shardbench %s fully-sharded: %w", bench, err)
+		}
 		row := ShardBenchRow{
-			Bench:      bench,
-			Races:      len(serial.Races),
-			SerialMS:   float64(serialT.Microseconds()) / 1e3,
-			ParallelMS: float64(parT.Microseconds()) / 1e3,
-			Match:      shardBenchMatch(serial, par),
-			QueuePeak:  par.Stats.DetectQueuePeak,
+			Bench:         bench,
+			Races:         len(serial.Races),
+			SerialMS:      float64(serialT.Microseconds()) / 1e3,
+			ParallelMS:    float64(parT.Microseconds()) / 1e3,
+			Match:         shardBenchMatch(serial, par),
+			QueuePeak:     par.Stats.DetectQueuePeak,
+			FullMS:        float64(fullT.Microseconds()) / 1e3,
+			FullMatch:     shardBenchMatch(serial, full),
+			FullQueuePeak: full.Stats.DetectQueuePeak,
 		}
 		if parT > 0 {
 			row.Speedup = float64(serialT) / float64(parT)
 		}
+		if fullT > 0 {
+			row.FullSpeedup = float64(serialT) / float64(fullT)
+		}
 		rows = append(rows, row)
 		match := "identical"
-		if !row.Match {
+		if !row.Match || !row.FullMatch {
 			match = "DIVERGED"
 		}
 		txt = append(txt, []string{
@@ -97,13 +123,15 @@ func ShardBench(scale int) ([]ShardBenchRow, string, error) {
 			fmt.Sprintf("%.1f", row.SerialMS),
 			fmt.Sprintf("%.1f", row.ParallelMS),
 			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.1f", row.FullMS),
+			fmt.Sprintf("%.2fx", row.FullSpeedup),
 			fmt.Sprintf("%d", row.QueuePeak),
 			fmt.Sprintf("%d", row.Races),
 			match,
 		})
 	}
 	return rows, table(
-		[]string{"benchmark", "serial ms", "sharded ms", "speedup", "queue peak", "races", "findings"},
+		[]string{"benchmark", "serial ms", "sharded ms", "speedup", "full ms", "full x", "queue peak", "races", "findings"},
 		txt), nil
 }
 
@@ -143,13 +171,15 @@ func shardBenchMatch(a, b *RunResult) bool {
 }
 
 // ReadShardBenchJSON parses a report previously written by
-// WriteShardBenchJSON, rejecting unknown schemas.
+// WriteShardBenchJSON, rejecting unknown schemas. Both schema versions
+// are accepted: /1 baselines (BENCH_PR4..PR6) stay comparable, with
+// their Full* columns decoding zero.
 func ReadShardBenchJSON(r io.Reader) (*ShardBenchReport, error) {
 	var rep ShardBenchReport
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("harness: shardbench report: %w", err)
 	}
-	if rep.Schema != shardBenchSchema {
+	if rep.Schema != shardBenchSchema && rep.Schema != shardBenchSchemaV1 {
 		return nil, fmt.Errorf("harness: shardbench report schema %q, want %q", rep.Schema, shardBenchSchema)
 	}
 	return &rep, nil
@@ -157,8 +187,9 @@ func ReadShardBenchJSON(r io.Reader) (*ShardBenchReport, error) {
 
 // CompareShardBench gates a fresh shardbench report against a pinned
 // baseline (the BENCH_PR*.json trajectory). Findings are compared
-// exactly — the race counts and the serial/sharded match bit are
-// machine-independent invariants, so any drift is a regression.
+// exactly — the race counts and the serial/sharded/fully-sharded match
+// bits are machine-independent invariants, so any drift is a
+// regression.
 // Wall-clock throughput is compared only when both reports came from
 // the same machine shape (equal NumCPU and GOMAXPROCS): cross-machine
 // millisecond deltas measure the hardware, not the code. When timing
@@ -195,6 +226,10 @@ func CompareShardBench(baseline, current *ShardBenchReport, tolerance float64) (
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: sharded findings diverged from serial (baseline matched)", b.Bench))
 		}
+		if b.FullMatch && !c.FullMatch {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: fully-sharded findings diverged from serial (baseline matched)", b.Bench))
+		}
 		if !timing {
 			continue
 		}
@@ -208,6 +243,25 @@ func CompareShardBench(baseline, current *ShardBenchReport, tolerance float64) (
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: sharded time %.1fms exceeds baseline %.1fms by more than %.0f%%",
 				b.Bench, c.ParallelMS, b.ParallelMS, tolerance*100))
+		}
+		if b.FullMS > 0 && c.FullMS > 0 && c.FullMS > b.FullMS*limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: fully-sharded time %.1fms exceeds baseline %.1fms by more than %.0f%%",
+				b.Bench, c.FullMS, b.FullMS, tolerance*100))
+		}
+		// Improvements are informational: they chart the trajectory
+		// across the BENCH_PR*.json series (e.g. the packed-word
+		// encodings shrinking serial time against a pre-packing
+		// baseline) without ever failing the gate.
+		if b.SerialMS > 0 && c.SerialMS > 0 && c.SerialMS < b.SerialMS/limit {
+			notes = append(notes, fmt.Sprintf(
+				"%s: serial time improved %.1fms -> %.1fms (%.2fx)",
+				b.Bench, b.SerialMS, c.SerialMS, b.SerialMS/c.SerialMS))
+		}
+		if b.ParallelMS > 0 && c.ParallelMS > 0 && c.ParallelMS < b.ParallelMS/limit {
+			notes = append(notes, fmt.Sprintf(
+				"%s: sharded time improved %.1fms -> %.1fms (%.2fx)",
+				b.Bench, b.ParallelMS, c.ParallelMS, b.ParallelMS/c.ParallelMS))
 		}
 	}
 	return regressions, notes

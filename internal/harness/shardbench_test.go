@@ -15,8 +15,8 @@ func testReport(mod func(*ShardBenchReport)) *ShardBenchReport {
 		NumCPU:     4,
 		Scale:      1,
 		Rows: []ShardBenchRow{
-			{Bench: "scan", Races: 256, SerialMS: 10, ParallelMS: 8, Match: true},
-			{Bench: "psum", Races: 0, SerialMS: 20, ParallelMS: 18, Match: true},
+			{Bench: "scan", Races: 256, SerialMS: 10, ParallelMS: 8, Match: true, FullMS: 7, FullMatch: true},
+			{Bench: "psum", Races: 0, SerialMS: 20, ParallelMS: 18, Match: true, FullMS: 16, FullMatch: true},
 		},
 	}
 	if mod != nil {
@@ -40,6 +40,16 @@ func TestShardBenchJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadShardBenchJSON(strings.NewReader(`{"schema":"other/9"}`)); err == nil {
 		t.Fatal("unknown schema accepted")
+	}
+	// Schema /1 baselines (pre-shared-engine) must stay readable; their
+	// Full* fields decode zero so the full-pipeline gates skip them.
+	old, err := ReadShardBenchJSON(strings.NewReader(
+		`{"schema":"haccrg-shardbench/1","rows":[{"bench":"scan","races":1,"serial_ms":10,"parallel_ms":8,"match":true}]}`))
+	if err != nil {
+		t.Fatalf("schema/1 baseline rejected: %v", err)
+	}
+	if old.Rows[0].FullMS != 0 || old.Rows[0].FullMatch {
+		t.Fatalf("schema/1 row grew Full* values: %+v", old.Rows[0])
 	}
 }
 
@@ -66,6 +76,12 @@ func TestCompareShardBenchGate(t *testing.T) {
 		t.Fatalf("match drift: regressions %v", reg)
 	}
 	reg, _ = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
+		r.Rows[0].FullMatch = false
+	}), 0.10)
+	if len(reg) != 1 || !strings.Contains(reg[0], "fully-sharded findings diverged") {
+		t.Fatalf("full-match drift: regressions %v", reg)
+	}
+	reg, _ = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
 		r.Rows = r.Rows[:1]
 	}), 0.10)
 	if len(reg) != 1 || !strings.Contains(reg[0], "missing") {
@@ -85,6 +101,37 @@ func TestCompareShardBenchGate(t *testing.T) {
 	}), 0.10)
 	if len(reg) != 0 {
 		t.Fatalf("within-tolerance timing flagged: %v", reg)
+	}
+
+	// The fully-sharded pipeline is timed the same way — but only when
+	// both reports carry the measurement (a /1 baseline has FullMS 0).
+	reg, _ = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
+		r.Rows[0].FullMS = 9 // +28% over 7
+	}), 0.10)
+	if len(reg) != 1 || !strings.Contains(reg[0], "fully-sharded time") {
+		t.Fatalf("full timing regression: regressions %v", reg)
+	}
+	v1base := testReport(func(r *ShardBenchReport) {
+		for i := range r.Rows {
+			r.Rows[i].FullMS, r.Rows[i].FullMatch = 0, false
+		}
+	})
+	reg, _ = CompareShardBench(v1base, testReport(func(r *ShardBenchReport) {
+		r.Rows[0].FullMS = 9999
+	}), 0.10)
+	if len(reg) != 0 {
+		t.Fatalf("full timing gated against a /1 baseline without the measurement: %v", reg)
+	}
+
+	// Improvements surface as notes, never as regressions.
+	reg, notes = CompareShardBench(base, testReport(func(r *ShardBenchReport) {
+		r.Rows[0].SerialMS = 5 // 2x faster than baseline's 10
+	}), 0.10)
+	if len(reg) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", reg)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "serial time improved") {
+		t.Fatalf("improvement note missing: %v", notes)
 	}
 
 	// A different machine shape skips the timing gate (with a note)

@@ -59,11 +59,14 @@ type JobSpec struct {
 	SharedGranularity int      `json:"shared_granularity,omitempty"`
 	GlobalGranularity int      `json:"global_granularity,omitempty"`
 	DetectParallel    bool     `json:"detect_parallel,omitempty"`
-	SentinelEvery     int      `json:"sentinel_every,omitempty"`
-	StaticFilter      bool     `json:"static_filter,omitempty"`
-	FaultPlan         string   `json:"fault_plan,omitempty"`
-	FaultSeed         int64    `json:"fault_seed,omitempty"`
-	Degradation       string   `json:"degradation,omitempty"`
+	// DetectParallelShared shards the shared-memory RDUs per SM (the
+	// shared-engine counterpart of detect_parallel).
+	DetectParallelShared bool   `json:"detect_parallel_shared,omitempty"`
+	SentinelEvery        int    `json:"sentinel_every,omitempty"`
+	StaticFilter         bool   `json:"static_filter,omitempty"`
+	FaultPlan            string `json:"fault_plan,omitempty"`
+	FaultSeed            int64  `json:"fault_seed,omitempty"`
+	Degradation          string `json:"degradation,omitempty"`
 
 	// SmallGPU runs on the 4-SM test device instead of the Table I
 	// machine.
@@ -199,21 +202,22 @@ func (sp *JobSpec) runConfigs(smallGPU bool) []harness.RunConfig {
 	cfgs := make([]harness.RunConfig, 0, len(sp.Benches))
 	for _, b := range sp.Benches {
 		cfgs = append(cfgs, harness.RunConfig{
-			Bench:             b,
-			Detector:          det,
-			Scale:             sp.Scale,
-			SingleBlock:       sp.SingleBlock,
-			Inject:            sp.Inject,
-			SharedGranularity: sp.SharedGranularity,
-			GlobalGranularity: sp.GlobalGranularity,
-			DetectParallel:    sp.DetectParallel,
-			SentinelEvery:     sp.SentinelEvery,
-			StaticFilter:      sp.StaticFilter,
-			GPU:               cfg,
-			FaultPlan:         sp.FaultPlan,
-			FaultSeed:         sp.FaultSeed,
-			Degradation:       sp.Degradation,
-			MaxCycles:         sp.MaxCycles,
+			Bench:                b,
+			Detector:             det,
+			Scale:                sp.Scale,
+			SingleBlock:          sp.SingleBlock,
+			Inject:               sp.Inject,
+			SharedGranularity:    sp.SharedGranularity,
+			GlobalGranularity:    sp.GlobalGranularity,
+			DetectParallel:       sp.DetectParallel,
+			DetectParallelShared: sp.DetectParallelShared,
+			SentinelEvery:        sp.SentinelEvery,
+			StaticFilter:         sp.StaticFilter,
+			GPU:                  cfg,
+			FaultPlan:            sp.FaultPlan,
+			FaultSeed:            sp.FaultSeed,
+			Degradation:          sp.Degradation,
+			MaxCycles:            sp.MaxCycles,
 		})
 	}
 	return cfgs
