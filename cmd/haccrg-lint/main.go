@@ -23,6 +23,7 @@ import (
 	"haccrg/internal/gpu"
 	"haccrg/internal/kernels"
 	"haccrg/internal/staticrace"
+	"haccrg/internal/termtab"
 	"haccrg/internal/version"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		small       = flag.Bool("small-gpu", false, "assume the 4-SM test device geometry instead of the Table I machine")
 		sharedGran  = flag.Int("shared-gran", 16, "shared-memory tracking granularity the prover models (bytes)")
 		globalGran  = flag.Int("global-gran", 4, "global-memory tracking granularity the prover models (bytes)")
+		warpAware   = flag.Bool("warp-aware", true, "model the detector's warp-aware suppression (core default)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -52,6 +54,7 @@ func main() {
 	conf := staticrace.Config{
 		SharedGranularity: *sharedGran,
 		GlobalGranularity: *globalGran,
+		WarpAware:         *warpAware,
 	}
 	cfg := gpu.DefaultConfig()
 	if *small {
@@ -124,7 +127,7 @@ func analyze(benches []*kernels.Benchmark, cfg gpu.Config, conf staticrace.Confi
 	if jsonOut {
 		fmt.Println(rep.JSON())
 	} else {
-		fmt.Print(rep.Human(analyses, contextN))
+		fmt.Print(rep.Human(analyses, contextN, termtab.IsTTY(os.Stdout)))
 	}
 	if rep.Findings > 0 {
 		return 1
@@ -133,8 +136,12 @@ func analyze(benches []*kernels.Benchmark, cfg gpu.Config, conf staticrace.Confi
 }
 
 // checkFixtures is the analyzer's self-test: the deliberately
-// defective fixtures must each raise at least one finding, and the
-// clean suite must raise none. Exit 0 only when both hold.
+// defective fixtures must each raise at least one finding AND at
+// least one checker-verified witness (a concrete racing thread pair
+// the prover can replay), and the clean suite must raise no findings.
+// Clean benchmarks may still carry witnesses — some benchmarks are
+// genuinely racy by construction — but every witness anywhere must be
+// verified and conflict-free. Exit 0 only when all of that holds.
 func checkFixtures(cfg gpu.Config, conf staticrace.Config, p kernels.Params) int {
 	if p.Scale < 1 {
 		p.Scale = 1
@@ -146,13 +153,24 @@ func checkFixtures(cfg gpu.Config, conf staticrace.Config, p kernels.Params) int
 			fmt.Fprintf(os.Stderr, "haccrg-lint: %s: %v\n", bm.Name, err)
 			return 3
 		}
-		findings := 0
+		findings, verified, unverified, conflicts := 0, 0, 0, 0
 		for _, a := range analyses {
 			findings += len(a.Findings)
+			conflicts += a.Conflicts
+			for _, w := range a.Witnesses {
+				if w.Verified {
+					verified++
+				} else {
+					unverified++
+				}
+			}
 		}
 		switch {
 		case bm.Defective && findings == 0:
 			fmt.Printf("FAIL %-8s defective fixture produced no findings\n", bm.Name)
+			fail = true
+		case bm.Defective && verified == 0:
+			fmt.Printf("FAIL %-8s defective fixture produced no verified witness\n", bm.Name)
 			fail = true
 		case !bm.Defective && findings > 0:
 			fmt.Printf("FAIL %-8s clean benchmark produced %d finding(s)\n", bm.Name, findings)
@@ -162,8 +180,14 @@ func checkFixtures(cfg gpu.Config, conf staticrace.Config, p kernels.Params) int
 				}
 			}
 			fail = true
+		case unverified > 0:
+			fmt.Printf("FAIL %-8s shipped %d unverified witness(es)\n", bm.Name, unverified)
+			fail = true
+		case conflicts > 0:
+			fmt.Printf("FAIL %-8s witness checker reported %d conflict(s)\n", bm.Name, conflicts)
+			fail = true
 		default:
-			fmt.Printf("ok   %-8s %d finding(s)\n", bm.Name, findings)
+			fmt.Printf("ok   %-8s %d finding(s), %d verified witness(es)\n", bm.Name, findings, verified)
 		}
 	}
 	if fail {

@@ -27,6 +27,7 @@ import (
 	"haccrg"
 	"haccrg/internal/journal"
 	"haccrg/internal/service"
+	"haccrg/internal/termtab"
 	"haccrg/internal/version"
 )
 
@@ -75,6 +76,8 @@ func main() {
 			"statically prove sites race-free and let the RDUs skip their shadow checks (findings and cycles are byte-identical; inert under -fault-plan)")
 		staticReport = flag.Bool("static-report", false,
 			"print the static analyzer's findings and site classification for -bench, without simulating (use haccrg-lint for the full linter CLI)")
+		witnessSeed = flag.Bool("witness-seed", false,
+			"pre-seed detector quarantine with the static analyzer's verified race witnesses: proven-racy global granules report on first touch (Provenance StaticWitness)")
 
 		serverURL = flag.String("server-url", "",
 			"submit the run to a haccrg-server daemon at this base URL instead of simulating locally (retries 429/503 with backoff)")
@@ -114,6 +117,7 @@ func main() {
 			DetectParallel:       *detPar,
 			DetectParallelShared: *detParSh,
 			StaticFilter:         *staticFilter,
+			WitnessSeed:          *witnessSeed,
 			FaultPlan:            *faultPlan,
 			FaultSeed:            *faultSeed,
 			Degradation:          *degradation,
@@ -147,6 +151,7 @@ func main() {
 		DetectParallel:       *detPar,
 		DetectParallelShared: *detParSh,
 		StaticFilter:         *staticFilter,
+		WitnessSeed:          *witnessSeed,
 		FaultPlan:            *faultPlan,
 		FaultSeed:            *faultSeed,
 		Degradation:          *degradation,
@@ -261,6 +266,15 @@ func main() {
 	if *staticFilter && res.Report != nil {
 		fmt.Printf("static filter  %d shadow checks skipped\n", res.Report.Summary.Checks["filtered"])
 	}
+	if *witnessSeed {
+		seeded := 0
+		for _, r := range res.Races {
+			if r.Provenance == "StaticWitness" {
+				seeded++
+			}
+		}
+		fmt.Printf("witness seed   %d race(s) reported from static witnesses on first touch\n", seeded)
+	}
 	if *traceOut && res.Trace != nil {
 		fmt.Println()
 		fmt.Print(res.Trace.Timeline())
@@ -305,7 +319,7 @@ func printStaticReport(bench string, scale int, singleBlock bool, inject string,
 	if jsonOut {
 		fmt.Println(rep.JSON())
 	} else {
-		fmt.Print(rep.Human(analyses, 2))
+		fmt.Print(rep.Human(analyses, 2, termtab.IsTTY(os.Stdout)))
 	}
 	if rep.Findings > 0 {
 		return 3

@@ -181,6 +181,14 @@ type RunOptions struct {
 	// would desynchronize the injector's PRNG streams).
 	StaticFilter bool
 
+	// WitnessSeed pre-seeds detector quarantine with the static
+	// analyzer's verified race witnesses: statically-proven racy global
+	// granules report on first touch, tagged with StaticWitness
+	// provenance (Race.Provenance). Findings stay byte-identical across
+	// the serial and sharded engines and under fault plans. Requires
+	// Detection.
+	WitnessSeed bool
+
 	// FaultPlan is a fault-injection spec (see ParseFaultPlan); empty
 	// runs fault-free. Requires Detection.
 	FaultPlan string
@@ -260,6 +268,9 @@ func RunBenchmarkContext(ctx context.Context, name string, opts RunOptions) (*Ru
 		if opts.StaticFilter {
 			return nil, fmt.Errorf("haccrg: StaticFilter requires Detection (there are no RDU checks to skip)")
 		}
+		if opts.WitnessSeed {
+			return nil, fmt.Errorf("haccrg: WitnessSeed requires Detection (there is no detector to seed)")
+		}
 	}
 	switch opts.Degradation {
 	case "", "quarantine", "reinit":
@@ -275,6 +286,7 @@ func RunBenchmarkContext(ctx context.Context, name string, opts RunOptions) (*Ru
 		DetectParallel:       opts.DetectParallel,
 		DetectParallelShared: opts.DetectParallelShared,
 		StaticFilter:         opts.StaticFilter,
+		WitnessSeed:          opts.WitnessSeed,
 		GPU:                  opts.GPU,
 		FaultPlan:            opts.FaultPlan,
 		FaultSeed:            opts.FaultSeed,
@@ -314,6 +326,9 @@ type (
 	StaticReport = staticrace.SuiteReport
 	// StaticFinding is one lint diagnostic, addressed by PC.
 	StaticFinding = staticrace.Finding
+	// StaticWitness is one machine-checked defect proof (a concrete
+	// thread pair, instruction pair and, for races, a granule).
+	StaticWitness = staticrace.Witness
 )
 
 // AnalyzeOptions configures AnalyzeBenchmark.
@@ -371,6 +386,7 @@ func AnalyzeBenchmark(name string, opts AnalyzeOptions) ([]*StaticAnalysis, erro
 		WarpSize:          cfg.WarpSize,
 		SharedGranularity: dopt.SharedGranularity,
 		GlobalGranularity: dopt.GlobalGranularity,
+		WarpAware:         dopt.WarpAware,
 	}
 	var out []*StaticAnalysis
 	for _, k := range plan.Kernels {

@@ -96,6 +96,14 @@ type Detector struct {
 	// (filtering would desynchronize the injector streams).
 	siteFilter []bool
 
+	// seedPend maps pending witness-seeded global granules to their
+	// seeds (Options.WitnessSeeds), populated at KernelStart; the first
+	// touching lane fires the report and retires the entry. Unlike the
+	// filter it is NOT inert under fault plans — seeds add a report on
+	// the simulation thread without consuming injector randomness or
+	// altering the check stream.
+	seedPend map[uint64]*SeedWitness
+
 	stats Stats
 
 	// scratch holds small per-event buffers reused across WarpMem
@@ -169,6 +177,12 @@ func (d *Detector) Options() Options { return d.opt }
 // and only then has kernels to analyze. Takes effect at the next
 // KernelStart.
 func (d *Detector) SetStaticFilter(f StaticFilter) { d.opt.StaticFilter = f }
+
+// SetWitnessSeeds attaches (or, with nil, detaches) a witness seeder
+// after construction, mirroring SetStaticFilter. Mutating d.opt means
+// a divergence sentinel built later clones the seeds into its serial
+// reference. Takes effect at the next KernelStart.
+func (d *Detector) SetWitnessSeeds(s WitnessSeeder) { d.opt.WitnessSeeds = s }
 
 // pcFiltered reports whether the running kernel's mask proves the
 // site at pc race-free.
@@ -245,6 +259,7 @@ func (d *Detector) Reset() {
 	d.sites = make(map[siteKey]struct{})
 	d.sharedShadow = nil
 	d.siteFilter = nil
+	d.seedPend = nil
 	d.stats = Stats{}
 	d.seq = 0
 	d.simPending = nil
@@ -275,6 +290,19 @@ func (d *Detector) KernelStart(env gpu.Env, kernelName string) {
 	d.siteFilter = nil
 	if f := d.opt.StaticFilter; f != nil && d.inj == nil {
 		d.siteFilter = f.FilterSites(kernelName)
+	}
+	d.seedPend = nil
+	if s := d.opt.WitnessSeeds; s != nil {
+		for _, w := range s.WitnessSeeds(kernelName) {
+			if w.Space != isa.SpaceGlobal {
+				continue
+			}
+			if d.seedPend == nil {
+				d.seedPend = make(map[uint64]*SeedWitness)
+			}
+			seed := w
+			d.seedPend[w.Granule] = &seed
+		}
 	}
 	d.partShift = uint(bits.TrailingZeros64(uint64(env.Config().SegmentBytes)))
 	d.parts = uint64(env.Config().NumPartitions)
@@ -475,12 +503,21 @@ func (d *Detector) WarpMem(ev *gpu.WarpMemEvent) int64 {
 // report order exactly.
 func (d *Detector) report(space isa.Space, kind Kind, cat Category, pc int, stmt string, granule, addr uint64,
 	firstTid int, firstBlock int, secondTid, secondBlock int, cycle int64) {
+	d.reportProv("", space, kind, cat, pc, stmt, granule, addr,
+		firstTid, firstBlock, secondTid, secondBlock, cycle)
+}
+
+// reportProv is report with an explicit provenance tag; pre-seeded
+// witness races pass "StaticWitness", the state machine passes "".
+func (d *Detector) reportProv(prov string, space isa.Space, kind Kind, cat Category, pc int, stmt string, granule, addr uint64,
+	firstTid int, firstBlock int, secondTid, secondBlock int, cycle int64) {
 	c := raceCand{
 		seq: d.seq, kernel: d.kernel,
 		space: space, kind: kind, cat: cat, pc: pc, stmt: stmt,
 		granule: granule, addr: addr,
 		firstTid: firstTid, firstBlock: firstBlock,
 		secondTid: secondTid, secondBlock: secondBlock,
+		prov:  prov,
 		cycle: cycle,
 	}
 	d.seq++
@@ -515,7 +552,8 @@ func (d *Detector) applyCand(c *raceCand) {
 		PC: c.pc, Stmt: c.stmt, Granule: c.granule, Addr: c.addr,
 		FirstTid: c.firstTid, FirstBlock: c.firstBlock,
 		SecondTid: c.secondTid, SecondBlock: c.secondBlock,
-		Cycle: c.cycle, Count: 1,
+		Provenance: c.prov,
+		Cycle:      c.cycle, Count: 1,
 	}
 	d.seen[key] = r
 	d.races = append(d.races, r)

@@ -6,6 +6,7 @@ import (
 
 	"haccrg/internal/bloom"
 	"haccrg/internal/fault"
+	"haccrg/internal/isa"
 )
 
 // DegradationPolicy selects what the detector does with shadow
@@ -45,6 +46,34 @@ type StaticFilter interface {
 	// means every access issued by that program counter is provably
 	// race-free. A nil mask means no information (nothing filtered).
 	FilterSites(kernel string) []bool
+}
+
+// SeedWitness is one statically-proven racy granule handed to the
+// detector for quarantine pre-seeding: the static analyzer found and
+// machine-verified a concrete racing write pair on the granule, so the
+// detector reports it on first touch — with StaticWitness provenance —
+// instead of waiting for the dynamic pair to line up. Only global
+// seeds are honored (shared shadow windows are recycled per block and
+// reset at barriers; a static shared seed has no stable runtime key).
+type SeedWitness struct {
+	Space   isa.Space
+	Granule uint64 // granule index within the space
+	Class   string // staticrace witness class (guarantee argument)
+
+	// The statically-proven racing pair, reported as the race's
+	// first/second accessors.
+	PC, PC2                  int
+	Block, Tid, Block2, Tid2 int
+	Stmt                     string
+}
+
+// WitnessSeeder supplies the per-kernel seed set; the static analyzer
+// layer implements it (structurally, like StaticFilter — core must not
+// import staticrace).
+type WitnessSeeder interface {
+	// WitnessSeeds returns the verified racy granules for the named
+	// kernel, or nil when none are known.
+	WitnessSeeds(kernel string) []SeedWitness
 }
 
 // Options configures HAccRG detection.
@@ -114,6 +143,16 @@ type Options struct {
 	// stay byte-identical with the filter on; shadow traffic and cycle
 	// counts are preserved. Ignored while a fault plan is attached.
 	StaticFilter StaticFilter
+
+	// WitnessSeeds optionally pre-seeds detector quarantine with
+	// statically-proven racy granules (see SeedWitness): the first
+	// global access touching a seeded granule reports the witnessed
+	// race immediately, tagged with StaticWitness provenance. Seeds
+	// fire on the simulation thread before engine dispatch, so findings
+	// are byte-identical across the serial and sharded engines and
+	// under fault plans. Stored in Options so the divergence sentinel's
+	// serial reference detector inherits the same seed set.
+	WitnessSeeds WitnessSeeder
 
 	// Fault optionally attaches a deterministic fault-injection plan
 	// to the RDUs and shadow memory (nil or empty = fault-free, the

@@ -98,6 +98,12 @@ type Race struct {
 	SecondTid   int // the accessor that exposed the race
 	SecondBlock int
 
+	// Provenance marks reports not produced by the shadow state
+	// machine: "StaticWitness" for quarantine pre-seeded races (a
+	// verified static witness fired on first touch). Empty for ordinary
+	// dynamic reports.
+	Provenance string
+
 	Cycle int64
 	Count int64
 }
@@ -107,8 +113,12 @@ func (r *Race) String() string {
 	if r.Stmt != "" {
 		stmt = " [" + r.Stmt + "]"
 	}
-	return fmt.Sprintf("%s race (%s) in %s: %s addr %#x granule %d pc %d%s: T(b%d,t%d) vs T(b%d,t%d) x%d",
-		r.Kind, r.Category, r.Kernel, r.Space, r.Addr, r.Granule, r.PC, stmt,
+	prov := ""
+	if r.Provenance != "" {
+		prov = " <" + r.Provenance + ">"
+	}
+	return fmt.Sprintf("%s race (%s) in %s: %s addr %#x granule %d pc %d%s%s: T(b%d,t%d) vs T(b%d,t%d) x%d",
+		r.Kind, r.Category, r.Kernel, r.Space, r.Addr, r.Granule, r.PC, stmt, prov,
 		r.FirstBlock, r.FirstTid, r.SecondBlock, r.SecondTid, r.Count)
 }
 

@@ -90,6 +90,15 @@ func (d *Detector) partitionOf(addr uint64) int {
 func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 	gran := uint64(d.opt.GlobalGranularity)
 
+	// Witness-seeded quarantine: a statically-proven racy granule
+	// reports on first touch, before any filtering or engine dispatch.
+	// Running here on the simulation thread keeps the report sequence —
+	// and therefore the merged findings — byte-identical across the
+	// serial and sharded engines and under fault plans.
+	if d.seedPend != nil {
+		d.fireSeeds(ev, gran)
+	}
+
 	// Statically-proven race-free site: the RDUs still fetch and write
 	// back the shadow lines (an in-memory filter table would not stop
 	// the hardware's traffic, and the L2/partition timing state is
@@ -143,6 +152,43 @@ func (d *Detector) globalRDU(ev *gpu.WarpMemEvent) int64 {
 		u.globalCheck(&h, lv, part, gran)
 	}
 	return 0
+}
+
+// fireSeeds reports every pending witness seed whose granule this warp
+// instruction touches, in lane order (granules ascending within a
+// straddling lane), then retires the seeds. The report carries the
+// statically-proven pair as first accessor and the touching lane as
+// second, at the touching pc, tagged StaticWitness.
+func (d *Detector) fireSeeds(ev *gpu.WarpMemEvent, gran uint64) {
+	for i := range ev.Lanes {
+		la := &ev.Lanes[i]
+		size := uint64(la.Size)
+		if size == 0 {
+			size = 1
+		}
+		g0 := la.Addr / gran
+		g1 := (la.Addr + size - 1) / gran
+		for g := g0; g <= g1; g++ {
+			w, ok := d.seedPend[g]
+			if !ok {
+				continue
+			}
+			delete(d.seedPend, g)
+			kind, cat := KindWAW, CatCrossBlock
+			if w.Class == "same-block-waw" {
+				cat = CatBarrier
+			}
+			d.reportProv("StaticWitness", isa.SpaceGlobal, kind, cat, ev.PC, ev.Stmt,
+				g, la.Addr, w.Tid, w.Block, la.Tid, ev.Block, ev.Cycle)
+			if len(d.seedPend) == 0 {
+				d.seedPend = nil
+				return
+			}
+		}
+		if d.seedPend == nil {
+			return
+		}
+	}
 }
 
 // modelGlobalTraffic injects the RDUs' shadow-memory traffic for one

@@ -59,6 +59,10 @@ type ReportRace struct {
 	SecondTid   int    `json:"second_tid"`
 	SecondBlock int    `json:"second_block"`
 	Count       int64  `json:"count"`
+	// Provenance is "StaticWitness" for quarantine pre-seeded reports;
+	// omitted for ordinary state-machine reports, so unseeded runs stay
+	// byte-identical to earlier report versions.
+	Provenance string `json:"provenance,omitempty"`
 }
 
 // Report builds the machine-readable summary of everything detected
@@ -114,6 +118,7 @@ func (d *Detector) Report() *Report {
 			SecondTid:   r.SecondTid,
 			SecondBlock: r.SecondBlock,
 			Count:       r.Count,
+			Provenance:  r.Provenance,
 		})
 	}
 	return rep

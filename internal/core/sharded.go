@@ -206,6 +206,7 @@ type raceCand struct {
 	addr                   uint64
 	firstTid, firstBlock   int
 	secondTid, secondBlock int
+	prov                   string // report provenance ("" = state machine)
 	cycle                  int64
 }
 

@@ -71,6 +71,14 @@ type RunConfig struct {
 	// stable across versions.
 	StaticFilter bool `json:"StaticFilter,omitempty"`
 
+	// WitnessSeed pre-seeds detector quarantine with the static
+	// analyzer's verified race witnesses (see core.Options.WitnessSeeds):
+	// statically-proven racy global granules report on first touch with
+	// StaticWitness provenance. Hardware detector kinds only. The
+	// omitempty tag keeps manifest keys of seed-off configs stable
+	// across versions.
+	WitnessSeed bool `json:"WitnessSeed,omitempty"`
+
 	// SentinelEvery arms the core engine's online divergence sentinel:
 	// every Nth kernel of a parallel run is cross-checked against a
 	// serial reference, and on mismatch the detector degrades to the
@@ -381,7 +389,7 @@ func ExecContext(ctx context.Context, rc RunConfig, xo ExecOptions) (res *RunRes
 	if err != nil {
 		return nil, err
 	}
-	if rc.StaticFilter {
+	if rc.StaticFilter || rc.WitnessSeed {
 		if xo.Detection == nil {
 			switch rc.Detector {
 			case DetShared, DetGlobal, DetSharedGlobal, DetFig8:
@@ -396,12 +404,18 @@ func ExecContext(ctx context.Context, rc RunConfig, xo ExecOptions) (res *RunRes
 			WarpSize:          cfg.WarpSize,
 			SharedGranularity: coreDet.Options().SharedGranularity,
 			GlobalGranularity: coreDet.Options().GlobalGranularity,
+			WarpAware:         coreDet.Options().WarpAware,
 		}
 		f, err := staticrace.NewFilter(sconf, plan.Kernels...)
 		if err != nil {
 			return nil, fmt.Errorf("harness: static analysis of %s: %w", rc.Bench, err)
 		}
-		coreDet.SetStaticFilter(f)
+		if rc.StaticFilter {
+			coreDet.SetStaticFilter(f)
+		}
+		if rc.WitnessSeed {
+			coreDet.SetWitnessSeeds(witnessSeeder{f})
+		}
 	}
 	if rc.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -609,4 +623,24 @@ func Verify(bench string, scale int, singleBlock bool) error {
 		return nil
 	}
 	return plan.Verify(dev)
+}
+
+// witnessSeeder adapts the static analyzer's verified global race
+// witnesses to core.WitnessSeeder (the adapter lives here because
+// staticrace must not import core).
+type witnessSeeder struct{ f *staticrace.Filter }
+
+func (s witnessSeeder) WitnessSeeds(kernel string) []core.SeedWitness {
+	var out []core.SeedWitness
+	for _, w := range s.f.RaceSeeds(kernel) {
+		out = append(out, core.SeedWitness{
+			Space:   isa.SpaceGlobal,
+			Granule: w.Granule,
+			Class:   w.Class,
+			PC:      w.PC, PC2: w.PC2,
+			Block: w.Block, Tid: w.Tid,
+			Block2: w.Block2, Tid2: w.Tid2,
+		})
+	}
+	return out
 }

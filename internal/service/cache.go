@@ -22,9 +22,10 @@ type reportCache struct {
 }
 
 type cacheEntry struct {
-	key      string
-	report   json.RawMessage
-	findings int
+	key       string
+	report    json.RawMessage
+	findings  int
+	witnesses int
 }
 
 // CacheStats is the cache's /statsz snapshot.
@@ -41,33 +42,36 @@ func newReportCache(capacity int) *reportCache {
 	return &reportCache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
 }
 
-// get returns the cached report and finding count for a program hash.
-func (c *reportCache) get(key string) (json.RawMessage, int, bool) {
+// get returns the cached report, finding count, and verified witness
+// count for a program hash.
+func (c *reportCache) get(key string) (json.RawMessage, int, int, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
 		c.misses++
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
-	return e.report, e.findings, true
+	return e.report, e.findings, e.witnesses, true
 }
 
 // put inserts (or refreshes) a report, evicting the least recently
 // used entry past capacity.
-func (c *reportCache) put(key string, report json.RawMessage, findings int) {
+func (c *reportCache) put(key string, report json.RawMessage, findings, witnesses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).report = report
-		el.Value.(*cacheEntry).findings = findings
+		e := el.Value.(*cacheEntry)
+		e.report = report
+		e.findings = findings
+		e.witnesses = witnesses
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, report: report, findings: findings})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, report: report, findings: findings, witnesses: witnesses})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

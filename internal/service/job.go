@@ -61,12 +61,16 @@ type JobSpec struct {
 	DetectParallel    bool     `json:"detect_parallel,omitempty"`
 	// DetectParallelShared shards the shared-memory RDUs per SM (the
 	// shared-engine counterpart of detect_parallel).
-	DetectParallelShared bool   `json:"detect_parallel_shared,omitempty"`
-	SentinelEvery        int    `json:"sentinel_every,omitempty"`
-	StaticFilter         bool   `json:"static_filter,omitempty"`
-	FaultPlan            string `json:"fault_plan,omitempty"`
-	FaultSeed            int64  `json:"fault_seed,omitempty"`
-	Degradation          string `json:"degradation,omitempty"`
+	DetectParallelShared bool `json:"detect_parallel_shared,omitempty"`
+	SentinelEvery        int  `json:"sentinel_every,omitempty"`
+	StaticFilter         bool `json:"static_filter,omitempty"`
+	// WitnessSeed pre-seeds the detector's global RDU with the static
+	// analyzer's verified race witnesses, so statically-proven racy
+	// granules report on first touch with StaticWitness provenance.
+	WitnessSeed bool   `json:"witness_seed,omitempty"`
+	FaultPlan   string `json:"fault_plan,omitempty"`
+	FaultSeed   int64  `json:"fault_seed,omitempty"`
+	Degradation string `json:"degradation,omitempty"`
 
 	// SmallGPU runs on the 4-SM test device instead of the Table I
 	// machine.
@@ -132,6 +136,9 @@ type AnalyzeSummary struct {
 	// submissions are served from the report cache without re-proving.
 	ProgramHash string `json:"program_hash"`
 	Findings    int    `json:"findings"`
+	// Witnesses counts the checker-verified race witnesses across all
+	// analyzed kernels (each one a concrete racing thread pair).
+	Witnesses int `json:"witnesses"`
 	// Report is the full staticrace suite report, embedded verbatim.
 	Report json.RawMessage `json:"report"`
 }
@@ -213,6 +220,7 @@ func (sp *JobSpec) runConfigs(smallGPU bool) []harness.RunConfig {
 			DetectParallelShared: sp.DetectParallelShared,
 			SentinelEvery:        sp.SentinelEvery,
 			StaticFilter:         sp.StaticFilter,
+			WitnessSeed:          sp.WitnessSeed,
 			GPU:                  cfg,
 			FaultPlan:            sp.FaultPlan,
 			FaultSeed:            sp.FaultSeed,
@@ -351,6 +359,7 @@ func (sp *JobSpec) analyzeConf(smallGPU bool) (staticrace.Config, gpu.Config) {
 	}
 	conf := staticrace.Config{
 		WarpSize:          cfg.WarpSize,
+		WarpAware:         true,
 		SharedGranularity: sp.SharedGranularity,
 		GlobalGranularity: sp.GlobalGranularity,
 	}
@@ -404,8 +413,8 @@ func (sp *JobSpec) buildKernels(cfg gpu.Config) ([]*gpu.Kernel, error) {
 // matter which benchmark names produced them.
 func programHash(conf staticrace.Config, ks []*gpu.Kernel) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "haccrg-analyze/1 warp=%d sg=%d gg=%d\n",
-		conf.WarpSize, conf.SharedGranularity, conf.GlobalGranularity)
+	fmt.Fprintf(h, "haccrg-analyze/2 warp=%d aware=%t sg=%d gg=%d\n",
+		conf.WarpSize, conf.WarpAware, conf.SharedGranularity, conf.GlobalGranularity)
 	for _, k := range ks {
 		fmt.Fprintf(h, "kernel %s grid=%d block=%d shared=%d params=%v\n",
 			k.Name, k.GridDim, k.BlockDim, k.SharedBytes, k.Params)
@@ -428,8 +437,8 @@ func execAnalyze(ctx context.Context, sp *JobSpec, cache *reportCache, smallGPU 
 	}
 	hash := programHash(conf, ks)
 	if cache != nil {
-		if rep, findings, ok := cache.get(hash); ok {
-			return &AnalyzeSummary{ProgramHash: hash, Findings: findings, Report: rep}, true, nil
+		if rep, findings, witnesses, ok := cache.get(hash); ok {
+			return &AnalyzeSummary{ProgramHash: hash, Findings: findings, Witnesses: witnesses, Report: rep}, true, nil
 		}
 	}
 	var analyses []*staticrace.Analysis
@@ -446,9 +455,9 @@ func execAnalyze(ctx context.Context, sp *JobSpec, cache *reportCache, smallGPU 
 	rep := staticrace.BuildReport(analyses, true)
 	raw := json.RawMessage(rep.JSON())
 	if cache != nil {
-		cache.put(hash, raw, rep.Findings)
+		cache.put(hash, raw, rep.Findings, rep.Witnesses)
 	}
-	return &AnalyzeSummary{ProgramHash: hash, Findings: rep.Findings, Report: raw}, false, nil
+	return &AnalyzeSummary{ProgramHash: hash, Findings: rep.Findings, Witnesses: rep.Witnesses, Report: raw}, false, nil
 }
 
 // BenchNames returns the simulator's benchmark suite in canonical

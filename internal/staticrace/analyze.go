@@ -26,15 +26,26 @@ type Config struct {
 	SharedGranularity  int
 	GlobalGranularity  int
 	MaxFootprintPoints int64 // 0 = default (1<<22)
+
+	// WarpAware mirrors core.Options.WarpAware: when set, the dynamic
+	// detector treats same-warp conflicts as benign lockstep sharing,
+	// and the prover may discharge conflicts confined to one warp.
+	WarpAware bool
+
+	// Replay budgets for the concrete witness engine; zero selects the
+	// defaults (1<<23 total steps, 8192 threads).
+	MaxReplaySteps   int64
+	MaxReplayThreads int
 }
 
 // Finding is one lint diagnostic, addressed by PC.
 type Finding struct {
-	Pass    string `json:"pass"`
-	Kernel  string `json:"kernel"`
-	PC      int    `json:"pc"`
-	Msg     string `json:"msg"`
-	Related []int  `json:"related,omitempty"` // other PCs involved
+	Pass     string `json:"pass"`
+	Kernel   string `json:"kernel"`
+	PC       int    `json:"pc"`
+	Msg      string `json:"msg"`
+	Severity string `json:"severity"`          // "warn", or "error" when witnessed
+	Related  []int  `json:"related,omitempty"` // other PCs involved
 }
 
 // SiteInfo is the prover's verdict for one memory site.
@@ -55,6 +66,16 @@ type Analysis struct {
 	Findings   []Finding
 	Sites      []*SiteInfo // sorted by PC
 	Filterable []bool      // pc-indexed; true = detector may skip checks
+
+	// Presence proofs: every entry passed the independent checker.
+	Witnesses []Witness
+	// Conflicts counts sites whose race-free proof coexisted with a
+	// verified witness; the proof is dropped (sound direction) and the
+	// conflict recorded — a healthy analyzer reports zero.
+	Conflicts int
+	// WitnessDropped counts witnesses the checker rejected or the
+	// per-kernel cap discarded.
+	WitnessDropped int
 }
 
 // Analyze runs the full static analysis for one launched kernel: CFG
@@ -107,10 +128,6 @@ func Analyze(k *gpu.Kernel, conf Config) (*Analysis, error) {
 			// Provably never executed: trivially race-free.
 			info.Class = ClassPrivate
 		}
-		info.ClassStr = info.Class.String()
-		if info.Class != ClassUnknown {
-			res.Filterable[pc] = true
-		}
 		res.Sites = append(res.Sites, info)
 	}
 	sort.Slice(res.Sites, func(i, j int) bool { return res.Sites[i].PC < res.Sites[j].PC })
@@ -120,8 +137,22 @@ func Analyze(k *gpu.Kernel, conf Config) (*Analysis, error) {
 	res.Findings = append(res.Findings, a.lintUninit()...)
 	res.Findings = append(res.Findings, a.lintSharedOOB()...)
 	res.Findings = append(res.Findings, a.lintFenceMisuse()...)
+
+	// Concrete replay: quiet-granule refinement plus the witness
+	// engine. Everything downstream re-checks its own claims.
+	a.witnessPhase(res, infos)
+
+	for _, info := range infos {
+		info.ClassStr = info.Class.String()
+		if info.Class.filterable() {
+			res.Filterable[info.PC] = true
+		}
+	}
 	for i := range res.Findings {
 		res.Findings[i].Kernel = k.Name
+		if res.Findings[i].Severity == "" {
+			res.Findings[i].Severity = "warn"
+		}
 	}
 	sort.SliceStable(res.Findings, func(i, j int) bool {
 		if res.Findings[i].PC != res.Findings[j].PC {
@@ -130,4 +161,151 @@ func Analyze(k *gpu.Kernel, conf Config) (*Analysis, error) {
 		return res.Findings[i].Pass < res.Findings[j].Pass
 	})
 	return res, nil
+}
+
+// witnessPhase runs the concrete replay and everything derived from
+// it: the quiet-granule upgrade of unknown sites, the three classes of
+// guaranteed race witnesses, the lint-tied divergence/oob/fence
+// witnesses, the independent checker pass, and the proof/witness
+// consistency sweep. Witness emission order is deterministic (sorted
+// granule keys, sorted accesses).
+func (a *analyzer) witnessPhase(res *Analysis, infos map[int]*SiteInfo) {
+	rr := a.replayKernel()
+	var pending []Witness
+
+	if rr != nil && rr.complete && !rr.acqMark {
+		for _, sp := range [2]struct {
+			space isa.Space
+			gran  int
+		}{{isa.SpaceShared, a.conf.SharedGranularity}, {isa.SpaceGlobal, a.conf.GlobalGranularity}} {
+			groups := groupGranules(rr, sp.space, sp.gran)
+			keys := make([]uint64, 0, len(groups))
+			for key := range groups {
+				keys = append(keys, key)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+			quiet := map[uint64]bool{}
+			racy := map[uint64]bool{}
+			for _, key := range keys {
+				quiet[key] = quietGranule(groups[key], sp.space, rr.blockBars, a.conf.WarpAware, a.conf.WarpSize)
+				if w := raceWitness(a.k.Name, sp.space, key, groups[key], rr.blockBars, a.conf.WarpSize, sp.gran); w != nil {
+					racy[key] = true
+					pending = append(pending, *w)
+				}
+			}
+
+			// Per-site replayed footprints: with a complete replay these
+			// are exact, so "every touched granule is quiet" upgrades an
+			// unknown site, and "some touched granule is witnessed racy"
+			// pins the site to the hot path.
+			siteKeys := map[int]map[uint64]bool{}
+			for ti := range rr.threads {
+				th := &rr.threads[ti]
+				for i := range th.acc {
+					ac := &th.acc[i]
+					if ac.shared() != (sp.space == isa.SpaceShared) {
+						continue
+					}
+					m := siteKeys[int(ac.pc)]
+					if m == nil {
+						m = map[uint64]bool{}
+						siteKeys[int(ac.pc)] = m
+					}
+					g0 := ac.addr / uint64(sp.gran)
+					g1 := (ac.addr + uint64(ac.size) - 1) / uint64(sp.gran)
+					for g := g0; g <= g1; g++ {
+						m[granuleKey(sp.space, th.bid, g)] = true
+					}
+				}
+			}
+			for _, s := range a.sites {
+				if s.space != sp.space || s.dead {
+					continue
+				}
+				info := infos[s.pc]
+				allQuiet, anyRacy := true, false
+				for key := range siteKeys[s.pc] {
+					if !quiet[key] {
+						allQuiet = false
+					}
+					if racy[key] {
+						anyRacy = true
+					}
+				}
+				if anyRacy {
+					if info.Class.filterable() {
+						res.Conflicts++
+					}
+					info.Class = ClassRacy
+					continue
+				}
+				if info.Class == ClassUnknown && allQuiet {
+					info.Class = ClassQuiet
+				}
+			}
+		}
+	}
+
+	if rr != nil {
+		pending = append(pending, a.divergenceWitnesses(rr, res.Findings)...)
+		pending = append(pending, a.oobWitnesses(rr)...)
+	}
+	pending = append(pending, a.fenceWitnesses(res.Findings, a.conf.GlobalGranularity)...)
+
+	// Checker pass: nothing ships unverified.
+	for i := range pending {
+		w := &pending[i]
+		if len(res.Witnesses) >= witnessCap {
+			res.WitnessDropped++
+			continue
+		}
+		ok := false
+		switch w.Kind {
+		case WitnessRace:
+			ok = a.verifyRaceWitness(w, spaceOf(w.Space), a.granOf(w.Space))
+		case WitnessDivergence:
+			ok = a.verifyDivergenceWitness(w)
+		case WitnessOOB:
+			ok = a.verifyOOBWitness(w)
+		case WitnessFence:
+			ok = a.verifyFenceWitness(w, a.conf.GlobalGranularity)
+		}
+		if !ok {
+			res.WitnessDropped++
+			continue
+		}
+		w.Verified = true
+		res.Witnesses = append(res.Witnesses, *w)
+	}
+
+	// Witnessed lint findings graduate from advisory to error.
+	for i := range res.Findings {
+		f := &res.Findings[i]
+		for _, w := range res.Witnesses {
+			if w.PC != f.PC {
+				continue
+			}
+			switch {
+			case w.Kind == WitnessDivergence && f.Pass == PassBarrierDivergence,
+				w.Kind == WitnessOOB && f.Pass == PassSharedOOB,
+				w.Kind == WitnessFence && f.Pass == PassFenceMisuse:
+				f.Severity = "error"
+			}
+		}
+	}
+}
+
+func spaceOf(s string) isa.Space {
+	if s == isa.SpaceShared.String() {
+		return isa.SpaceShared
+	}
+	return isa.SpaceGlobal
+}
+
+func (a *analyzer) granOf(space string) int {
+	if space == isa.SpaceShared.String() {
+		return a.conf.SharedGranularity
+	}
+	return a.conf.GlobalGranularity
 }

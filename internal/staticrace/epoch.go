@@ -1,0 +1,111 @@
+package staticrace
+
+import "haccrg/internal/isa"
+
+// epochInfo answers "can these two PCs execute within the same barrier
+// epoch of one block?" for the shared-memory pairwise prover. The
+// shared-memory RDU resets its shadow state at every block-wide
+// barrier, so two sites that provably never share an epoch can never
+// be each other's claimant/event pair.
+//
+// The analysis is deliberately conservative. It is only meaningful
+// when every barrier is *uniform*: unpredicated, and not inside the
+// span of any predicated branch (so no thread can skip it or execute
+// it divergently). Under uniformity every thread of a block executes
+// the same sequence of barrier instances, so the i-th dynamic barrier
+// event corresponds to one unique program point, and an access's
+// epoch is identified by the last barrier PC it passed. Each epoch
+// therefore has a unique *source* — the entry PC or the PC after a
+// BAR — and two sites may share an epoch only when some common source
+// reaches both without crossing another BAR. Without uniformity (a
+// barrier inside a loop or a predicated region) maySameEpoch is
+// always true.
+type epochInfo struct {
+	uniform bool
+	srcs    []int
+	reach   [][]bool // per source: pc reachable barrier-free
+}
+
+func buildEpochInfo(prog *isa.Program) *epochInfo {
+	n := len(prog.Code)
+	e := &epochInfo{uniform: true}
+	for pc := 0; pc < n; pc++ {
+		in := &prog.Code[pc]
+		if in.Op == isa.OpBar && in.Pred != isa.NoPred {
+			e.uniform = false
+		}
+		if in.Op == isa.OpBra && in.Pred != isa.NoPred {
+			// Forward branch: the divergent region is (pc, Tgt) — the
+			// target is the reconvergence point, executed by everyone.
+			// Backward branch (loop): every body pc [Tgt, pc] runs a
+			// thread-dependent number of times, endpoints included.
+			lo, hi := pc+1, in.Tgt-1
+			if in.Tgt <= pc {
+				lo, hi = in.Tgt, pc
+			}
+			for q := lo; q <= hi && q < n; q++ {
+				if q >= 0 && prog.Code[q].Op == isa.OpBar {
+					e.uniform = false
+				}
+			}
+		}
+	}
+	if !e.uniform {
+		return e
+	}
+	e.srcs = append(e.srcs, 0)
+	for pc := 0; pc < n; pc++ {
+		if prog.Code[pc].Op == isa.OpBar && pc+1 < n {
+			e.srcs = append(e.srcs, pc+1)
+		}
+	}
+	for _, s := range e.srcs {
+		r := make([]bool, n)
+		var stack []int
+		push := func(pc int) {
+			if pc >= 0 && pc < n && !r[pc] {
+				r[pc] = true
+				stack = append(stack, pc)
+			}
+		}
+		push(s)
+		for len(stack) > 0 {
+			pc := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			in := &prog.Code[pc]
+			switch {
+			case in.Op == isa.OpBar:
+				// Crossing a barrier leaves the epoch; the BAR itself
+				// performs no memory access.
+			case in.Op == isa.OpBra && in.Pred == isa.NoPred:
+				push(in.Tgt)
+			case in.Op == isa.OpBra:
+				push(in.Tgt)
+				push(pc + 1)
+			case in.Op == isa.OpExit && in.Pred == isa.NoPred:
+				// Retired.
+			case in.Op == isa.OpExit:
+				push(pc + 1)
+			default:
+				push(pc + 1)
+			}
+		}
+		e.reach = append(e.reach, r)
+	}
+	return e
+}
+
+// maySameEpoch reports whether instances of the two PCs can execute
+// within the same barrier epoch of one block. Conservatively true
+// whenever barrier uniformity does not hold.
+func (e *epochInfo) maySameEpoch(p1, p2 int) bool {
+	if !e.uniform {
+		return true
+	}
+	for i := range e.srcs {
+		if e.reach[i][p1] && e.reach[i][p2] {
+			return true
+		}
+	}
+	return false
+}

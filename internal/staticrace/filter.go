@@ -67,10 +67,61 @@ func (f *Filter) FilterableSites() (filterable, total int) {
 	for _, res := range f.analyses {
 		for _, s := range res.Sites {
 			total++
-			if s.Class != ClassUnknown {
+			if s.Class.filterable() {
 				filterable++
 			}
 		}
 	}
 	return filterable, total
+}
+
+// RaceSeeds returns the verified global-space race witnesses for a
+// kernel — the input to detector quarantine pre-seeding. The detector
+// keys launches by name only, so when the same name was analyzed more
+// than once, only witnesses whose granule is witnessed in every launch
+// survive (seeding reports races, so the intersection is the sound
+// direction).
+func (f *Filter) RaceSeeds(kernel string) []Witness {
+	var launches [][]Witness
+	for _, res := range f.analyses {
+		if res.Kernel != kernel {
+			continue
+		}
+		var ws []Witness
+		for _, w := range res.Witnesses {
+			if w.Kind == WitnessRace && w.Verified && w.Space == "global" {
+				ws = append(ws, w)
+			}
+		}
+		launches = append(launches, ws)
+	}
+	if len(launches) == 0 {
+		return nil
+	}
+	out := launches[0]
+	for _, later := range launches[1:] {
+		granules := map[uint64]bool{}
+		for _, w := range later {
+			granules[w.Granule] = true
+		}
+		kept := out[:0]
+		for _, w := range out {
+			if granules[w.Granule] {
+				kept = append(kept, w)
+			}
+		}
+		out = kept
+	}
+	return out
+}
+
+// WitnessTotals sums verified witnesses, checker drops, and
+// proof/witness conflicts across all analyzed kernels.
+func (f *Filter) WitnessTotals() (witnesses, dropped, conflicts int) {
+	for _, res := range f.analyses {
+		witnesses += len(res.Witnesses)
+		dropped += res.WitnessDropped
+		conflicts += res.Conflicts
+	}
+	return
 }

@@ -101,6 +101,15 @@ type analyzer struct {
 	syms   []symInfo
 	symMax []ival // widest range ever recorded per symbol (join fallback)
 	phis   map[phiKey]symID
+	drvs   map[int]symID // pc -> derived symbol (AND-mask / SHR / DIV results)
+
+	// Congruence solver state: per-symbol recorded inputs and the
+	// solved stride/offset congruences (see cong.go).
+	symIn   []symInputs
+	symCong []cong
+
+	// Barrier-epoch reachability, built on first use (see epoch.go).
+	epochs *epochInfo
 
 	// Widening thresholds: sorted constants harvested from the
 	// program's comparisons and the launch geometry. A growing range is
@@ -141,6 +150,7 @@ func newAnalyzer(k *gpu.Kernel, cfg *CFG, conf Config) *analyzer {
 		k:      k,
 		conf:   conf,
 		phis:   map[phiKey]symID{},
+		drvs:   map[int]symID{},
 		in:     make([]*state, len(cfg.Blocks)),
 		visits: make([]int, len(cfg.Blocks)),
 		sites:  map[int]*siteAcc{},
@@ -180,6 +190,7 @@ func newAnalyzer(k *gpu.Kernel, cfg *CFG, conf Config) *analyzer {
 		}
 	}
 	sort.Slice(a.thresholds, func(i, j int) bool { return a.thresholds[i] < a.thresholds[j] })
+	a.symIn = make([]symInputs, len(a.syms))
 	return a
 }
 
@@ -218,8 +229,37 @@ func (a *analyzer) newPhi(key phiKey) symID {
 	// loop-carried φ referencing itself converges).
 	a.syms = append(a.syms, symInfo{name: "phi", tidDep: true})
 	a.symMax = append(a.symMax, ival{posInf, negInf}) // empty until first union
+	a.symIn = append(a.symIn, symInputs{})
 	a.phis[key] = s
 	return s
+}
+
+// newDrv mints (or reuses) the pc-keyed derived symbol for an
+// operation whose result leaves the affine domain but keeps a bounded
+// interval and a congruence (AND-mask, right shift, divide by a
+// positive constant). The interval r is the operation's sound result
+// range at this visit; the congruence is solved afterwards from the
+// recorded source expressions (see solveCong). Derived symbols are
+// never marked tid-dependent — the flag backs definite lints, and a
+// masked value may collapse to a constant for every thread.
+func (a *analyzer) newDrv(pc int, kind uint8, param int64, src Expr, r ival, st *state) Expr {
+	s, ok := a.drvs[pc]
+	if !ok {
+		s = symID(len(a.syms))
+		a.syms = append(a.syms, symInfo{name: "drv", tidDep: false})
+		a.symMax = append(a.symMax, ival{posInf, negInf})
+		a.symIn = append(a.symIn, symInputs{kind: kind, param: param})
+		a.drvs[pc] = s
+	}
+	si := &a.symIn[s]
+	if si.kind != kind || si.param != param {
+		si.over = true // same pc, different operation parameters: give up
+	} else {
+		si.record(src)
+	}
+	a.symMax[s] = a.symMax[s].union(r)
+	a.setRange(st, s, r)
+	return exprSym(s)
 }
 
 // rangeOf is the interval a state assigns to sym, falling back to the
@@ -316,6 +356,10 @@ func (a *analyzer) run() {
 		a.reached[b] = true
 		a.transferBlock(b, a.in[b].clone(), a)
 	}
+	// Solve symbol congruences from the inputs recorded across both the
+	// fixpoint and the final pass (the final pass can record source
+	// expressions the last worklist visit had not seen yet).
+	a.solveCong()
 }
 
 type edgeOut struct {
@@ -617,7 +661,15 @@ func (a *analyzer) transferInstr(pc int, in *isa.Instr, st *state, collect *anal
 		case aok && dok && !(av == negInf && dv == -1):
 			setReg(in.Dst, exprConst(av/dv))
 		default:
-			setReg(in.Dst, exprTop())
+			v := exprTop()
+			if dok && dv > 0 {
+				// Signed division of a non-negative value by a positive
+				// constant is monotone, so the interval maps through.
+				if iv := a.intervalOf(src(in.SrcA), st); iv.bounded() && iv.lo >= 0 {
+					v = a.newDrv(pc, drvDiv, dv, src(in.SrcA), ival{iv.lo / dv, iv.hi / dv}, st)
+				}
+			}
+			setReg(in.Dst, v)
 		}
 	case isa.OpRem:
 		av, aok := src(in.SrcA).Const()
@@ -646,7 +698,18 @@ func (a *analyzer) transferInstr(pc int, in *isa.Instr, st *state, collect *anal
 			setReg(in.Dst, exprTop())
 		}
 	case isa.OpAnd:
-		setReg(in.Dst, a.andExpr(src(in.SrcA), bval(), st))
+		e := a.andExpr(src(in.SrcA), bval(), st)
+		if e.top {
+			// Non-identity mask: the result leaves the affine domain but
+			// stays in [0, mask] with the mask's congruence.
+			xe, ye := src(in.SrcA), bval()
+			if m, ok := ye.Const(); ok && m >= 0 {
+				e = a.newDrv(pc, drvAnd, m, xe, ival{0, m}, st)
+			} else if m, ok := xe.Const(); ok && m >= 0 {
+				e = a.newDrv(pc, drvAnd, m, ye, ival{0, m}, st)
+			}
+		}
+		setReg(in.Dst, e)
 	case isa.OpOr, isa.OpXor:
 		av, aok := src(in.SrcA).Const()
 		bv, bok := bval().Const()
@@ -687,9 +750,20 @@ func (a *analyzer) transferInstr(pc int, in *isa.Instr, st *state, collect *anal
 	case isa.OpShr:
 		av, aok := src(in.SrcA).Const()
 		bv, bok := bval().Const()
-		if aok && bok {
+		switch {
+		case aok && bok:
 			setReg(in.Dst, exprConst(av>>(uint64(bv)&63)))
-		} else {
+		case bok:
+			v := exprTop()
+			sh := uint64(bv) & 63
+			// A provably non-negative source makes the executor's
+			// arithmetic shift agree with the logical one, so the result
+			// range and congruence are exact images of the source.
+			if iv := a.intervalOf(src(in.SrcA), st); iv.bounded() && iv.lo >= 0 {
+				v = a.newDrv(pc, drvShr, int64(sh), src(in.SrcA), ival{iv.lo >> sh, iv.hi >> sh}, st)
+			}
+			setReg(in.Dst, v)
+		default:
 			setReg(in.Dst, exprTop())
 		}
 	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv, isa.OpFMin,
@@ -872,6 +946,8 @@ func (a *analyzer) join(block int, old, edge *state) (*state, bool) {
 			continue
 		}
 		sym := a.newPhi(phiKey{block: block, reg: r})
+		a.symIn[sym].record(oe)
+		a.symIn[sym].record(ne)
 		u := a.intervalOf(oe, old).union(a.intervalOf(ne, edge))
 		// The φ takes its inputs' union; widen a still-growing range.
 		cur := a.rangeOf(merged, sym)

@@ -1,6 +1,10 @@
 package staticrace
 
-import "haccrg/internal/isa"
+import (
+	"math/bits"
+
+	"haccrg/internal/isa"
+)
 
 // SiteClass is the race-freedom verdict for one memory site.
 type SiteClass uint8
@@ -15,9 +19,15 @@ const (
 	// ClassReadShared: every granule the site touches is never written
 	// by any site.
 	ClassReadShared
-	// ClassRaceFree: a mix — each granule is either single-thread or
-	// never written.
+	// ClassRaceFree: a mix — each granule is either single-thread,
+	// never written, or discharged by the pairwise epoch/warp rules.
 	ClassRaceFree
+	// ClassQuiet: proven race-free by the concrete replay (every
+	// granule the site touches is quiet in the exact execution).
+	ClassQuiet
+	// ClassRacy: a verified concrete race witness touches one of the
+	// site's granules; the site must stay on the hot path.
+	ClassRacy
 )
 
 func (c SiteClass) String() string {
@@ -28,8 +38,18 @@ func (c SiteClass) String() string {
 		return "read-shared"
 	case ClassRaceFree:
 		return "race-free"
+	case ClassQuiet:
+		return "quiet"
+	case ClassRacy:
+		return "provable-race"
 	}
 	return "unknown"
+}
+
+// filterable reports whether the dynamic detector may skip checks for
+// a site of this class.
+func (c SiteClass) filterable() bool {
+	return c != ClassUnknown && c != ClassRacy
 }
 
 // gInfo is the per-granule ownership summary accumulated across every
@@ -39,12 +59,44 @@ type gInfo struct {
 	written bool
 }
 
+// span is one site's thread footprint on one granule: the bounding box
+// of the (block, block-local tid) pairs that can touch it. The
+// pairwise prover reasons about spans instead of exact thread sets —
+// a bounding box inside one warp proves "all accessors share a warp"
+// without storing the set.
+type span struct {
+	site       *siteAcc
+	minT, maxT int64
+	minB, maxB int64
+}
+
+func (sp *span) add(b, t int64) {
+	if t < sp.minT {
+		sp.minT = t
+	}
+	if t > sp.maxT {
+		sp.maxT = t
+	}
+	if b < sp.minB {
+		sp.minB = b
+	}
+	if b > sp.maxB {
+		sp.maxB = b
+	}
+}
+
+func (sp *span) oneThread() bool { return sp.minT == sp.maxT && sp.minB == sp.maxB }
+
+// Caps for the pairwise refinement working set.
+const maxPairSpans = 1 << 18
+
 // proveSpace classifies every live site of one memory space.
 //
-// Criterion (sync-insensitive, granule-level): a granule is race-free
-// iff it is never written, or touched by exactly one distinct thread
-// over the whole kernel. A site may be filtered iff every granule it
-// can touch is race-free. Soundness against the dynamic RDU:
+// Base criterion (sync-insensitive, granule-level): a granule is
+// race-free iff it is never written, or touched by exactly one
+// distinct thread over the whole kernel. A site may be filtered iff
+// every granule it can touch is race-free. Soundness against the
+// dynamic RDU:
 //
 //   - single-thread granules only ever hit the sameThread fast path of
 //     the happens-before state machine, which never reports;
@@ -53,11 +105,22 @@ type gInfo struct {
 //   - the intra-warp WAW check needs two lanes on one address, which
 //     makes the granule multi-thread and hence the site unfilterable.
 //
+// Granules that fail the base criterion get a second chance from the
+// pairwise rules (pairSafe): per conflicting granule, every pair of
+// sites touching it must be individually silent — atomics are
+// invisible to the state machine, read/read pairs never report,
+// shared-space sites confined to disjoint barrier epochs never meet in
+// the shadow (it resets at every barrier), and warp-confined conflicts
+// are the lockstep sharing the WarpAware detector deliberately
+// ignores.
+//
 // Atomics count as writes. Unknown footprints poison conservatively:
 // an unknown *write* poisons the whole space (it could write any
 // granule); an unknown *read* restricts race-freedom to never-written
 // granules (it could observe any written granule, and filtering the
-// writer would change what the unfiltered reader reports).
+// writer would change what the unfiltered reader reports). Shared
+// sites whose footprint blows the point budget fall back to an
+// analytic strided form (strideOf) before poisoning.
 func (a *analyzer) proveSpace(space isa.Space, gran int, out map[int]*SiteInfo) {
 	var live []*siteAcc
 	unknownWrite, unknownRead := false, false
@@ -80,6 +143,7 @@ func (a *analyzer) proveSpace(space isa.Space, gran int, out map[int]*SiteInfo) 
 		granules []uint64
 	}
 	foots := make([]fp, 0, len(live))
+	var strided []*strideFoot
 	var total int64
 	budget := a.conf.MaxFootprintPoints
 	if budget <= 0 {
@@ -98,6 +162,14 @@ func (a *analyzer) proveSpace(space isa.Space, gran int, out map[int]*SiteInfo) 
 			}
 		}
 		if !ok {
+			// Analytic fallback: a pure tid-strided shared site has a
+			// closed-form footprint no budget can defeat.
+			if space == isa.SpaceShared && !poisoned {
+				if sf, sok := a.strideOf(s, gran); sok {
+					strided = append(strided, sf)
+					continue
+				}
+			}
 			if s.write || s.atomic {
 				unknownWrite = true
 			} else {
@@ -125,6 +197,115 @@ func (a *analyzer) proveSpace(space isa.Space, gran int, out map[int]*SiteInfo) 
 			}
 		}
 	}
+	// Strided sites interleave with the enumerated granules: merge their
+	// touches into the ownership map (forward) and record conflicts the
+	// enumerated sites impose on them (reverse). The reverse flags read
+	// the pre-merge state so strided-vs-strided interactions are settled
+	// only by the progression rules below.
+	ws := int64(a.conf.WarpSize)
+	stridedTouched := map[uint64]bool{}
+	for key, e := range owners {
+		b, g := int64(0), int64(key)
+		if space == isa.SpaceShared {
+			b, g = int64(key>>32), int64(key&0xFFFFFFFF)
+		}
+		preOwner, preWritten := e.owner, e.written
+		for _, sf := range strided {
+			t := sf.touchTid(b, g, ws)
+			if t < 0 {
+				continue
+			}
+			stridedTouched[key] = true
+			gtid := b*int64(a.k.BlockDim) + t
+			if preOwner != gtid {
+				sf.multi = true
+			}
+			if preWritten {
+				sf.otherWrite = true
+			}
+			if e.owner != gtid {
+				e.owner = -2
+			}
+			if sf.s.write || sf.s.atomic {
+				e.written = true
+			}
+		}
+	}
+	// Strided-vs-strided: two progressions are jointly single-owner iff
+	// identical (same granule → same thread); otherwise any overlap is a
+	// conservative conflict.
+	for i, x := range strided {
+		for j, y := range strided {
+			if i == j || !strideOverlap(x, y) {
+				continue
+			}
+			if x.cG != y.cG || x.stepG != y.stepG {
+				x.multi = true
+			}
+			if y.s.write || y.s.atomic {
+				x.otherWrite = true
+			}
+		}
+	}
+
+	// Pairwise refinement over the conflicting granules. Disabled when
+	// the program uses critical-section markers (the lockset machinery
+	// has its own report paths) or when the working set blows the cap.
+	safeG := map[uint64]bool{}
+	if !unknownWrite && !unknownRead && !a.progAcqMark() {
+		spans := map[uint64][]*span{}
+		overflow := false
+		var nSpans int64
+		for _, f := range foots {
+			for i := 0; i < len(f.granules); i += 2 {
+				key := f.granules[i]
+				e := owners[key]
+				if e.owner != -2 || !e.written || stridedTouched[key] {
+					continue
+				}
+				gtid := int64(f.granules[i+1])
+				b, t := gtid/int64(a.k.BlockDim), gtid%int64(a.k.BlockDim)
+				list := spans[key]
+				var sp *span
+				for _, cand := range list {
+					if cand.site == f.site {
+						sp = cand
+						break
+					}
+				}
+				if sp == nil {
+					sp = &span{site: f.site, minT: t, maxT: t, minB: b, maxB: b}
+					spans[key] = append(spans[key], sp)
+					nSpans++
+					if nSpans > maxPairSpans {
+						overflow = true
+					}
+				} else {
+					sp.add(b, t)
+				}
+			}
+			if overflow {
+				break
+			}
+		}
+		if !overflow {
+			for key, list := range spans {
+				safe := true
+				for i := 0; i < len(list) && safe; i++ {
+					for j := i; j < len(list); j++ {
+						if !a.pairSafe(space, list[i], list[j]) {
+							safe = false
+							break
+						}
+					}
+				}
+				if safe {
+					safeG[key] = true
+				}
+			}
+		}
+	}
+
 	for _, f := range foots {
 		s := f.site
 		info := out[s.pc]
@@ -161,7 +342,7 @@ func (a *analyzer) proveSpace(space isa.Space, gran int, out map[int]*SiteInfo) 
 			ok := true
 			for i := 0; i < len(f.granules); i += 2 {
 				e := owners[f.granules[i]]
-				if e.owner == -2 && e.written {
+				if e.owner == -2 && e.written && !safeG[f.granules[i]] {
 					ok = false
 					break
 				}
@@ -174,13 +355,214 @@ func (a *analyzer) proveSpace(space isa.Space, gran int, out map[int]*SiteInfo) 
 		}
 		info.Granules = len(f.granules) / 2
 	}
+
+	for _, sf := range strided {
+		info := out[sf.s.pc]
+		selfW := sf.s.write || sf.s.atomic
+		unwritten := !selfW && !sf.otherWrite
+		switch {
+		case unknownWrite:
+			info.Class = ClassUnknown
+		case unknownRead && !unwritten:
+			info.Class = ClassUnknown
+		case !sf.multi:
+			info.Class = ClassPrivate
+		case unwritten:
+			info.Class = ClassReadShared
+		default:
+			info.Class = ClassUnknown
+		}
+		info.Granules = int(sf.tids.hi - sf.tids.lo + 1)
+	}
+}
+
+// pairSafe decides whether the (claimant-site, event-site) pair can
+// produce a report on a granule both touch. All rules are symmetric,
+// so one call settles both orders:
+//
+//  1. atomic sites never enter the state machine (checks count, then
+//     continue) and never leave claimant state;
+//  2. read/read pairs only move between the read states, which never
+//     report;
+//  3. a pair confined to one identical thread hits the sameThread
+//     suppression;
+//  4. shared-space sites that provably never share a barrier epoch
+//     never meet in the shadow — it resets at every barrier;
+//  5. with WarpAware, a pair whose spans sit inside one common warp
+//     (one common block for global) hits the sameWarp suppression;
+//     a self-paired write additionally needs per-warp address
+//     injectivity so the intra-warp WAW dup scan stays silent.
+func (a *analyzer) pairSafe(space isa.Space, x, y *span) bool {
+	if x.site.atomic || y.site.atomic {
+		return true
+	}
+	if !x.site.write && !y.site.write {
+		return true
+	}
+	if x.oneThread() && y.oneThread() && x.minT == y.minT && x.minB == y.minB {
+		return true
+	}
+	if space == isa.SpaceShared && !a.epochOf().maySameEpoch(x.site.pc, y.site.pc) {
+		return true
+	}
+	if a.conf.WarpAware {
+		ws := int64(a.conf.WarpSize)
+		oneWarp := x.minT/ws == x.maxT/ws && y.minT/ws == y.maxT/ws && x.minT/ws == y.minT/ws
+		oneBlock := space == isa.SpaceShared ||
+			(x.minB == x.maxB && y.minB == y.maxB && x.minB == y.minB)
+		if oneWarp && oneBlock {
+			if x != y {
+				return true
+			}
+			return !x.site.write || a.warpInjective(x.site)
+		}
+	}
+	return false
+}
+
+// warpInjective reports whether, within any one warp, no two distinct
+// threads of the warp can write the same byte address at this site —
+// the condition under which the intra-warp WAW dup scan cannot fire.
+// Within one warp the warp index is constant and lane = tid − ws·warp,
+// so an affine address over the base coordinates collapses to
+// c′ + (kTid+kLane)·tid, injective iff the coefficient is nonzero (and
+// far from a 2^64 torsion point; the trailing-zero guard keeps the
+// wrapped products distinct for any realistic block size).
+func (a *analyzer) warpInjective(s *siteAcc) bool {
+	if !s.write {
+		return true
+	}
+	var kT, kL int64
+	for _, t := range s.addr.terms {
+		switch t.sym {
+		case SymTid:
+			kT = t.coef
+		case SymLane:
+			kL = t.coef
+		case SymBid, SymWarp:
+			// Constant within one warp.
+		default:
+			return false // φ symbol: one thread writes many addresses
+		}
+	}
+	k, ok := addOvf(kT, kL)
+	if !ok || k == 0 {
+		return false
+	}
+	if k < 0 {
+		k = -k
+	}
+	return bits.TrailingZeros64(uint64(k)) < 40
+}
+
+// epochOf lazily builds the barrier-epoch reachability summary.
+func (a *analyzer) epochOf() *epochInfo {
+	if a.epochs == nil {
+		a.epochs = buildEpochInfo(a.prog)
+	}
+	return a.epochs
+}
+
+// strideFoot is the analytic footprint of a pure tid-strided shared
+// site: addr = c + kT·tid with granule-aligned stride and no granule
+// straddling, so thread t owns exactly granule cG + stepG·t. The
+// progression is strictly monotone in t — injective — which makes the
+// site single-owner against itself with no enumeration at all.
+type strideFoot struct {
+	s            *siteAcc
+	cG, stepG    int64
+	tids, bids   ival
+	lanes, warps ival
+	multi        bool // some granule reachable by a different thread
+	otherWrite   bool // some overlapping site writes
+}
+
+// strideOf recognizes the analytic form. Shared space only: the
+// block-qualified granule keys make every block's progression
+// independent, which a global-space granule shared across blocks would
+// break (every block's thread t would collide on one granule).
+func (a *analyzer) strideOf(s *siteAcc, gran int) (*strideFoot, bool) {
+	if s.addr.top || s.size <= 0 {
+		return nil, false
+	}
+	if len(s.addr.terms) != 1 || s.addr.terms[0].sym != SymTid {
+		return nil, false
+	}
+	kT, c, g := s.addr.terms[0].coef, s.addr.c, int64(gran)
+	if kT <= 0 || c < 0 || kT >= 1<<32 || c >= 1<<32 {
+		return nil, false
+	}
+	if kT%g != 0 || c%g+int64(s.size) > g {
+		return nil, false
+	}
+	st := &state{ranges: s.ranges}
+	tids := a.rangeOf(st, SymTid).intersect(ival{0, int64(a.k.BlockDim) - 1})
+	bids := a.rangeOf(st, SymBid).intersect(ival{0, int64(a.k.GridDim) - 1})
+	if tids.empty() || bids.empty() {
+		return nil, false
+	}
+	return &strideFoot{
+		s: s, cG: c / g, stepG: kT / g, tids: tids, bids: bids,
+		lanes: a.rangeOf(st, SymLane), warps: a.rangeOf(st, SymWarp),
+	}, true
+}
+
+// touchTid returns the block-local thread that can reach granule g of
+// block b, or -1. The claimed thread set over-approximates the real
+// one (path conditions beyond the recorded ranges are dropped), which
+// only ever adds conflicts.
+func (sf *strideFoot) touchTid(b, g, ws int64) int64 {
+	d := g - sf.cG
+	if d < 0 || d%sf.stepG != 0 {
+		return -1
+	}
+	t := d / sf.stepG
+	if !sf.tids.contains(t) || !sf.bids.contains(b) {
+		return -1
+	}
+	if !sf.lanes.contains(t%ws) || !sf.warps.contains(t/ws) {
+		return -1
+	}
+	return t
+}
+
+// strideOverlap reports whether two progressions can share a granule:
+// intersecting ranges plus a solvable congruence cG ≡ cG′ modulo
+// gcd(stepG, stepG′).
+func strideOverlap(x, y *strideFoot) bool {
+	xlo, xhi := x.cG+x.stepG*x.tids.lo, x.cG+x.stepG*x.tids.hi
+	ylo, yhi := y.cG+y.stepG*y.tids.lo, y.cG+y.stepG*y.tids.hi
+	if xhi < ylo || yhi < xlo {
+		return false
+	}
+	d := gcd64(x.stepG, y.stepG)
+	return (x.cG-y.cG)%d == 0
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
 }
 
 // enumerate walks a site's concrete footprint: every (granule, global
 // thread id) pair the site can touch, as a flat [g0, t0, g1, t1, ...]
 // slice. Address arithmetic is wrapping uint64, exactly like the
-// executor. Returns ok=false when the footprint is statically unknown
-// or exceeds the point budget.
+// executor. φ symbols iterate over their interval intersected with
+// their solved congruence — a strided loop counter steps by its
+// stride, not by one — which is what keeps strided footprints inside
+// the point budget. Returns ok=false when the footprint is statically
+// unknown or exceeds the budget.
 func (a *analyzer) enumerate(s *siteAcc, gran int, budget int64) ([]uint64, bool) {
 	if s.addr.top || s.size <= 0 {
 		return nil, false
@@ -198,35 +580,36 @@ func (a *analyzer) enumerate(s *siteAcc, gran int, budget int64) ([]uint64, bool
 	}
 	// φ symbols appearing in the address must have bounded ranges.
 	var phiSyms []symID
-	var phiRanges []ival
-	var coefTid, coefBid, coefLane, coefWarp int64
+	var phiStart, phiStep, phiCount []int64
 	for _, t := range s.addr.terms {
 		switch t.sym {
-		case SymTid:
-			coefTid = t.coef
-		case SymBid:
-			coefBid = t.coef
-		case SymLane:
-			coefLane = t.coef
-		case SymWarp:
-			coefWarp = t.coef
+		case SymTid, SymBid, SymLane, SymWarp:
 		default:
 			r := a.rangeOf(st, t.sym)
 			if !r.bounded() || r.empty() {
 				return nil, false
 			}
+			start, step, count := congStep(r, a.congOf(t.sym))
+			if count <= 0 {
+				return nil, true // range ∩ congruence empty: never executes
+			}
 			phiSyms = append(phiSyms, t.sym)
-			phiRanges = append(phiRanges, r)
+			phiStart = append(phiStart, start)
+			phiStep = append(phiStep, step)
+			phiCount = append(phiCount, count)
 		}
 	}
-	// Point budget: threads × φ-range product.
+	coefTid := s.addr.termCoef(SymTid)
+	coefBid := s.addr.termCoef(SymBid)
+	coefLane := s.addr.termCoef(SymLane)
+	coefWarp := s.addr.termCoef(SymWarp)
+	// Point budget: threads × φ-member product.
 	points := (tids.hi - tids.lo + 1) * (bids.hi - bids.lo + 1)
 	if points <= 0 {
 		return nil, false
 	}
-	for _, r := range phiRanges {
-		n := r.hi - r.lo + 1
-		if n <= 0 || points > budget/n {
+	for _, n := range phiCount {
+		if points > budget/n {
 			return nil, false
 		}
 		points *= n
@@ -237,7 +620,7 @@ func (a *analyzer) enumerate(s *siteAcc, gran int, budget int64) ([]uint64, bool
 	gsize := uint64(gran)
 	span := uint64(s.size-1) / gsize // extra granules past the first
 	var res []uint64
-	var emit func(base uint64, tid int64, depth int)
+	var emit func(base uint64, gtid int64, depth int)
 	emit = func(base uint64, gtid int64, depth int) {
 		if depth == len(phiSyms) {
 			g0 := base / gsize
@@ -251,10 +634,11 @@ func (a *analyzer) enumerate(s *siteAcc, gran int, budget int64) ([]uint64, bool
 			}
 			return
 		}
-		r := phiRanges[depth]
 		c := uint64(s.addr.termCoef(phiSyms[depth]))
-		for v := r.lo; v <= r.hi; v++ {
+		v := phiStart[depth]
+		for i := int64(0); i < phiCount[depth]; i++ {
 			emit(base+c*uint64(v), gtid, depth+1)
+			v += phiStep[depth]
 		}
 	}
 	for bid := bids.lo; bid <= bids.hi; bid++ {

@@ -4,34 +4,57 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"haccrg/internal/termtab"
 )
+
+// ReportSchema versions the JSON report shape for downstream parsers.
+// v2 added the schema field itself, per-finding severities, and the
+// per-kernel witness block.
+const ReportSchema = "haccrg-lint/2"
 
 // KernelReport is the JSON shape emitted per analyzed kernel.
 type KernelReport struct {
-	Kernel   string      `json:"kernel"`
-	Findings []Finding   `json:"findings"`
-	Sites    []*SiteInfo `json:"sites,omitempty"`
+	Kernel         string      `json:"kernel"`
+	Findings       []Finding   `json:"findings"`
+	Sites          []*SiteInfo `json:"sites,omitempty"`
+	WitnessSchema  string      `json:"witnessSchema,omitempty"`
+	Witnesses      []Witness   `json:"witnesses,omitempty"`
+	WitnessDropped int         `json:"witnessDropped,omitempty"`
+	Conflicts      int         `json:"conflicts,omitempty"`
 }
 
 // SuiteReport aggregates analysis output across kernels.
 type SuiteReport struct {
-	Kernels  []KernelReport `json:"kernels"`
-	Findings int            `json:"findings"`
+	Schema    string         `json:"schema"`
+	Kernels   []KernelReport `json:"kernels"`
+	Findings  int            `json:"findings"`
+	Witnesses int            `json:"witnesses"`
 }
 
 // BuildReport converts analyses into the serializable report form.
 func BuildReport(analyses []*Analysis, withSites bool) *SuiteReport {
-	rep := &SuiteReport{}
+	rep := &SuiteReport{Schema: ReportSchema}
 	for _, a := range analyses {
-		kr := KernelReport{Kernel: a.Kernel, Findings: a.Findings}
+		kr := KernelReport{
+			Kernel:         a.Kernel,
+			Findings:       a.Findings,
+			Witnesses:      a.Witnesses,
+			WitnessDropped: a.WitnessDropped,
+			Conflicts:      a.Conflicts,
+		}
 		if kr.Findings == nil {
 			kr.Findings = []Finding{}
+		}
+		if len(kr.Witnesses) > 0 {
+			kr.WitnessSchema = WitnessSchema
 		}
 		if withSites {
 			kr.Sites = a.Sites
 		}
 		rep.Kernels = append(rep.Kernels, kr)
 		rep.Findings += len(a.Findings)
+		rep.Witnesses += len(a.Witnesses)
 	}
 	return rep
 }
@@ -46,52 +69,123 @@ func (r *SuiteReport) JSON() string {
 }
 
 // Human renders the report for terminals: per-kernel findings with a
-// window of disassembly context around each flagged pc, then the
-// prover's site classification when requested.
-func (r *SuiteReport) Human(analyses []*Analysis, context int) string {
+// window of disassembly context around each flagged pc, the witness
+// list, then the prover's site classification when requested. tty
+// selects aligned, colored tables (termtab).
+func (r *SuiteReport) Human(analyses []*Analysis, context int, tty bool) string {
 	var b strings.Builder
 	byName := map[string]*Analysis{}
 	for _, a := range analyses {
 		byName[a.Kernel] = a
 	}
 	clean := 0
-	for _, kr := range r.Kernels {
+	writeKernel := func(kr *KernelReport) {
+		a := byName[kr.Kernel]
+		for _, f := range kr.Findings {
+			sev := f.Severity
+			if sev == "" {
+				sev = "warn"
+			}
+			if tty && sev == "error" {
+				sev = string(termtab.Red) + sev + "\x1b[0m"
+			}
+			fmt.Fprintf(&b, "  pc %d: [%s] %s: %s\n", f.PC, f.Pass, sev, f.Msg)
+			if a != nil {
+				b.WriteString(disasmContext(a, f, context))
+			}
+		}
+		if len(kr.Witnesses) > 0 {
+			fmt.Fprintf(&b, "  %d verified witness(es):\n", len(kr.Witnesses))
+			writeWitnesses(&b, kr.Witnesses, tty)
+		}
+		if kr.WitnessDropped > 0 {
+			fmt.Fprintf(&b, "  %d witness(es) dropped (failed verification or per-kernel cap)\n", kr.WitnessDropped)
+		}
+		if kr.Conflicts > 0 {
+			fmt.Fprintf(&b, "  %d proof/witness conflict(s) — proofs dropped\n", kr.Conflicts)
+		}
+		if kr.Sites != nil {
+			writeSites(&b, kr.Sites, tty)
+		}
+	}
+	for i := range r.Kernels {
+		kr := &r.Kernels[i]
 		if len(kr.Findings) == 0 {
 			clean++
 			continue
 		}
 		fmt.Fprintf(&b, "kernel %s: %d finding(s)\n", kr.Kernel, len(kr.Findings))
-		a := byName[kr.Kernel]
-		for _, f := range kr.Findings {
-			fmt.Fprintf(&b, "  pc %d: [%s] %s\n", f.PC, f.Pass, f.Msg)
-			if a != nil {
-				b.WriteString(disasmContext(a, f, context))
-			}
-		}
-		if kr.Sites != nil {
-			writeSites(&b, kr.Sites)
-		}
+		writeKernel(kr)
 	}
-	for _, kr := range r.Kernels {
-		if len(kr.Findings) == 0 && kr.Sites != nil {
+	for i := range r.Kernels {
+		kr := &r.Kernels[i]
+		if len(kr.Findings) == 0 && (kr.Sites != nil || len(kr.Witnesses) > 0) {
 			fmt.Fprintf(&b, "kernel %s: clean\n", kr.Kernel)
-			writeSites(&b, kr.Sites)
+			writeKernel(kr)
 		}
 	}
-	fmt.Fprintf(&b, "summary: %d finding(s) across %d kernel(s), %d clean\n",
-		r.Findings, len(r.Kernels), clean)
+	fmt.Fprintf(&b, "summary: %d finding(s), %d witness(es) across %d kernel(s), %d clean\n",
+		r.Findings, r.Witnesses, len(r.Kernels), clean)
 	return b.String()
 }
 
-func writeSites(b *strings.Builder, sites []*SiteInfo) {
+// classStyle colors a site class by what the detector will do with it:
+// green sites are skipped (proven race-free), yellow stay on the slow
+// path, red are witnessed racy.
+func classStyle(class string) termtab.Style {
+	switch class {
+	case ClassUnknown.String():
+		return termtab.Yellow
+	case ClassRacy.String():
+		return termtab.Red
+	default:
+		return termtab.Green
+	}
+}
+
+func writeSites(b *strings.Builder, sites []*SiteInfo, tty bool) {
+	t := termtab.New(tty).Indent("    ")
+	t.Row(termtab.C("site"), termtab.C("pc"), termtab.C("space"), termtab.C("op"),
+		termtab.C("class"), termtab.C("granules"))
 	for _, s := range sites {
 		extra := ""
 		if s.Dead {
 			extra = " (dead)"
 		}
-		fmt.Fprintf(b, "    site pc %-4d %-6s %-4s -> %s (%d granules)%s\n",
-			s.PC, s.Space, s.Op, s.ClassStr, s.Granules, extra)
+		t.Row(termtab.C(""), termtab.C(fmt.Sprint(s.PC)), termtab.C(s.Space), termtab.C(s.Op),
+			termtab.Cell{Text: s.ClassStr, Style: classStyle(s.ClassStr)},
+			termtab.C(fmt.Sprintf("%d%s", s.Granules, extra)))
 	}
+	b.WriteString(t.String())
+}
+
+// witnessStyle colors the kind column: guaranteed races red, the other
+// defect kinds yellow.
+func witnessStyle(kind string) termtab.Style {
+	if kind == WitnessRace {
+		return termtab.Red
+	}
+	return termtab.Yellow
+}
+
+func writeWitnesses(b *strings.Builder, ws []Witness, tty bool) {
+	t := termtab.New(tty).Indent("    ")
+	t.Row(termtab.C("kind"), termtab.C("class"), termtab.C("pcs"), termtab.C("space"),
+		termtab.C("granule"), termtab.C("threads"), termtab.C("method"))
+	for _, w := range ws {
+		pcs := fmt.Sprint(w.PC)
+		if w.PC2 != 0 && w.PC2 != w.PC {
+			pcs = fmt.Sprintf("%d,%d", w.PC, w.PC2)
+		}
+		threads := fmt.Sprintf("(b%d,t%d)", w.Block, w.Tid)
+		if w.Block2 != w.Block || w.Tid2 != w.Tid {
+			threads += fmt.Sprintf("/(b%d,t%d)", w.Block2, w.Tid2)
+		}
+		t.Row(termtab.Cell{Text: w.Kind, Style: witnessStyle(w.Kind)},
+			termtab.C(w.Class), termtab.C(pcs), termtab.C(w.Space),
+			termtab.C(fmt.Sprint(w.Granule)), termtab.C(threads), termtab.C(w.Method))
+	}
+	b.WriteString(t.String())
 }
 
 // disasmContext renders the instructions around a finding, marking the

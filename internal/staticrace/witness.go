@@ -1,0 +1,627 @@
+package staticrace
+
+import (
+	"fmt"
+	"sort"
+
+	"haccrg/internal/isa"
+)
+
+// WitnessSchema versions the witness report format for downstream
+// parsers.
+const WitnessSchema = "haccrg-witness/1"
+
+// Witness kinds.
+const (
+	WitnessRace       = "race"
+	WitnessDivergence = "divergence"
+	WitnessOOB        = "oob"
+	WitnessFence      = "fence"
+)
+
+// Race witness classes.
+const (
+	ClassCrossBlockWAW = "cross-block-waw"
+	ClassSameBlockWAW  = "same-block-waw"
+	ClassSharedEpoch   = "shared-epoch"
+)
+
+// Witness is one machine-checked proof of a defect: a concrete pair of
+// threads, an instruction pair, and (for races) an overlapping
+// granule. No witness ships unverified — the checker re-derives every
+// claim independently and unverifiable witnesses are dropped and
+// counted.
+type Witness struct {
+	Kind     string `json:"kind"` // race | divergence | oob | fence
+	Kernel   string `json:"kernel"`
+	Class    string `json:"class,omitempty"` // race witnesses: guarantee argument used
+	Space    string `json:"space,omitempty"`
+	PC       int    `json:"pc"`
+	PC2      int    `json:"pc2,omitempty"`
+	Granule  uint64 `json:"granule,omitempty"` // runtime granule index (shared: window-relative)
+	Addr     uint64 `json:"addr,omitempty"`
+	Addr2    uint64 `json:"addr2,omitempty"`
+	Block    int    `json:"block"`
+	Tid      int    `json:"tid"`
+	Block2   int    `json:"block2,omitempty"`
+	Tid2     int    `json:"tid2,omitempty"`
+	Method   string `json:"method"` // replay | expr
+	Verified bool   `json:"verified"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// witnessCap bounds the witnesses emitted per kernel; drops are
+// counted in Analysis.WitnessDropped.
+const witnessCap = 64
+
+// gacc is one replayed access attributed to its thread, the working
+// unit of the quiet-granule rules and the race-witness search.
+type gacc struct {
+	bid, tid int
+	pc       int
+	bar      int
+	addr     uint64
+	write    bool
+	atomic   bool
+}
+
+// granuleKey qualifies a granule index by its block for shared space
+// (each block has its own window and its own shadow) and leaves global
+// granules unqualified.
+func granuleKey(space isa.Space, bid int, g uint64) uint64 {
+	if space == isa.SpaceShared {
+		return uint64(bid)<<32 | (g & 0xFFFFFFFF)
+	}
+	return g
+}
+
+// groupGranules buckets every replayed access of one space by granule
+// key, each access repeated for every granule it straddles.
+func groupGranules(rr *replayResult, space isa.Space, gran int) map[uint64][]gacc {
+	out := map[uint64][]gacc{}
+	shared := space == isa.SpaceShared
+	for ti := range rr.threads {
+		th := &rr.threads[ti]
+		for i := range th.acc {
+			ac := &th.acc[i]
+			if ac.shared() != shared {
+				continue
+			}
+			g0 := ac.addr / uint64(gran)
+			g1 := (ac.addr + uint64(ac.size) - 1) / uint64(gran)
+			for g := g0; g <= g1; g++ {
+				key := granuleKey(space, th.bid, g)
+				out[key] = append(out[key], gacc{
+					bid: th.bid, tid: th.tid, pc: int(ac.pc), bar: int(ac.bar),
+					addr: ac.addr, write: ac.write(), atomic: ac.atomic(),
+				})
+			}
+		}
+	}
+	for _, accs := range out {
+		sortGaccs(accs)
+	}
+	return out
+}
+
+func sortGaccs(accs []gacc) {
+	sort.Slice(accs, func(i, j int) bool {
+		a, b := accs[i], accs[j]
+		if a.bid != b.bid {
+			return a.bid < b.bid
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.pc != b.pc {
+			return a.pc < b.pc
+		}
+		return a.addr < b.addr
+	})
+}
+
+// quietGranule decides whether the granule's exact access multiset can
+// produce any dynamic report, under any static-filter subset. Atomics
+// are ignored throughout: the RDUs count their checks and return
+// before the state machine, and the intra-warp dup scan skips them.
+//
+//   - all plain accesses from one thread: only the sameThread fast path
+//     runs;
+//   - no plain writes: reads move between the silent read states;
+//   - shared space with block-uniform barrier counts: the shadow resets
+//     at every barrier, so each bar-labelled epoch is independent and
+//     must be quiet on its own;
+//   - a warp-confined epoch (WarpAware) hits the sameWarp suppression;
+//     distinct (pc, addr) writes per thread keep the intra-warp WAW
+//     dup scan silent.
+func quietGranule(accs []gacc, space isa.Space, blockBars, warpAware bool, ws int) bool {
+	plain := make([]gacc, 0, len(accs))
+	for _, a := range accs {
+		if !a.atomic {
+			plain = append(plain, a)
+		}
+	}
+	if quietSet(plain, warpAware, ws, space == isa.SpaceGlobal) {
+		return true
+	}
+	if space != isa.SpaceShared || !blockBars {
+		return false
+	}
+	byEpoch := map[int][]gacc{}
+	for _, a := range plain {
+		byEpoch[a.bar] = append(byEpoch[a.bar], a)
+	}
+	for _, ep := range byEpoch {
+		if !quietSet(ep, warpAware, ws, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// quietSet is the epoch-level aggregate: one thread, or no writes, or
+// (warp-aware) one warp with injective writes. crossBlock demands the
+// warp test also pin a single block (global granules are shared across
+// blocks; shared keys already are block-local).
+func quietSet(accs []gacc, warpAware bool, ws int, crossBlock bool) bool {
+	if len(accs) == 0 {
+		return true
+	}
+	oneThread, writes := true, false
+	for _, a := range accs {
+		if a.bid != accs[0].bid || a.tid != accs[0].tid {
+			oneThread = false
+		}
+		if a.write {
+			writes = true
+		}
+	}
+	if oneThread || !writes {
+		return true
+	}
+	if !warpAware {
+		return false
+	}
+	w0 := accs[0].tid / ws
+	type wkey struct {
+		pc   int
+		addr uint64
+	}
+	seen := map[wkey]int{}
+	for _, a := range accs {
+		if a.tid/ws != w0 || (crossBlock && a.bid != accs[0].bid) {
+			return false
+		}
+		if !a.write {
+			continue
+		}
+		k := wkey{a.pc, a.addr}
+		if t, dup := seen[k]; dup && t != a.tid {
+			return false // two lanes of one instruction on one address
+		}
+		seen[k] = a.tid
+	}
+	return true
+}
+
+// raceWitness searches one granule's plain writes for a pair whose
+// dynamic report is guaranteed (see the class constants; the guarantee
+// arguments walk the shadow state machine adversarially and are
+// granule-level: the unfiltered detector reports at least one race on
+// this granule).
+func raceWitness(kernel string, space isa.Space, key uint64, accs []gacc,
+	blockBars bool, ws, gran int) *Witness {
+	var writes []gacc
+	for _, a := range accs {
+		if a.write && !a.atomic {
+			writes = append(writes, a)
+		}
+	}
+	if len(writes) < 2 {
+		return nil
+	}
+	g := key
+	if space == isa.SpaceShared {
+		g = key & 0xFFFFFFFF
+	}
+	mk := func(class string, x, y gacc) *Witness {
+		return &Witness{
+			Kind: WitnessRace, Kernel: kernel, Class: class,
+			Space: space.String(), Granule: g,
+			PC: x.pc, PC2: y.pc, Addr: x.addr, Addr2: y.addr,
+			Block: x.bid, Tid: x.tid, Block2: y.bid, Tid2: y.tid,
+			Method: "replay",
+			Detail: fmt.Sprintf("granule %d (%d B): writers (b%d,t%d)@pc%d and (b%d,t%d)@pc%d",
+				g, gran, x.bid, x.tid, x.pc, y.bid, y.tid, y.pc),
+		}
+	}
+	if space == isa.SpaceGlobal {
+		// Class 1: writers from two blocks. Cross-block pairs are immune
+		// to every suppression (sameWarp and the sync-ID refresh both
+		// need sameBlock), so the second block's first write must meet a
+		// foreign claimant in state M.
+		for i := 1; i < len(writes); i++ {
+			if writes[i].bid != writes[0].bid {
+				return mk(ClassCrossBlockWAW, writes[0], writes[i])
+			}
+		}
+	}
+	if !blockBars {
+		return nil
+	}
+	// Classes 2/3: two warps writing within one barrier epoch. The later
+	// writer either meets the other warp's claimant (report) or a
+	// barrier-refreshed entry another same-epoch writer then trips; the
+	// claimant cannot leave the granule's write chain within the epoch.
+	byEpoch := map[int][]gacc{}
+	for _, a := range writes {
+		byEpoch[a.bar] = append(byEpoch[a.bar], a)
+	}
+	epochs := make([]int, 0, len(byEpoch))
+	for e := range byEpoch {
+		epochs = append(epochs, e)
+	}
+	sort.Ints(epochs)
+	class := ClassSharedEpoch
+	if space == isa.SpaceGlobal {
+		class = ClassSameBlockWAW
+	}
+	for _, e := range epochs {
+		ep := byEpoch[e]
+		for i := 1; i < len(ep); i++ {
+			if ep[i].bid == ep[0].bid && ep[i].tid/ws != ep[0].tid/ws {
+				return mk(class, ep[0], ep[i])
+			}
+		}
+	}
+	return nil
+}
+
+// verifyRaceWitness independently re-replays the two claimed threads
+// and re-derives every claim: both run to completion, both perform the
+// claimed plain write on the claimed granule, and the class condition
+// holds. Returns false — the witness is dropped — on any mismatch.
+func (a *analyzer) verifyRaceWitness(w *Witness, space isa.Space, gran int) bool {
+	find := func(bid, tid, pc int, addr uint64) (raccess, int, bool) {
+		th, _, _ := a.replayThread(bid, tid, replayPerThreadSteps)
+		if !th.ok {
+			return raccess{}, 0, false
+		}
+		for _, ac := range th.acc {
+			if int(ac.pc) == pc && ac.addr == addr && ac.write() && !ac.atomic() &&
+				(ac.shared() == (space == isa.SpaceShared)) {
+				covers := ac.addr/uint64(gran) <= w.Granule &&
+					w.Granule <= (ac.addr+uint64(ac.size)-1)/uint64(gran)
+				if covers {
+					return ac, th.bars, true
+				}
+			}
+		}
+		return raccess{}, 0, false
+	}
+	ac1, _, ok1 := find(w.Block, w.Tid, w.PC, w.Addr)
+	ac2, _, ok2 := find(w.Block2, w.Tid2, w.PC2, w.Addr2)
+	if !ok1 || !ok2 {
+		return false
+	}
+	switch w.Class {
+	case ClassCrossBlockWAW:
+		return space == isa.SpaceGlobal && w.Block != w.Block2
+	case ClassSameBlockWAW:
+		return space == isa.SpaceGlobal && w.Block == w.Block2 &&
+			w.Tid/a.conf.WarpSize != w.Tid2/a.conf.WarpSize && ac1.bar == ac2.bar
+	case ClassSharedEpoch:
+		return space == isa.SpaceShared && w.Block == w.Block2 &&
+			w.Tid/a.conf.WarpSize != w.Tid2/a.conf.WarpSize && ac1.bar == ac2.bar
+	}
+	return false
+}
+
+// divergenceWitnesses pairs each barrier-divergence finding with two
+// concrete same-block threads that retire different barrier counts —
+// the observable fact the lint's abstract argument predicts.
+func (a *analyzer) divergenceWitnesses(rr *replayResult, findings []Finding) []Witness {
+	var out []Witness
+	for _, f := range findings {
+		if f.Pass != PassBarrierDivergence {
+			continue
+		}
+		found := false
+		for b := 0; b < a.k.GridDim && !found; b++ {
+			base := b * a.k.BlockDim
+			for t := 1; t < a.k.BlockDim; t++ {
+				t0, t1 := &rr.threads[base], &rr.threads[base+t]
+				if t0.ok && t1.ok && t0.bars != t1.bars {
+					out = append(out, Witness{
+						Kind: WitnessDivergence, Kernel: a.k.Name, PC: f.PC,
+						Block: b, Tid: t0.tid, Block2: b, Tid2: t1.tid,
+						Method: "replay",
+						Detail: fmt.Sprintf("threads t%d and t%d of block %d retire %d vs %d barriers",
+							t0.tid, t1.tid, b, t0.bars, t1.bars),
+					})
+					found = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (a *analyzer) verifyDivergenceWitness(w *Witness) bool {
+	t0, _, _ := a.replayThread(w.Block, w.Tid, replayPerThreadSteps)
+	t1, _, _ := a.replayThread(w.Block2, w.Tid2, replayPerThreadSteps)
+	return t0.ok && t1.ok && w.Block == w.Block2 && t0.bars != t1.bars
+}
+
+// oobWitnesses lifts the replay's concrete shared out-of-bounds
+// records into witnesses, one per offending pc.
+func (a *analyzer) oobWitnesses(rr *replayResult) []Witness {
+	var out []Witness
+	seen := map[int]bool{}
+	for _, o := range rr.oobs {
+		if seen[o.pc] {
+			continue
+		}
+		seen[o.pc] = true
+		out = append(out, Witness{
+			Kind: WitnessOOB, Kernel: a.k.Name, PC: o.pc,
+			Block: o.bid, Tid: o.tid, Addr: o.rel,
+			Method: "replay",
+			Detail: fmt.Sprintf("thread (b%d,t%d) accesses shared +%d (size %d) beyond the %d-byte window",
+				o.bid, o.tid, o.rel, o.size, a.k.SharedBytes),
+		})
+	}
+	return out
+}
+
+func (a *analyzer) verifyOOBWitness(w *Witness) bool {
+	_, oobs, _ := a.replayThread(w.Block, w.Tid, replayPerThreadSteps)
+	for _, o := range oobs {
+		if o.pc == w.PC && o.rel == w.Addr {
+			return true
+		}
+	}
+	return false
+}
+
+// fenceWitnesses turns each fence-misuse finding into a concrete
+// store/load thread pair on one global granule. The fixture's replay
+// taint-aborts at the election branch (it guards on an atomic result),
+// so these witnesses are expression-derived and expression-checked:
+// the store address must be a φ-free affine form the checker can
+// evaluate for the claimed threads from scratch; the load may walk a
+// loop (φ symbols), in which case phiReach searches the loop's
+// range∩congruence members for an iteration landing on the store's
+// granule.
+func (a *analyzer) fenceWitnesses(findings []Finding, gran int) []Witness {
+	var out []Witness
+	budget := a.conf.MaxFootprintPoints
+	if budget <= 0 {
+		budget = 1 << 22
+	}
+	for _, f := range findings {
+		if f.Pass != PassFenceMisuse || len(f.Related) != 2 {
+			continue
+		}
+		st, ld := a.sites[f.PC], a.sites[f.Related[1]]
+		if st == nil || ld == nil || hasPhi(st.addr) {
+			continue
+		}
+		sg, sok := a.enumerate(st, gran, budget)
+		if !sok {
+			continue
+		}
+		bd := int64(a.k.BlockDim)
+		emit := func(g uint64, wt, rt int64, raddr uint64) {
+			out = append(out, Witness{
+				Kind: WitnessFence, Kernel: a.k.Name, Space: isa.SpaceGlobal.String(),
+				PC: f.PC, PC2: f.Related[1], Granule: g,
+				Addr:  a.evalAddr(st, wt%bd, wt/bd),
+				Addr2: raddr,
+				Block: int(wt / bd), Tid: int(wt % bd),
+				Block2: int(rt / bd), Tid2: int(rt % bd),
+				Method: "expr",
+				Detail: fmt.Sprintf("store@pc%d by (b%d,t%d) is read unfenced at pc%d by the thread elected at pc%d",
+					f.PC, wt/bd, wt%bd, f.Related[1], f.Related[0]),
+			})
+		}
+		if !hasPhi(ld.addr) {
+			lg, lok := a.enumerate(ld, gran, budget)
+			if !lok {
+				continue
+			}
+			readers := map[uint64]int64{}
+			for i := 0; i < len(lg); i += 2 {
+				if _, dup := readers[lg[i]]; !dup {
+					readers[lg[i]] = int64(lg[i+1])
+				}
+			}
+			for i := 0; i < len(sg); i += 2 {
+				g, wt := sg[i], int64(sg[i+1])
+				rt, ok := readers[g]
+				if !ok || rt == wt {
+					continue
+				}
+				emit(g, wt, rt, a.evalAddr(ld, rt%bd, rt/bd))
+				break
+			}
+			continue
+		}
+		// Loop reader: any thread may be elected, so pick the first
+		// (reader thread, loop iteration) pair covering some stored
+		// granule, reader distinct from its writer. Candidate counts
+		// are capped; one witness per finding suffices.
+		rst := &state{ranges: ld.ranges}
+		rtids := a.rangeOf(rst, SymTid).intersect(ival{0, bd - 1})
+		rbids := a.rangeOf(rst, SymBid).intersect(ival{0, int64(a.k.GridDim) - 1})
+		if rtids.empty() || rbids.empty() {
+			continue
+		}
+		const maxCand = 8
+		found := false
+		for i := 0; i < len(sg) && i < 2*maxCand && !found; i += 2 {
+			g, wt := sg[i], int64(sg[i+1])
+			for rb := rbids.lo; rb <= rbids.hi && rb < rbids.lo+maxCand && !found; rb++ {
+				for rt := rtids.lo; rt <= rtids.hi && rt < rtids.lo+maxCand && !found; rt++ {
+					if rb*bd+rt == wt {
+						continue
+					}
+					raddr, ok := a.phiReach(ld, rt, rb, g, gran, budget)
+					if !ok {
+						continue
+					}
+					emit(g, wt, rb*bd+rt, raddr)
+					found = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// verifyFenceWitness re-evaluates both address expressions for the
+// claimed threads (re-running the φ search for a loop reader) and
+// re-checks the granule overlap, the thread distinction, and the
+// fence-free store→election path.
+func (a *analyzer) verifyFenceWitness(w *Witness, gran int) bool {
+	st, ld := a.sites[w.PC], a.sites[w.PC2]
+	if st == nil || ld == nil || hasPhi(st.addr) {
+		return false
+	}
+	if w.Block == w.Block2 && w.Tid == w.Tid2 {
+		return false
+	}
+	sa := a.evalAddr(st, int64(w.Tid), int64(w.Block))
+	var la uint64
+	if hasPhi(ld.addr) {
+		budget := a.conf.MaxFootprintPoints
+		if budget <= 0 {
+			budget = 1 << 22
+		}
+		r, ok := a.phiReach(ld, int64(w.Tid2), int64(w.Block2), w.Granule, gran, budget)
+		if !ok {
+			return false
+		}
+		la = r
+	} else {
+		la = a.evalAddr(ld, int64(w.Tid2), int64(w.Block2))
+	}
+	if sa != w.Addr || la != w.Addr2 {
+		return false
+	}
+	g := uint64(gran)
+	if sa/g != w.Granule && (sa+uint64(st.size)-1)/g < w.Granule {
+		return false
+	}
+	overlap := sa/g <= (la+uint64(ld.size)-1)/g && la/g <= (sa+uint64(st.size)-1)/g
+	if !overlap {
+		return false
+	}
+	// The finding's middle pc is the election atomic; the misuse claim
+	// is a fence-free path from the store to it.
+	for _, f := range a.lintFenceMisuse() {
+		if f.PC == w.PC && len(f.Related) == 2 && f.Related[1] == w.PC2 {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPhi(e Expr) bool {
+	if e.top {
+		return true
+	}
+	for _, t := range e.terms {
+		if t.sym >= symFirstPhi {
+			return true
+		}
+	}
+	return false
+}
+
+// evalAddr concretely evaluates a φ-free site address for one thread,
+// with the executor's wrapping uint64 arithmetic.
+func (a *analyzer) evalAddr(s *siteAcc, tid, bid int64) uint64 {
+	ws := int64(a.conf.WarpSize)
+	v := uint64(s.addr.c)
+	for _, t := range s.addr.terms {
+		switch t.sym {
+		case SymTid:
+			v += uint64(t.coef) * uint64(tid)
+		case SymBid:
+			v += uint64(t.coef) * uint64(bid)
+		case SymLane:
+			v += uint64(t.coef) * uint64(tid%ws)
+		case SymWarp:
+			v += uint64(t.coef) * uint64(tid/ws)
+		}
+	}
+	return v
+}
+
+// phiReach searches for a concrete address of site s, executed by
+// thread (tid, bid), that falls within global granule targetG — the φ
+// symbols in the address iterate over their range∩congruence members
+// exactly as enumerate does, and the first hit (deterministic order)
+// is returned. The thread must satisfy the site's path conditions.
+func (a *analyzer) phiReach(s *siteAcc, tid, bid int64, targetG uint64, gran int, budget int64) (uint64, bool) {
+	if s.addr.top || s.size <= 0 {
+		return 0, false
+	}
+	st := &state{ranges: s.ranges}
+	ws := int64(a.conf.WarpSize)
+	if !a.rangeOf(st, SymTid).contains(tid) || !a.rangeOf(st, SymBid).contains(bid) ||
+		!a.rangeOf(st, SymLane).contains(tid%ws) || !a.rangeOf(st, SymWarp).contains(tid/ws) {
+		return 0, false
+	}
+	base := uint64(s.addr.c) +
+		uint64(s.addr.termCoef(SymTid))*uint64(tid) +
+		uint64(s.addr.termCoef(SymBid))*uint64(bid) +
+		uint64(s.addr.termCoef(SymLane))*uint64(tid%ws) +
+		uint64(s.addr.termCoef(SymWarp))*uint64(tid/ws)
+	var syms []symID
+	var starts, steps, counts []int64
+	points := int64(1)
+	for _, t := range s.addr.terms {
+		switch t.sym {
+		case SymTid, SymBid, SymLane, SymWarp:
+		default:
+			r := a.rangeOf(st, t.sym)
+			if !r.bounded() || r.empty() {
+				return 0, false
+			}
+			start, step, count := congStep(r, a.congOf(t.sym))
+			if count <= 0 || points > budget/count {
+				return 0, false
+			}
+			points *= count
+			syms = append(syms, t.sym)
+			starts = append(starts, start)
+			steps = append(steps, step)
+			counts = append(counts, count)
+		}
+	}
+	gsize := uint64(gran)
+	span := uint64(s.size-1) / gsize
+	var walk func(addr uint64, depth int) (uint64, bool)
+	walk = func(addr uint64, depth int) (uint64, bool) {
+		if depth == len(syms) {
+			g0 := addr / gsize
+			if targetG >= g0 && targetG <= g0+span {
+				return addr, true
+			}
+			return 0, false
+		}
+		c := uint64(s.addr.termCoef(syms[depth]))
+		v := starts[depth]
+		for i := int64(0); i < counts[depth]; i++ {
+			if r, ok := walk(addr+c*uint64(v), depth+1); ok {
+				return r, ok
+			}
+			v += steps[depth]
+		}
+		return 0, false
+	}
+	return walk(base, 0)
+}

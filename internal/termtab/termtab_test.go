@@ -1,0 +1,75 @@
+package termtab
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPlainModeTabSeparated(t *testing.T) {
+	tb := New(false)
+	tb.Row(C("pc"), C("space"), C("class"))
+	tb.Row(C("11"), C("shared"), Cell{Text: "provable-race", Style: Red})
+	got := tb.String()
+	want := "pc\tspace\tclass\n11\tshared\tprovable-race\n"
+	if got != want {
+		t.Fatalf("plain output:\n%q\nwant\n%q", got, want)
+	}
+	if strings.Contains(got, "\x1b[") {
+		t.Fatal("plain mode must not emit ANSI escapes")
+	}
+}
+
+func TestTTYModeAlignsAndStyles(t *testing.T) {
+	tb := New(true).Indent("  ")
+	tb.Row(C("pc"), C("class"))
+	tb.Row(C("7"), Cell{Text: "unknown", Style: Yellow})
+	got := tb.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), got)
+	}
+	// "pc" pads to the width of "7"+... both data columns align: first
+	// column width is 2 ("pc"), so "7" is padded to "7 ".
+	if !strings.HasPrefix(lines[0], "  pc  class") {
+		t.Fatalf("header misaligned: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  7   ") {
+		t.Fatalf("data row misaligned: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], string(Yellow)+"unknown"+reset) {
+		t.Fatalf("styled cell missing escapes: %q", lines[1])
+	}
+}
+
+func TestLastColumnUnpadded(t *testing.T) {
+	tb := New(true)
+	tb.Row(C("a"), C("x"))
+	tb.Row(C("b"), C("longer"))
+	for _, line := range strings.Split(strings.TrimRight(tb.String(), "\n"), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Fatalf("trailing padding on %q", line)
+		}
+	}
+}
+
+func TestIsTTY(t *testing.T) {
+	if IsTTY(nil) {
+		t.Fatal("nil is not a TTY")
+	}
+	f, err := os.Create(filepath.Join(t.TempDir(), "regular"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if IsTTY(f) {
+		t.Fatal("regular file is not a TTY")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	if got := New(true).String(); got != "" {
+		t.Fatalf("empty table rendered %q", got)
+	}
+}
